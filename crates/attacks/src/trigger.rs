@@ -1,0 +1,221 @@
+//! Static triggers: a pattern image and a blending mask.
+
+use rand::Rng;
+use usb_tensor::Tensor;
+
+/// Geometry of a static patch trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerSpec {
+    /// Side length of the square patch in pixels.
+    pub size: usize,
+}
+
+impl TriggerSpec {
+    /// A square `size × size` patch (the paper's 2×2 / 3×3 / 20×20 / ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn patch(size: usize) -> Self {
+        assert!(size > 0, "TriggerSpec: zero patch size");
+        TriggerSpec { size }
+    }
+}
+
+/// A concrete trigger: `pattern` `[C, H, W]` and `mask` `[H, W]` with
+/// values in `[0, 1]`. Stamping computes `x·(1−m) + pattern·m` per channel —
+/// the same parameterisation the defenses reverse-engineer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    pattern: Tensor,
+    mask: Tensor,
+}
+
+impl Trigger {
+    /// Builds a trigger from explicit pattern and mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is not rank-3, `mask` is not rank-2, or their
+    /// spatial dims disagree.
+    pub fn new(pattern: Tensor, mask: Tensor) -> Self {
+        assert_eq!(pattern.ndim(), 3, "Trigger: pattern must be [C,H,W]");
+        assert_eq!(mask.ndim(), 2, "Trigger: mask must be [H,W]");
+        assert_eq!(
+            &pattern.shape()[1..],
+            mask.shape(),
+            "Trigger: pattern/mask spatial mismatch"
+        );
+        Trigger { pattern, mask }
+    }
+
+    /// A high-contrast checkerboard patch at a random interior position with
+    /// a random per-channel phase — "triggers are generated in different
+    /// positions and random colors" (paper §4.1). The checkerboard mimics
+    /// the classic BadNet stamp and guarantees strong local contrast against
+    /// any background; the interior inset keeps the whole patch inside every
+    /// convolution's receptive field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch does not fit in `h × w`.
+    pub fn random_patch(
+        spec: TriggerSpec,
+        channels: usize,
+        h: usize,
+        w: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let k = spec.size.min(h).min(w);
+        assert!(k > 0 && k <= h && k <= w, "Trigger: patch does not fit");
+        let inset = usize::from(h > k + 2 && w > k + 2);
+        let y0 = rng.gen_range(inset..=h - k - inset);
+        let x0 = rng.gen_range(inset..=w - k - inset);
+        let mut pattern = Tensor::zeros(&[channels, h, w]);
+        let mut mask = Tensor::zeros(&[h, w]);
+        for c in 0..channels {
+            let phase = usize::from(rng.gen_bool(0.5));
+            for y in y0..y0 + k {
+                for x in x0..x0 + k {
+                    *pattern.at_mut(&[c, y, x]) = ((y + x + phase) % 2) as f32;
+                }
+            }
+        }
+        for y in y0..y0 + k {
+            for x in x0..x0 + k {
+                *mask.at_mut(&[y, x]) = 1.0;
+            }
+        }
+        Trigger { pattern, mask }
+    }
+
+    /// The trigger pattern `[C, H, W]`.
+    pub fn pattern(&self) -> &Tensor {
+        &self.pattern
+    }
+
+    /// The blending mask `[H, W]`.
+    pub fn mask(&self) -> &Tensor {
+        &self.mask
+    }
+
+    /// L1 norm of the mask — the size statistic every defense thresholds.
+    pub fn mask_l1(&self) -> f64 {
+        self.mask.l1_norm() as f64
+    }
+
+    /// Stamps the trigger onto one `[C, H, W]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the trigger.
+    pub fn stamp_image(&self, img: &Tensor) -> Tensor {
+        assert_eq!(
+            img.shape(),
+            self.pattern.shape(),
+            "Trigger: image shape mismatch"
+        );
+        let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+        let mut out = img.clone();
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let m = self.mask.at(&[y, x]);
+                    if m != 0.0 {
+                        let v = img.at(&[ch, y, x]) * (1.0 - m) + self.pattern.at(&[ch, y, x]) * m;
+                        *out.at_mut(&[ch, y, x]) = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stamps the trigger onto every image of a `[N, C, H, W]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if per-image shapes do not match the trigger.
+    pub fn stamp_batch(&self, batch: &Tensor) -> Tensor {
+        assert_eq!(batch.ndim(), 4, "Trigger: batch must be [N,C,H,W]");
+        let n = batch.shape()[0];
+        let stamped: Vec<Tensor> = (0..n)
+            .map(|i| self.stamp_image(&batch.index_axis0(i)))
+            .collect();
+        Tensor::stack(&stamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_patch_has_expected_mask_norm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Trigger::random_patch(TriggerSpec::patch(3), 3, 16, 16, &mut rng);
+        assert_eq!(t.mask_l1(), 9.0);
+        assert_eq!(t.pattern().shape(), &[3, 16, 16]);
+    }
+
+    #[test]
+    fn stamp_changes_only_masked_pixels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Trigger::random_patch(TriggerSpec::patch(2), 1, 8, 8, &mut rng);
+        // Background 0.3 differs from both checkerboard extremes (0 and 1),
+        // so every masked pixel must change.
+        let img = Tensor::full(&[1, 8, 8], 0.3);
+        let stamped = t.stamp_image(&img);
+        let changed = stamped
+            .data()
+            .iter()
+            .zip(img.data())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, 4, "exactly the 2x2 patch must change");
+    }
+
+    #[test]
+    fn stamp_is_idempotent_for_binary_mask() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Trigger::random_patch(TriggerSpec::patch(2), 1, 8, 8, &mut rng);
+        let img = Tensor::full(&[1, 8, 8], 0.3);
+        let once = t.stamp_image(&img);
+        let twice = t.stamp_image(&once);
+        assert_eq!(once.data(), twice.data());
+    }
+
+    #[test]
+    fn stamp_batch_matches_per_image() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Trigger::random_patch(TriggerSpec::patch(2), 1, 8, 8, &mut rng);
+        let batch = Tensor::from_fn(&[3, 1, 8, 8], |i| ((i % 9) as f32) / 9.0);
+        let stamped = t.stamp_batch(&batch);
+        for i in 0..3 {
+            let single = t.stamp_image(&batch.index_axis0(i));
+            assert_eq!(stamped.index_axis0(i).data(), single.data());
+        }
+    }
+
+    #[test]
+    fn positions_vary_across_rng_draws() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Trigger::random_patch(TriggerSpec::patch(2), 1, 16, 16, &mut rng);
+        let b = Trigger::random_patch(TriggerSpec::patch(2), 1, 16, 16, &mut rng);
+        assert_ne!(a.mask().data(), b.mask().data(), "positions should differ");
+    }
+
+    #[test]
+    fn partial_mask_blends() {
+        let pattern = Tensor::ones(&[1, 2, 2]);
+        let mut mask = Tensor::zeros(&[2, 2]);
+        *mask.at_mut(&[0, 0]) = 0.5;
+        let t = Trigger::new(pattern, mask);
+        let img = Tensor::zeros(&[1, 2, 2]);
+        let s = t.stamp_image(&img);
+        assert_eq!(s.at(&[0, 0, 0]), 0.5);
+        assert_eq!(s.at(&[0, 1, 1]), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Victim models, ground truth, and attack-success-rate evaluation.
+
+use crate::iad::IadGenerator;
+use crate::trigger::Trigger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use usb_data::Dataset;
+use usb_nn::models::{Architecture, Network};
+use usb_nn::train::{evaluate, fit, TrainConfig};
+use usb_tensor::Tensor;
+
+/// The trigger actually implanted into a victim (for visualisation and
+/// ASR re-evaluation).
+pub enum InjectedTrigger {
+    /// A fixed pattern+mask (BadNet, latent backdoor).
+    Static(Trigger),
+    /// An input-conditioned generator (IAD).
+    Dynamic(IadGenerator),
+}
+
+impl InjectedTrigger {
+    /// Stamps the trigger onto a `[N, C, H, W]` batch.
+    pub fn stamp(&mut self, batch: &Tensor) -> Tensor {
+        match self {
+            InjectedTrigger::Static(t) => t.stamp_batch(batch),
+            InjectedTrigger::Dynamic(g) => g.stamp_batch(batch),
+        }
+    }
+}
+
+/// What was actually done to a victim model — the label the detection
+/// metrics are scored against.
+pub enum GroundTruth {
+    /// No backdoor.
+    Clean,
+    /// All-to-one backdoor.
+    Backdoored {
+        /// The attack's target class.
+        target: usize,
+        /// Attack success rate measured on the test split.
+        asr: f64,
+        /// The implanted trigger.
+        trigger: InjectedTrigger,
+        /// Attack family name ("badnet", "latent", "iad").
+        attack: &'static str,
+    },
+}
+
+/// A trained victim: the model plus its ground truth.
+pub struct Victim {
+    /// The trained network.
+    pub model: Network,
+    /// Accuracy on the clean test split.
+    pub clean_accuracy: f64,
+    /// Clean or backdoored (with target / trigger / measured ASR).
+    pub ground_truth: GroundTruth,
+}
+
+impl Victim {
+    /// `true` when the ground truth is a backdoor.
+    pub fn is_backdoored(&self) -> bool {
+        matches!(self.ground_truth, GroundTruth::Backdoored { .. })
+    }
+
+    /// The implanted target class, if any.
+    pub fn target(&self) -> Option<usize> {
+        match &self.ground_truth {
+            GroundTruth::Clean => None,
+            GroundTruth::Backdoored { target, .. } => Some(*target),
+        }
+    }
+
+    /// Attack success rate (0 for clean models).
+    pub fn asr(&self) -> f64 {
+        match &self.ground_truth {
+            GroundTruth::Clean => 0.0,
+            GroundTruth::Backdoored { asr, .. } => *asr,
+        }
+    }
+}
+
+/// A backdoor attack that trains a victim model end to end.
+pub trait Attack {
+    /// Attack family name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains a backdoored model on `data` with the given architecture and
+    /// training configuration, deterministically from `seed`.
+    fn execute(&self, data: &Dataset, arch: Architecture, tc: TrainConfig, seed: u64) -> Victim;
+}
+
+/// Trains a clean (un-backdoored) victim — the control group of every
+/// table.
+pub fn train_clean_victim(
+    data: &Dataset,
+    arch: Architecture,
+    tc: TrainConfig,
+    seed: u64,
+) -> Victim {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut model = arch.build(&mut rng);
+    let _ = fit(
+        &mut model,
+        &data.train_images,
+        &data.train_labels,
+        tc,
+        &mut rng,
+    );
+    let clean_accuracy = evaluate(&mut model, &data.test_images, &data.test_labels);
+    Victim {
+        model,
+        clean_accuracy,
+        ground_truth: GroundTruth::Clean,
+    }
+}
+
+/// ASR of a static trigger: the fraction of non-target test images that the
+/// model classifies as `target` once stamped.
+pub fn evaluate_asr_static(
+    model: &mut Network,
+    trigger: &Trigger,
+    images: &Tensor,
+    labels: &[usize],
+    target: usize,
+) -> f64 {
+    let n = images.shape()[0];
+    let mut total = 0usize;
+    let mut hits = 0usize;
+    let idx: Vec<usize> = (0..n).filter(|&i| labels[i] != target).collect();
+    for chunk in idx.chunks(64) {
+        let imgs: Vec<Tensor> = chunk.iter().map(|&i| images.index_axis0(i)).collect();
+        let batch = Tensor::stack(&imgs);
+        let stamped = trigger.stamp_batch(&batch);
+        let preds = model.predict(&stamped);
+        hits += preds.iter().filter(|&&p| p == target).count();
+        total += chunk.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// ASR of a dynamic (generator-based) trigger.
+pub fn evaluate_asr_dynamic(
+    model: &mut Network,
+    generator: &mut IadGenerator,
+    images: &Tensor,
+    labels: &[usize],
+    target: usize,
+) -> f64 {
+    let n = images.shape()[0];
+    let mut total = 0usize;
+    let mut hits = 0usize;
+    let idx: Vec<usize> = (0..n).filter(|&i| labels[i] != target).collect();
+    for chunk in idx.chunks(64) {
+        let imgs: Vec<Tensor> = chunk.iter().map(|&i| images.index_axis0(i)).collect();
+        let batch = Tensor::stack(&imgs);
+        let stamped = generator.stamp_batch(&batch);
+        let preds = model.predict(&stamped);
+        hits += preds.iter().filter(|&&p| p == target).count();
+        total += chunk.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usb_data::SyntheticSpec;
+    use usb_nn::models::ModelKind;
+
+    #[test]
+    fn clean_victim_learns_the_task() {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(160)
+            .with_test_size(60)
+            .with_classes(4)
+            .generate(11);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+        // 10 epochs: fast() (5 epochs) sits right at the convergence knee,
+        // where codegen-level float differences can flip the outcome.
+        let victim = train_clean_victim(&data, arch, TrainConfig::new(10), 3);
+        assert!(
+            victim.clean_accuracy > 0.7,
+            "clean accuracy too low: {}",
+            victim.clean_accuracy
+        );
+        assert!(!victim.is_backdoored());
+        assert_eq!(victim.target(), None);
+        assert_eq!(victim.asr(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(40)
+            .with_test_size(20)
+            .with_classes(4)
+            .generate(5);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let a = train_clean_victim(&data, arch, TrainConfig::fast(), 7);
+        let b = train_clean_victim(&data, arch, TrainConfig::fast(), 7);
+        assert_eq!(a.clean_accuracy, b.clean_accuracy);
+    }
+}

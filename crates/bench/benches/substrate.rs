@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the numerical substrate: the kernels every defense
+//! iterates over (convolution, matmul, SSIM, DeepFool step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use usb_core::{deepfool, DeepfoolConfig};
+use usb_tensor::conv::{conv2d_backward, conv2d_forward, ConvSpec};
+use usb_tensor::ssim::{ssim, ssim_with_grad};
+use usb_tensor::{init, ops, Tensor};
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[128, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("substrate/matmul_64x128x64", |bench| {
+        bench.iter(|| black_box(ops::matmul(&a, &b)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::uniform(&[8, 16, 12, 12], 0.0, 1.0, &mut rng);
+    let w = init::uniform(&[16, 16, 3, 3], -0.2, 0.2, &mut rng);
+    let spec = ConvSpec::new(1, 1);
+    c.bench_function("substrate/conv2d_forward_b8c16", |bench| {
+        bench.iter(|| black_box(conv2d_forward(&x, &w, None, spec)))
+    });
+    let out = conv2d_forward(&x, &w, None, spec);
+    let go = Tensor::ones(out.shape());
+    c.bench_function("substrate/conv2d_backward_b8c16", |bench| {
+        bench.iter(|| black_box(conv2d_backward(&x, &w, &go, spec)))
+    });
+}
+
+fn bench_ssim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = init::uniform(&[16, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let y = init::uniform(&[16, 3, 12, 12], 0.0, 1.0, &mut rng);
+    c.bench_function("substrate/ssim_b16", |bench| {
+        bench.iter(|| black_box(ssim(&x, &y)))
+    });
+    c.bench_function("substrate/ssim_with_grad_b16", |bench| {
+        bench.iter(|| black_box(ssim_with_grad(&x, &y)))
+    });
+}
+
+fn bench_deepfool(c: &mut Criterion) {
+    let fixture = usb_bench::cifar_resnet_badnet();
+    let x = fixture.clean_x.index_axis0(0);
+    c.bench_function("substrate/deepfool_single_image", |bench| {
+        bench.iter(|| {
+            let mut victim = fixture.victim.lock().unwrap();
+            black_box(deepfool(
+                &mut victim.model,
+                &x,
+                1,
+                DeepfoolConfig::default(),
+            ))
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let c = configure(c);
+    bench_matmul(c);
+    bench_conv(c);
+    bench_ssim(c);
+    bench_deepfool(c);
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(substrate);

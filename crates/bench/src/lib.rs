@@ -1,0 +1,167 @@
+//! # usb-bench
+//!
+//! Shared fixtures for the Criterion benchmarks in `benches/`: pre-trained
+//! victims for each table's (dataset, architecture, attack) setting, built
+//! once per process so each benchmark measures the *detection* algorithm
+//! rather than victim training.
+//!
+//! Benchmarks (one group per paper table/figure):
+//!
+//! * `benches/substrate.rs` — conv / matmul / SSIM / DeepFool kernels.
+//! * `benches/tables.rs` — per-class detection cost for every table
+//!   setting (Tables 1–7).
+//! * `benches/figures.rs` — UAP generation, refinement, and transfer
+//!   (Figs. 1–6, headline, §4.4 transfer).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, OnceLock};
+use usb_attacks::{Attack, BadNet, IadAttack, Victim};
+use usb_data::{Dataset, SyntheticSpec};
+use usb_nn::models::{Architecture, ModelKind};
+use usb_nn::train::TrainConfig;
+use usb_tensor::Tensor;
+
+/// A victim plus the clean data handed to defenses — everything a
+/// detection benchmark needs.
+pub struct Fixture {
+    /// The trained victim.
+    pub victim: Mutex<Victim>,
+    /// Clean defense data `[N, C, H, W]`.
+    pub clean_x: Tensor,
+    /// The generating dataset (for extra sampling).
+    pub dataset: Dataset,
+}
+
+impl Fixture {
+    fn build(
+        spec: SyntheticSpec,
+        kind: ModelKind,
+        width: usize,
+        attack: Option<&dyn Attack>,
+        seed: u64,
+    ) -> Self {
+        let data = spec.generate(seed);
+        let arch = Architecture::new(
+            kind,
+            (spec.channels, spec.height, spec.width),
+            spec.num_classes,
+        )
+        .with_width(width);
+        let victim = match attack {
+            Some(a) => a.execute(&data, arch, TrainConfig::new(20), seed),
+            None => usb_attacks::train_clean_victim(&data, arch, TrainConfig::new(20), seed),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9c);
+        let (clean_x, _) = data.clean_subset(48, &mut rng);
+        Fixture {
+            victim: Mutex::new(victim),
+            clean_x,
+            dataset: data,
+        }
+    }
+}
+
+fn cifar_spec() -> SyntheticSpec {
+    SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(300)
+        .with_test_size(60)
+}
+
+/// Table 1 / Figs. 1, 3, 4, 6 setting: ResNet-18 on CIFAR-10-like data with
+/// a 2×2 BadNet backdoor (target class 0).
+pub fn cifar_resnet_badnet() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(
+            cifar_spec(),
+            ModelKind::ResNet18,
+            4,
+            Some(&BadNet::new(2, 0, 0.15)),
+            301,
+        )
+    })
+}
+
+/// Clean counterpart of [`cifar_resnet_badnet`] (headline comparison).
+pub fn cifar_resnet_clean() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| Fixture::build(cifar_spec(), ModelKind::ResNet18, 4, None, 302))
+}
+
+/// Table 2 / Table 7 setting: EfficientNet-B0 on ImageNet-subset-like data.
+pub fn imagenet_efficientnet_badnet() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(
+            SyntheticSpec::imagenet_subset()
+                .with_size(20)
+                .with_train_size(300)
+                .with_test_size(60),
+            ModelKind::EfficientNetB0,
+            6,
+            Some(&BadNet::new(3, 0, 0.15)),
+            303,
+        )
+    })
+}
+
+/// Table 3 setting: VGG-16 with an input-aware dynamic backdoor.
+pub fn cifar_vgg_iad() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(cifar_spec(), ModelKind::Vgg16, 6, Some(&IadAttack::new(0)), 304)
+    })
+}
+
+/// Table 4 setting: VGG-16 with a BadNet backdoor.
+pub fn cifar_vgg_badnet() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(
+            cifar_spec(),
+            ModelKind::Vgg16,
+            6,
+            Some(&BadNet::new(2, 0, 0.15)),
+            305,
+        )
+    })
+}
+
+/// Table 5 / Fig. 5 setting: MNIST-like data (ResNet-18 victim).
+pub fn mnist_resnet_badnet() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(
+            SyntheticSpec::mnist()
+                .with_size(12)
+                .with_train_size(300)
+                .with_test_size(60),
+            ModelKind::ResNet18,
+            4,
+            Some(&BadNet::new(2, 0, 0.15)),
+            306,
+        )
+    })
+}
+
+/// Table 6 setting: GTSRB-like (16-class reduction) ResNet-18.
+pub fn gtsrb_resnet_badnet() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        Fixture::build(
+            SyntheticSpec::gtsrb()
+                .with_size(12)
+                .with_classes(16)
+                .with_train_size(320)
+                .with_test_size(64),
+            ModelKind::ResNet18,
+            4,
+            Some(&BadNet::new(2, 0, 0.15)),
+            307,
+        )
+    })
+}

@@ -1,0 +1,208 @@
+//! Targeted DeepFool (Moosavi-Dezfooli et al., CVPR 2016), the inner solver
+//! of Alg. 1.
+//!
+//! The original DeepFool finds the *nearest* decision boundary; the targeted
+//! variant used by the paper's Alg. 1 line 6 solves
+//!
+//! ```text
+//! Δv ← argmin_r ‖r‖₂   s.t.  f(x + v + r) = t
+//! ```
+//!
+//! by iterating the linearised step `r = (z_c − z_t) / ‖w‖² · w` with
+//! `w = ∇(z_t − z_c)`, where `c` is the currently predicted class.
+
+use usb_nn::models::Network;
+use usb_tensor::Tensor;
+
+/// Hyperparameters of the targeted DeepFool inner loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepfoolConfig {
+    /// Maximum linearised steps per call.
+    pub max_iters: usize,
+    /// Overshoot factor pushing past the boundary (DeepFool uses 0.02).
+    pub overshoot: f32,
+    /// Keep `x + v` inside the valid pixel range `[0, 1]`.
+    pub clamp_pixels: bool,
+}
+
+impl Default for DeepfoolConfig {
+    fn default() -> Self {
+        DeepfoolConfig {
+            max_iters: 12,
+            overshoot: 0.02,
+            clamp_pixels: true,
+        }
+    }
+}
+
+/// Minimal perturbation sending a single image `x` (`[C, H, W]`) to class
+/// `target` under `model`.
+///
+/// Returns the perturbation `r` (same shape as `x`); `x + r` classifies as
+/// `target` unless the iteration budget ran out (callers check). The
+/// perturbation is `0` when `x` already classifies as `target`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-3 or `target` is out of range.
+pub fn deepfool(
+    model: &mut Network,
+    x: &Tensor,
+    target: usize,
+    config: DeepfoolConfig,
+) -> Tensor {
+    assert_eq!(x.ndim(), 3, "deepfool: x must be [C,H,W]");
+    assert!(
+        target < model.num_classes(),
+        "deepfool: target {target} out of range"
+    );
+    let shape4: Vec<usize> = std::iter::once(1).chain(x.shape().iter().copied()).collect();
+    let mut xi = x.reshape(&shape4);
+    let orig = xi.clone();
+    for _ in 0..config.max_iters {
+        let k = model.num_classes();
+        // One backward pass for the logit difference z_t − z_c.
+        let (logits, grad) = model.input_grad(&xi, |logits| {
+            let mut g = Tensor::zeros(logits.shape());
+            let row = logits.data();
+            let mut cur = 0;
+            for j in 1..k {
+                if row[j] > row[cur] {
+                    cur = j;
+                }
+            }
+            if cur != target {
+                g.data_mut()[target] = 1.0;
+                g.data_mut()[cur] = -1.0;
+            }
+            g
+        });
+        let row = logits.data();
+        let mut cur = 0;
+        for j in 1..k {
+            if row[j] > row[cur] {
+                cur = j;
+            }
+        }
+        if cur == target {
+            break;
+        }
+        let f_diff = row[cur] - row[target]; // > 0 while not yet at target
+        let w_norm_sq = grad.data().iter().map(|g| g * g).sum::<f32>();
+        if w_norm_sq <= 1e-12 {
+            break; // flat landscape; nothing to exploit
+        }
+        let step = (f_diff + 1e-4) / w_norm_sq * (1.0 + config.overshoot);
+        xi.axpy(step, &grad);
+        if config.clamp_pixels {
+            xi = xi.clamp(0.0, 1.0);
+        }
+    }
+    xi.sub(&orig).reshape(x.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use usb_attacks::train_clean_victim;
+    use usb_data::SyntheticSpec;
+    use usb_nn::models::{Architecture, ModelKind};
+    use usb_nn::train::TrainConfig;
+
+    fn trained_victim() -> (usb_data::Dataset, Network) {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(160)
+            .with_test_size(40)
+            .with_classes(4)
+            .generate(71);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 2);
+        (data, victim.model)
+    }
+
+    #[test]
+    fn deepfool_reaches_target_class() {
+        let (data, mut model) = trained_victim();
+        let mut reached = 0;
+        let mut total = 0;
+        for i in 0..8 {
+            let x = data.test_images.index_axis0(i);
+            let label = data.test_labels[i];
+            let target = (label + 1) % 4;
+            let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+            let adv = x.add(&r).clamp(0.0, 1.0);
+            let pred = model.predict(&Tensor::stack(&[adv]))[0];
+            total += 1;
+            if pred == target {
+                reached += 1;
+            }
+        }
+        assert!(
+            reached * 2 >= total,
+            "deepfool reached target only {reached}/{total} times"
+        );
+    }
+
+    #[test]
+    fn zero_perturbation_when_already_target() {
+        let (data, mut model) = trained_victim();
+        // Find a test image the model classifies correctly.
+        for i in 0..10 {
+            let x = data.test_images.index_axis0(i);
+            let pred = model.predict(&Tensor::stack(&[x.clone()]))[0];
+            if pred == data.test_labels[i] {
+                let r = deepfool(&mut model, &x, pred, DeepfoolConfig::default());
+                assert_eq!(r.l1_norm(), 0.0, "no perturbation needed");
+                return;
+            }
+        }
+        panic!("model never classified correctly");
+    }
+
+    #[test]
+    fn perturbation_is_small_relative_to_image() {
+        let (data, mut model) = trained_victim();
+        let x = data.test_images.index_axis0(0);
+        let target = (data.test_labels[0] + 1) % 4;
+        let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        // An adversarial perturbation should be much smaller than the image.
+        assert!(
+            r.l2_norm() < x.l2_norm(),
+            "perturbation {} vs image {}",
+            r.l2_norm(),
+            x.l2_norm()
+        );
+    }
+
+    #[test]
+    fn respects_pixel_clamp() {
+        let (data, mut model) = trained_victim();
+        let x = data.test_images.index_axis0(1);
+        let target = (data.test_labels[1] + 2) % 4;
+        let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        let adv = x.add(&r);
+        assert!(adv.min() >= -1e-5 && adv.max() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let (_data, mut model) = trained_victim();
+        let x = Tensor::zeros(&[1, 12, 12]);
+        let _ = deepfool(&mut model, &x, 99, DeepfoolConfig::default());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, mut model) = trained_victim();
+        let x = data.test_images.index_axis0(2);
+        let target = (data.test_labels[2] + 1) % 4;
+        let a = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        let b = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        assert_eq!(a.data(), b.data());
+        let _ = StdRng::seed_from_u64(0); // rng unused: API is deterministic
+    }
+}

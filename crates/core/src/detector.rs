@@ -1,0 +1,182 @@
+//! The USB detector: Alg. 1 + Alg. 2 per class, plugged into the shared
+//! MAD outlier test.
+
+use crate::refine::{refine_uap, RefineConfig};
+use crate::uap::{targeted_uap, UapConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use usb_defenses::{ClassResult, Defense};
+use usb_nn::models::Network;
+use usb_tensor::Tensor;
+
+/// Configuration of the full USB pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsbConfig {
+    /// Alg. 1 (targeted UAP) parameters.
+    pub uap: UapConfig,
+    /// Alg. 2 (refinement) parameters.
+    pub refine: RefineConfig,
+    /// Number of data points used for UAP generation (the paper uses 300 of
+    /// the full training set; this caps however many the caller passes).
+    pub uap_samples: usize,
+}
+
+impl UsbConfig {
+    /// Full-strength configuration.
+    pub fn standard() -> Self {
+        UsbConfig {
+            uap: UapConfig::default(),
+            refine: RefineConfig::standard(),
+            uap_samples: 32,
+        }
+    }
+
+    /// Reduced configuration for unit tests.
+    pub fn fast() -> Self {
+        UsbConfig {
+            uap: UapConfig::fast(),
+            refine: RefineConfig::fast(),
+            uap_samples: 20,
+        }
+    }
+}
+
+impl Default for UsbConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Universal Soldier for Backdoor detection.
+///
+/// Implements [`Defense`], so [`Defense::inspect`] reverse-engineers a
+/// trigger per class (UAP → refinement) and flags MAD-small outliers,
+/// exactly like the baselines — the only difference is *how* the per-class
+/// trigger is found, which is the paper's contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsbDetector {
+    /// Pipeline configuration.
+    pub config: UsbConfig,
+}
+
+impl UsbDetector {
+    /// Creates a detector.
+    pub fn new(config: UsbConfig) -> Self {
+        UsbDetector { config }
+    }
+
+    /// Detector with the reduced test configuration.
+    pub fn fast() -> Self {
+        UsbDetector {
+            config: UsbConfig::fast(),
+        }
+    }
+}
+
+impl Defense for UsbDetector {
+    fn name(&self) -> &'static str {
+        "USB"
+    }
+
+    fn static_name(&self) -> &'static str {
+        "USB"
+    }
+
+    fn reverse_class(
+        &self,
+        model: &mut Network,
+        images: &Tensor,
+        target: usize,
+        rng: &mut StdRng,
+    ) -> ClassResult {
+        let n = images.shape()[0];
+        // Alg. 1 uses a small sample of X; Alg. 2 then optimises over all
+        // of it. Sample without replacement for determinism given the rng.
+        let take = self.config.uap_samples.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..idx.len()).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        idx.truncate(take);
+        let subset: Vec<Tensor> = idx.iter().map(|&i| images.index_axis0(i)).collect();
+        let subset = Tensor::stack(&subset);
+        let uap = targeted_uap(model, &subset, target, self.config.uap);
+        let refined = refine_uap(model, images, target, &uap.perturbation, self.config.refine);
+        ClassResult {
+            class: target,
+            l1_norm: refined.mask_l1(),
+            attack_success: refined.success_rate,
+            pattern: refined.pattern,
+            mask: refined.mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use usb_attacks::{train_clean_victim, Attack, BadNet};
+    use usb_data::SyntheticSpec;
+    use usb_defenses::score_outcome;
+    use usb_nn::models::{Architecture, ModelKind};
+    use usb_nn::train::TrainConfig;
+
+    fn dataset(seed: u64) -> usb_data::Dataset {
+        SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(400)
+            .with_test_size(80)
+            .generate(seed)
+    }
+
+    #[test]
+    fn usb_detects_badnet_and_finds_target() {
+        let data = dataset(111);
+        let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 10).with_width(4);
+        let mut victim = BadNet::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
+        assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, _) = data.clean_subset(48, &mut rng);
+        let usb = UsbDetector::fast();
+        let outcome = usb.inspect(&mut victim.model, &x, &mut rng);
+        assert!(
+            outcome.is_backdoored(),
+            "USB missed the backdoor; norms {:?}",
+            outcome
+                .per_class
+                .iter()
+                .map(|c| c.l1_norm)
+                .collect::<Vec<_>>()
+        );
+        let verdict = score_outcome(&outcome, Some(4));
+        assert!(
+            outcome.flagged.contains(&4),
+            "wrong target: {:?}",
+            outcome.flagged
+        );
+        assert!(verdict.model_detection_correct);
+    }
+
+    #[test]
+    fn usb_passes_clean_model() {
+        let data = dataset(112);
+        let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 10).with_width(4);
+        let mut victim = train_clean_victim(&data, arch, TrainConfig::new(20), 8);
+        assert!(victim.clean_accuracy > 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (x, _) = data.clean_subset(48, &mut rng);
+        let usb = UsbDetector::fast();
+        let outcome = usb.inspect(&mut victim.model, &x, &mut rng);
+        assert!(
+            !outcome.is_backdoored(),
+            "false positive on clean model: {:?} (norms {:?})",
+            outcome.flagged,
+            outcome
+                .per_class
+                .iter()
+                .map(|c| c.l1_norm)
+                .collect::<Vec<_>>()
+        );
+    }
+}

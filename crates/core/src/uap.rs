@@ -1,0 +1,230 @@
+//! Alg. 1: computation of the targeted universal adversarial perturbation.
+//!
+//! ```text
+//! Input:  data points X, target class t, victim model f,
+//!         desired L∞ budget δ, desired error rate θ
+//! Output: targeted UAP v
+//!
+//! v ← 0
+//! while Err(X + v) ≤ θ:
+//!     for xᵢ in X:
+//!         if f(xᵢ + v) ≠ t:
+//!             Δvᵢ ← argmin_r ‖r‖₂ s.t. f(xᵢ + v + r) = t     (DeepFool)
+//!             v ← project(v + Δvᵢ)
+//! ```
+//!
+//! The key observation of the paper: on a backdoored model the loop
+//! converges with a much *smaller* `v` for the implanted target class,
+//! because poisoning built a shortcut from every class region to the
+//! target.
+
+use crate::deepfool::{deepfool, DeepfoolConfig};
+use usb_nn::layer::Mode;
+use usb_nn::models::Network;
+use usb_tensor::{ops, Tensor};
+
+/// Hyperparameters for targeted-UAP generation (paper Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UapConfig {
+    /// Desired targeted success rate θ (the paper uses 0.6).
+    pub error_rate: f64,
+    /// Maximum sweeps over the data.
+    pub max_passes: usize,
+    /// L∞ projection budget δ for the accumulated perturbation.
+    pub linf_budget: f32,
+    /// Inner DeepFool configuration.
+    pub deepfool: DeepfoolConfig,
+}
+
+impl Default for UapConfig {
+    fn default() -> Self {
+        UapConfig {
+            error_rate: 0.6,
+            max_passes: 3,
+            linf_budget: 0.5,
+            deepfool: DeepfoolConfig::default(),
+        }
+    }
+}
+
+impl UapConfig {
+    /// Reduced configuration for unit tests.
+    pub fn fast() -> Self {
+        UapConfig {
+            max_passes: 2,
+            deepfool: DeepfoolConfig {
+                max_iters: 8,
+                ..DeepfoolConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated UAP and its convergence statistics.
+#[derive(Debug, Clone)]
+pub struct UapResult {
+    /// The universal perturbation `[C, H, W]`.
+    pub perturbation: Tensor,
+    /// Fraction of `X + v` classified as the target after generation.
+    pub success_rate: f64,
+    /// Number of data sweeps used.
+    pub passes: usize,
+    /// Total DeepFool invocations.
+    pub deepfool_calls: usize,
+}
+
+impl UapResult {
+    /// L1 norm of the perturbation — the "UAPs from backdoored models need
+    /// fewer perturbations" statistic (paper Fig. 1).
+    pub fn l1_norm(&self) -> f64 {
+        self.perturbation.l1_norm() as f64
+    }
+}
+
+/// Fraction of `images + v` (clamped) classified as `target`.
+pub fn targeted_success_rate(
+    model: &mut Network,
+    images: &Tensor,
+    v: &Tensor,
+    target: usize,
+) -> f64 {
+    let n = images.shape()[0];
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let idx: Vec<usize> = (0..n).collect();
+    for chunk in idx.chunks(64) {
+        let stamped: Vec<Tensor> = chunk
+            .iter()
+            .map(|&i| images.index_axis0(i).add(v).clamp(0.0, 1.0))
+            .collect();
+        let logits = model.forward(&Tensor::stack(&stamped), Mode::Eval);
+        hits += ops::argmax_rows(&logits)
+            .iter()
+            .filter(|&&p| p == target)
+            .count();
+    }
+    hits as f64 / n as f64
+}
+
+/// Generates a targeted UAP for `target` from the clean data points
+/// `images` (`[N, C, H, W]`, the paper's `X` — a few hundred samples).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or `target` is out of range.
+pub fn targeted_uap(
+    model: &mut Network,
+    images: &Tensor,
+    target: usize,
+    config: UapConfig,
+) -> UapResult {
+    assert!(images.shape()[0] > 0, "targeted_uap: no data points");
+    assert!(
+        target < model.num_classes(),
+        "targeted_uap: target out of range"
+    );
+    let n = images.shape()[0];
+    let mut v = Tensor::zeros(&images.shape()[1..]);
+    let mut passes = 0usize;
+    let mut deepfool_calls = 0usize;
+    let mut success = targeted_success_rate(model, images, &v, target);
+    while success < config.error_rate && passes < config.max_passes {
+        for i in 0..n {
+            let xi = images.index_axis0(i);
+            let perturbed = xi.add(&v).clamp(0.0, 1.0);
+            let pred = model.predict(&Tensor::stack(&[perturbed.clone()]))[0];
+            if pred != target {
+                let dv = deepfool(model, &perturbed, target, config.deepfool);
+                deepfool_calls += 1;
+                v.add_assign(&dv);
+                // Project onto the L∞ ball of radius δ (the "update under
+                // limitation" of Alg. 1 line 7).
+                v = v.clamp(-config.linf_budget, config.linf_budget);
+            }
+        }
+        passes += 1;
+        success = targeted_success_rate(model, images, &v, target);
+    }
+    UapResult {
+        perturbation: v,
+        success_rate: success,
+        passes,
+        deepfool_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use usb_attacks::{train_clean_victim, Attack, BadNet};
+    use usb_data::SyntheticSpec;
+    use usb_nn::models::{Architecture, ModelKind};
+    use usb_nn::train::TrainConfig;
+
+    #[test]
+    fn uap_reaches_requested_success_rate_on_clean_model() {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(160)
+            .with_test_size(40)
+            .with_classes(4)
+            .generate(81);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+        let mut victim = train_clean_victim(&data, arch, TrainConfig::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, _) = data.clean_subset(24, &mut rng);
+        let result = targeted_uap(&mut victim.model, &x, 1, UapConfig::default());
+        assert!(
+            result.success_rate >= 0.6,
+            "UAP failed to reach θ: {}",
+            result.success_rate
+        );
+        assert!(result.perturbation.linf_norm() <= 0.5 + 1e-5);
+        assert!(result.deepfool_calls > 0);
+    }
+
+    #[test]
+    fn backdoored_target_needs_smaller_uap() {
+        // The paper's central observation (Fig. 1): UAPs toward the
+        // backdoored class are smaller than toward clean classes.
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(300)
+            .with_test_size(60)
+            .with_classes(6)
+            .generate(91);
+        let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
+        let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 4);
+        assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, _) = data.clean_subset(24, &mut rng);
+        let to_backdoor = targeted_uap(&mut victim.model, &x, 0, UapConfig::fast());
+        let to_clean = targeted_uap(&mut victim.model, &x, 3, UapConfig::fast());
+        assert!(
+            to_backdoor.l1_norm() < to_clean.l1_norm(),
+            "backdoor UAP {:.1} should be smaller than clean UAP {:.1}",
+            to_backdoor.l1_norm(),
+            to_clean.l1_norm()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no data points")]
+    fn rejects_empty_data() {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .with_test_size(4)
+            .with_classes(4)
+            .generate(1);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let mut victim = train_clean_victim(&data, arch, TrainConfig::fast(), 1);
+        let empty = Tensor::zeros(&[0, 1, 12, 12]);
+        let _ = targeted_uap(&mut victim.model, &empty, 0, UapConfig::fast());
+    }
+}

@@ -1,0 +1,146 @@
+//! Trigger / perturbation visualisation: PGM/PPM dumps and ASCII art for
+//! the paper's figures.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use usb_tensor::Tensor;
+
+/// Writes a rank-2 `[H, W]` tensor as a binary PGM greyscale image, mapping
+/// `[lo, hi]` linearly to `[0, 255]`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2 or `lo >= hi`.
+pub fn save_pgm(path: &Path, t: &Tensor, lo: f32, hi: f32) -> io::Result<()> {
+    assert_eq!(t.ndim(), 2, "save_pgm: need [H,W]");
+    assert!(lo < hi, "save_pgm: empty value range");
+    let (h, w) = (t.shape()[0], t.shape()[1]);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "P5\n{w} {h}\n255")?;
+    let bytes: Vec<u8> = t
+        .data()
+        .iter()
+        .map(|&v| (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * 255.0) as u8)
+        .collect();
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Writes a rank-3 `[C, H, W]` tensor as a PPM (3 channels) or PGM (any
+/// other channel count, channel-averaged).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3 or `lo >= hi`.
+pub fn save_image(path: &Path, t: &Tensor, lo: f32, hi: f32) -> io::Result<()> {
+    assert_eq!(t.ndim(), 3, "save_image: need [C,H,W]");
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    if c == 3 {
+        assert!(lo < hi, "save_image: empty value range");
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "P6\n{w} {h}\n255")?;
+        let mut bytes = Vec::with_capacity(3 * h * w);
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..3 {
+                    let v = t.at(&[ch, y, x]);
+                    bytes.push((((v - lo) / (hi - lo)).clamp(0.0, 1.0) * 255.0) as u8);
+                }
+            }
+        }
+        f.write_all(&bytes)?;
+        Ok(())
+    } else {
+        // Channel-average to greyscale.
+        let mut grey = Tensor::zeros(&[h, w]);
+        for ch in 0..c {
+            for j in 0..h * w {
+                grey.data_mut()[j] += t.data()[ch * h * w + j] / c as f32;
+            }
+        }
+        save_pgm(path, &grey, lo, hi)
+    }
+}
+
+/// Renders a rank-2 tensor as ASCII art (dark → light ramp), for quick
+/// terminal inspection of masks and triggers.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2.
+pub fn ascii_art(t: &Tensor) -> String {
+    assert_eq!(t.ndim(), 2, "ascii_art: need [H,W]");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let (h, w) = (t.shape()[0], t.shape()[1]);
+    let lo = t.min();
+    let hi = t.max();
+    let span = (hi - lo).max(1e-6);
+    let mut out = String::with_capacity((w + 1) * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = ((t.at(&[y, x]) - lo) / span).clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round()) as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip_header_and_size() {
+        let t = Tensor::from_fn(&[4, 6], |i| (i as f32) / 23.0);
+        let dir = std::env::temp_dir().join("usb_viz_test");
+        let path = dir.join("x.pgm");
+        save_pgm(&path, &t, 0.0, 1.0).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let header = String::from_utf8_lossy(&bytes[..11]).to_string();
+        assert!(header.starts_with("P5"), "{header}");
+        assert!(bytes.len() >= 24, "4x6 payload expected");
+        // Max value maps to 255.
+        assert_eq!(*bytes.last().unwrap(), 255);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ppm_for_three_channels() {
+        let t = Tensor::from_fn(&[3, 2, 2], |i| (i as f32) / 11.0);
+        let dir = std::env::temp_dir().join("usb_viz_test_rgb");
+        let path = dir.join("x.ppm");
+        save_image(&path, &t, 0.0, 1.0).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_art_shape() {
+        let t = Tensor::from_fn(&[3, 5], |i| i as f32);
+        let art = ascii_art(&t);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 5));
+        // Monotone ramp: first char is the darkest, last the brightest.
+        assert!(art.starts_with(' '));
+        assert!(art.trim_end().ends_with('@'));
+    }
+}

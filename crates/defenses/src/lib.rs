@@ -1,0 +1,52 @@
+//! # usb-defenses
+//!
+//! The reverse-engineering baselines the USB paper compares against, plus
+//! the shared detection machinery:
+//!
+//! * [`NeuralCleanse`] — Wang et al. (S&P 2019): per class, optimise a
+//!   `(mask, pattern)` pair so that `x·(1−m) + p·m` classifies as the class,
+//!   with a dynamically weighted `‖mask‖₁` penalty; flag classes whose mask
+//!   norm is an abnormally small MAD outlier.
+//! * [`Tabor`] — Guo et al. (ICDM 2020): Neural Cleanse plus explicit
+//!   regularisers (elastic-net mask size, total-variation smoothness of the
+//!   mask and of the masked pattern).
+//! * [`DetectionOutcome`] / [`ModelVerdict`] / [`TargetClassCall`] — the
+//!   verdict types every defense (including USB in `usb-core`) produces, and
+//!   the scoring used by the paper's *Model Detection* and *Target Class
+//!   Detection* table columns.
+//! * [`TriggerVar`] — the tanh-parameterised `(mask, pattern)` optimisation
+//!   variable shared by NC, TABOR, and USB's Alg. 2.
+//!
+//! # Example
+//!
+//! ```rust,no_run
+//! use usb_defenses::{Defense, NeuralCleanse};
+//! use usb_data::SyntheticSpec;
+//! # use usb_attacks::{Attack, BadNet};
+//! # use usb_nn::models::{Architecture, ModelKind};
+//! # use usb_nn::train::TrainConfig;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data = SyntheticSpec::mnist().with_size(16).generate(1);
+//! # let arch = Architecture::new(ModelKind::BasicCnn, (1, 16, 16), 10).with_width(8);
+//! # let mut victim = BadNet::new(2, 0, 0.1).execute(&data, arch, TrainConfig::fast(), 1);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let (clean_x, _) = data.clean_subset(64, &mut rng);
+//! let outcome = NeuralCleanse::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+//! println!("flagged classes: {:?}", outcome.flagged);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nc;
+mod tabor;
+mod trigger_var;
+mod verdict;
+
+pub use nc::{NcConfig, NeuralCleanse};
+pub use tabor::{Tabor, TaborConfig};
+pub use trigger_var::{total_variation_with_grad, TriggerVar};
+pub use verdict::{
+    score_outcome, ClassResult, Defense, DetectionOutcome, ModelVerdict, TargetClassCall,
+};

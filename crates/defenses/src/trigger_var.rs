@@ -1,0 +1,360 @@
+//! The tanh-parameterised `(mask, pattern)` optimisation variable shared by
+//! Neural Cleanse, TABOR, and USB's Alg. 2.
+//!
+//! Optimising raw pixels would require projecting into `[0, 1]` after every
+//! step; instead (following the Neural Cleanse reference implementation)
+//! the mask and pattern are stored as unconstrained tensors `θ` with
+//! `value = (tanh(θ) + 1) / 2`, which keeps every gradient step feasible.
+
+use rand::Rng;
+use usb_tensor::{init, Tensor};
+
+/// Clamp used when inverting the tanh parameterisation.
+const ATANH_CLAMP: f32 = 0.999_99;
+
+fn atanh(v: f32) -> f32 {
+    let v = v.clamp(-ATANH_CLAMP, ATANH_CLAMP);
+    0.5 * ((1.0 + v) / (1.0 - v)).ln()
+}
+
+/// A differentiable trigger variable: mask `[H, W]` and pattern `[C, H, W]`,
+/// both squashed into `[0, 1]` through `tanh`.
+#[derive(Debug, Clone)]
+pub struct TriggerVar {
+    theta_mask: Tensor,    // [H, W]
+    theta_pattern: Tensor, // [C, H, W]
+}
+
+impl TriggerVar {
+    /// Random initialisation (NC's "random starting point"): mask around
+    /// small values, pattern around mid-grey.
+    pub fn random(channels: usize, h: usize, w: usize, rng: &mut impl Rng) -> Self {
+        // Mask starts small (tanh(-2) ≈ -0.96 → m ≈ 0.02) with jitter so the
+        // optimisation can break symmetry; pattern starts near 0.5.
+        let theta_mask = init::uniform(&[h, w], -2.2, -1.8, rng);
+        let theta_pattern = init::uniform(&[channels, h, w], -0.5, 0.5, rng);
+        TriggerVar {
+            theta_mask,
+            theta_pattern,
+        }
+    }
+
+    /// Initialises from explicit `[0, 1]` mask and pattern values (USB seeds
+    /// the optimisation from the targeted UAP instead of noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[H, W]` / `[C, H, W]` or spatial dims
+    /// disagree.
+    pub fn from_values(mask: &Tensor, pattern: &Tensor) -> Self {
+        assert_eq!(mask.ndim(), 2, "TriggerVar: mask must be [H,W]");
+        assert_eq!(pattern.ndim(), 3, "TriggerVar: pattern must be [C,H,W]");
+        assert_eq!(
+            &pattern.shape()[1..],
+            mask.shape(),
+            "TriggerVar: spatial mismatch"
+        );
+        TriggerVar {
+            theta_mask: mask.map(|v| atanh(2.0 * v.clamp(0.0, 1.0) - 1.0)),
+            theta_pattern: pattern.map(|v| atanh(2.0 * v.clamp(0.0, 1.0) - 1.0)),
+        }
+    }
+
+    /// Current mask `[H, W]` in `[0, 1]`.
+    pub fn mask(&self) -> Tensor {
+        self.theta_mask.map(|t| (t.tanh() + 1.0) / 2.0)
+    }
+
+    /// Current pattern `[C, H, W]` in `[0, 1]`.
+    pub fn pattern(&self) -> Tensor {
+        self.theta_pattern.map(|t| (t.tanh() + 1.0) / 2.0)
+    }
+
+    /// Mutable access to the unconstrained parameters, in the fixed order
+    /// `(θ_mask, θ_pattern)` expected by `TensorAdam`.
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.theta_mask, &mut self.theta_pattern)
+    }
+
+    /// L1 norm of the mask (its values are non-negative, so this is the sum).
+    pub fn mask_l1(&self) -> f64 {
+        self.mask().sum() as f64
+    }
+
+    /// Applies the trigger to a batch: `x' = x·(1−m) + p·m`, with the mask
+    /// broadcast across channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's `[C, H, W]` does not match the variable.
+    pub fn apply(&self, batch: &Tensor) -> Tensor {
+        assert_eq!(batch.ndim(), 4, "TriggerVar: batch must be [N,C,H,W]");
+        let (n, c, h, w) = (
+            batch.shape()[0],
+            batch.shape()[1],
+            batch.shape()[2],
+            batch.shape()[3],
+        );
+        let m = self.mask();
+        let p = self.pattern();
+        assert_eq!(p.shape(), &[c, h, w], "TriggerVar: shape mismatch");
+        let mut out = Tensor::zeros(batch.shape());
+        let plane = h * w;
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let mv = m.data()[j];
+                    out.data_mut()[base + j] =
+                        batch.data()[base + j] * (1.0 - mv) + p.data()[ch * plane + j] * mv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Chains `dL/dx'` back to gradients on `(θ_mask, θ_pattern)`.
+    ///
+    /// Returns `(grad_theta_mask, grad_theta_pattern)` for the data term
+    /// only; regulariser gradients are added separately (see
+    /// [`TriggerVar::mask_l1_grad`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the batch used in [`TriggerVar::apply`].
+    pub fn backward(&self, batch: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor) {
+        assert_eq!(batch.shape(), grad_out.shape(), "TriggerVar: grad shape");
+        let (n, c, h, w) = (
+            batch.shape()[0],
+            batch.shape()[1],
+            batch.shape()[2],
+            batch.shape()[3],
+        );
+        let plane = h * w;
+        let p = self.pattern();
+        let m = self.mask();
+        let mut d_mask = Tensor::zeros(&[h, w]);
+        let mut d_pattern = Tensor::zeros(&[c, h, w]);
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let g = grad_out.data()[base + j];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let x = batch.data()[base + j];
+                    d_pattern.data_mut()[ch * plane + j] += g * m.data()[j];
+                    d_mask.data_mut()[j] += g * (p.data()[ch * plane + j] - x);
+                }
+            }
+        }
+        (
+            self.chain_mask(&d_mask),
+            self.chain_pattern(&d_pattern),
+        )
+    }
+
+    /// Gradient of `weight · ‖mask‖₁` with respect to `θ_mask` (to add onto
+    /// the data-term gradient).
+    pub fn mask_l1_grad(&self, weight: f32) -> Tensor {
+        // d|m|/dθ = weight · dm/dθ since m ≥ 0.
+        self.theta_mask.map(|t| {
+            let th = t.tanh();
+            weight * (1.0 - th * th) / 2.0
+        })
+    }
+
+    /// Chains a gradient on the *mask values* through the tanh squash.
+    pub fn chain_mask(&self, d_mask: &Tensor) -> Tensor {
+        d_mask.zip_map(&self.theta_mask, |g, t| {
+            let th = t.tanh();
+            g * (1.0 - th * th) / 2.0
+        })
+    }
+
+    /// Chains a gradient on the *pattern values* through the tanh squash.
+    pub fn chain_pattern(&self, d_pattern: &Tensor) -> Tensor {
+        d_pattern.zip_map(&self.theta_pattern, |g, t| {
+            let th = t.tanh();
+            g * (1.0 - th * th) / 2.0
+        })
+    }
+}
+
+/// Anisotropic total variation of a rank-2 or rank-3 tensor (summed over
+/// leading planes) and its gradient.
+///
+/// `TV(t) = Σ |t[y+1,x] − t[y,x]| + |t[y,x+1] − t[y,x]|` — the smoothness
+/// regulariser TABOR adds on masks and masked patterns.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2 or rank-3.
+pub fn total_variation_with_grad(t: &Tensor) -> (f32, Tensor) {
+    let (planes, h, w) = match t.ndim() {
+        2 => (1, t.shape()[0], t.shape()[1]),
+        3 => (t.shape()[0], t.shape()[1], t.shape()[2]),
+        r => panic!("total_variation: expected rank-2/3, got rank {r}"),
+    };
+    let mut tv = 0.0f32;
+    let mut grad = Tensor::zeros(t.shape());
+    let d = t.data();
+    let g = grad.data_mut();
+    for pl in 0..planes {
+        let base = pl * h * w;
+        for y in 0..h {
+            for x in 0..w {
+                let idx = base + y * w + x;
+                // f32::signum(0.0) is 1.0, so write the subgradient at zero
+                // explicitly as 0.
+                if y + 1 < h {
+                    let diff = d[idx + w] - d[idx];
+                    tv += diff.abs();
+                    let s = if diff == 0.0 { 0.0 } else { diff.signum() };
+                    g[idx + w] += s;
+                    g[idx] -= s;
+                }
+                if x + 1 < w {
+                    let diff = d[idx + 1] - d[idx];
+                    tv += diff.abs();
+                    let s = if diff == 0.0 { 0.0 } else { diff.signum() };
+                    g[idx + 1] += s;
+                    g[idx] -= s;
+                }
+            }
+        }
+    }
+    (tv, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_init_is_small_mask_grey_pattern() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = TriggerVar::random(3, 8, 8, &mut rng);
+        assert!(v.mask().max() < 0.1, "mask should start near zero");
+        let p = v.pattern();
+        assert!(p.min() > 0.2 && p.max() < 0.8, "pattern should start grey");
+    }
+
+    #[test]
+    fn from_values_roundtrips() {
+        let mask = Tensor::from_fn(&[4, 4], |i| (i as f32) / 20.0);
+        let pattern = Tensor::from_fn(&[2, 4, 4], |i| ((i % 7) as f32) / 7.0);
+        let v = TriggerVar::from_values(&mask, &pattern);
+        for (a, b) in v.mask().data().iter().zip(mask.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        for (a, b) in v.pattern().data().iter().zip(pattern.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_blends_mask_and_pattern() {
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.0], &[2, 2]);
+        let pattern = Tensor::ones(&[1, 2, 2]);
+        let v = TriggerVar::from_values(&mask, &pattern);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let out = v.apply(&x);
+        assert!((out.at(&[0, 0, 0, 0]) - 1.0).abs() < 1e-3);
+        assert!(out.at(&[0, 0, 0, 1]).abs() < 1e-3);
+        assert!((out.at(&[0, 0, 1, 0]) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = TriggerVar::random(2, 4, 4, &mut rng);
+        let x = Tensor::from_fn(&[2, 2, 4, 4], |i| ((i as f32) * 0.17).sin() * 0.5 + 0.5);
+        // Loss = sum of x' elements.
+        let out = v.apply(&x);
+        let go = Tensor::ones(out.shape());
+        let (d_tm, d_tp) = v.backward(&x, &go);
+        let eps = 1e-3;
+        for &flat in &[0usize, 5, 11, 15] {
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] += eps;
+            let fp = v.apply(&x).sum();
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] -= 2.0 * eps;
+            let fm = v.apply(&x).sum();
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] += eps;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - d_tm.data()[flat]).abs() < 1e-2,
+                "mask grad {flat}: num={num} ana={}",
+                d_tm.data()[flat]
+            );
+        }
+        for &flat in &[0usize, 9, 20, 31] {
+            let (_, tp) = v.params_mut();
+            tp.data_mut()[flat] += eps;
+            let fp = v.apply(&x).sum();
+            let (_, tp) = v.params_mut();
+            tp.data_mut()[flat] -= 2.0 * eps;
+            let fm = v.apply(&x).sum();
+            let (_, tp) = v.params_mut();
+            tp.data_mut()[flat] += eps;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - d_tp.data()[flat]).abs() < 1e-2,
+                "pattern grad {flat}: num={num} ana={}",
+                d_tp.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn mask_l1_grad_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = TriggerVar::random(1, 3, 3, &mut rng);
+        let g = v.mask_l1_grad(2.0);
+        let eps = 1e-3;
+        for flat in 0..9 {
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] += eps;
+            let fp = 2.0 * v.mask_l1() as f32;
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] -= 2.0 * eps;
+            let fm = 2.0 * v.mask_l1() as f32;
+            let (tm, _) = v.params_mut();
+            tm.data_mut()[flat] += eps;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - g.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn tv_of_constant_is_zero() {
+        let (tv, grad) = total_variation_with_grad(&Tensor::full(&[5, 5], 0.7));
+        assert_eq!(tv, 0.0);
+        assert_eq!(grad.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn tv_counts_edges() {
+        // A single bright pixel in a dark 3x3 plane: 4 unit edges.
+        let mut t = Tensor::zeros(&[3, 3]);
+        *t.at_mut(&[1, 1]) = 1.0;
+        let (tv, _) = total_variation_with_grad(&t);
+        assert_eq!(tv, 4.0);
+    }
+
+    #[test]
+    fn tv_gradient_descends() {
+        // One gradient step must reduce TV of a noisy plane.
+        let t = Tensor::from_fn(&[6, 6], |i| ((i * 31 % 17) as f32) / 17.0);
+        let (tv0, g) = total_variation_with_grad(&t);
+        let stepped = t.sub(&g.scale(0.01));
+        let (tv1, _) = total_variation_with_grad(&stepped);
+        assert!(tv1 < tv0, "tv {tv0} -> {tv1}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Detection outcomes and the paper's scoring scheme.
+//!
+//! The paper reports two metric families per (dataset, attack, method) cell:
+//!
+//! * **Model Detection** — is the model called clean or backdoored?
+//! * **Target Class Detection** — for backdoored models: `Correct` (single
+//!   flagged class, the true target), `Correct Set` (several flagged
+//!   classes including the true target), `Wrong` (flagged, but the true
+//!   target is not among them).
+
+use rand::rngs::StdRng;
+use usb_nn::models::Network;
+use usb_tensor::stats::{flag_small_outliers, DEFAULT_ANOMALY_THRESHOLD};
+use usb_tensor::Tensor;
+
+/// The reversed trigger and statistics for one candidate target class.
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    /// The candidate class the trigger was reverse-engineered for.
+    pub class: usize,
+    /// L1 norm of the reversed mask — the outlier statistic.
+    pub l1_norm: f64,
+    /// Fraction of the defense's clean data that the reversed trigger sends
+    /// to `class` (how well reverse engineering converged).
+    pub attack_success: f64,
+    /// Reversed pattern `[C, H, W]`.
+    pub pattern: Tensor,
+    /// Reversed mask `[H, W]`.
+    pub mask: Tensor,
+}
+
+/// Everything a defense reports about one model.
+#[derive(Debug, Clone)]
+pub struct DetectionOutcome {
+    /// Defense name ("nc", "tabor", "usb").
+    pub method: &'static str,
+    /// One entry per class, in class order.
+    pub per_class: Vec<ClassResult>,
+    /// Per-class anomaly indices (MAD-based).
+    pub anomaly_indices: Vec<f64>,
+    /// Classes flagged as backdoor targets.
+    pub flagged: Vec<usize>,
+    /// Median of the per-class L1 norms.
+    pub median_l1: f64,
+}
+
+impl DetectionOutcome {
+    /// Builds the outcome from per-class results by running the MAD outlier
+    /// test on the L1 norms (small outliers only), keeping only flagged
+    /// classes whose reversed trigger actually works (`attack_success ≥
+    /// min_success`) **and** whose norm is substantially below the median
+    /// (`< RELATIVE_NORM_BAR × median`). The relative bar compensates for
+    /// partially converged norm profiles, where the MAD alone over-flags
+    /// clean models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_class` is empty.
+    pub fn from_class_results(
+        method: &'static str,
+        per_class: Vec<ClassResult>,
+        min_success: f64,
+    ) -> Self {
+        /// A flagged norm must be below this fraction of the median.
+        const RELATIVE_NORM_BAR: f64 = 0.6;
+        assert!(!per_class.is_empty(), "DetectionOutcome: no classes");
+        let norms: Vec<f64> = per_class.iter().map(|c| c.l1_norm).collect();
+        let report = flag_small_outliers(&norms, DEFAULT_ANOMALY_THRESHOLD);
+        let flagged: Vec<usize> = report
+            .flagged
+            .into_iter()
+            .filter(|&c| per_class[c].attack_success >= min_success)
+            .filter(|&c| per_class[c].l1_norm < RELATIVE_NORM_BAR * report.median)
+            .collect();
+        DetectionOutcome {
+            method,
+            per_class,
+            anomaly_indices: report.indices,
+            flagged,
+            median_l1: report.median,
+        }
+    }
+
+    /// `true` when at least one class is flagged.
+    pub fn is_backdoored(&self) -> bool {
+        !self.flagged.is_empty()
+    }
+
+    /// The reversed-trigger L1 norm of the most anomalous flagged class, or
+    /// the minimum across classes when nothing is flagged (what the paper's
+    /// "Reversed Trigger L1 norm" column reports for backdoored models).
+    pub fn reported_l1(&self) -> f64 {
+        if let Some(&c) = self.flagged.first() {
+            self.per_class[c].l1_norm
+        } else {
+            self.per_class
+                .iter()
+                .map(|c| c.l1_norm)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// Target-class call for a backdoored model (paper Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClassCall {
+    /// Exactly the true target class was flagged.
+    Correct,
+    /// Several classes flagged, including the true target.
+    CorrectSet,
+    /// Flagged classes do not include the true target.
+    Wrong,
+    /// Not applicable (clean ground truth or nothing flagged).
+    NotApplicable,
+}
+
+/// A scored verdict for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelVerdict {
+    /// Whether the defense called the model backdoored.
+    pub called_backdoored: bool,
+    /// Whether that call matches the ground truth.
+    pub model_detection_correct: bool,
+    /// The target-class call (backdoored ground truth only).
+    pub target_call: TargetClassCall,
+}
+
+/// Scores an outcome against ground truth (`None` = clean model,
+/// `Some(t)` = backdoored with target `t`).
+pub fn score_outcome(outcome: &DetectionOutcome, truth: Option<usize>) -> ModelVerdict {
+    let called = outcome.is_backdoored();
+    match truth {
+        None => ModelVerdict {
+            called_backdoored: called,
+            model_detection_correct: !called,
+            target_call: TargetClassCall::NotApplicable,
+        },
+        Some(t) => {
+            let target_call = if !called {
+                TargetClassCall::NotApplicable
+            } else if outcome.flagged == [t] {
+                TargetClassCall::Correct
+            } else if outcome.flagged.contains(&t) {
+                TargetClassCall::CorrectSet
+            } else {
+                TargetClassCall::Wrong
+            };
+            ModelVerdict {
+                called_backdoored: called,
+                model_detection_correct: called,
+                target_call,
+            }
+        }
+    }
+}
+
+/// A trigger reverse-engineering defense.
+///
+/// `inspect` must reverse-engineer a candidate trigger *per class* and run
+/// the shared outlier test; implementations provide
+/// [`Defense::reverse_class`] and inherit the default `inspect`.
+pub trait Defense {
+    /// Name as used in the paper's tables ("NC", "TABOR", "USB").
+    fn name(&self) -> &'static str;
+
+    /// Reverse-engineers a trigger that sends `images` to `target`.
+    fn reverse_class(
+        &self,
+        model: &mut Network,
+        images: &Tensor,
+        target: usize,
+        rng: &mut StdRng,
+    ) -> ClassResult;
+
+    /// Minimum reversed-trigger success rate for a flagged class to count
+    /// (filters unconverged optimisations).
+    fn min_success(&self) -> f64 {
+        0.5
+    }
+
+    /// Runs [`Defense::reverse_class`] for every class and applies the MAD
+    /// outlier test.
+    fn inspect(&self, model: &mut Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
+        let k = model.num_classes();
+        let per_class: Vec<ClassResult> = (0..k)
+            .map(|t| self.reverse_class(model, images, t, rng))
+            .collect();
+        DetectionOutcome::from_class_results(self.static_name(), per_class, self.min_success())
+    }
+
+    /// `'static` copy of the name (verdicts outlive the defense object).
+    fn static_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_result(class: usize, l1: f64, success: f64) -> ClassResult {
+        ClassResult {
+            class,
+            l1_norm: l1,
+            attack_success: success,
+            pattern: Tensor::zeros(&[1, 4, 4]),
+            mask: Tensor::zeros(&[4, 4]),
+        }
+    }
+
+    fn outcome_with_norms(norms: &[f64]) -> DetectionOutcome {
+        let per_class = norms
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| class_result(c, n, 1.0))
+            .collect();
+        DetectionOutcome::from_class_results("nc", per_class, 0.5)
+    }
+
+    #[test]
+    fn small_outlier_is_flagged() {
+        let o = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        assert!(o.is_backdoored());
+        assert_eq!(o.flagged, vec![2]);
+        assert_eq!(o.reported_l1(), 4.0);
+    }
+
+    #[test]
+    fn uniform_profile_is_clean() {
+        let o = outcome_with_norms(&[50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0]);
+        assert!(!o.is_backdoored());
+        // reported L1 falls back to the minimum.
+        assert_eq!(o.reported_l1(), 46.0);
+    }
+
+    #[test]
+    fn unconverged_triggers_are_not_flagged() {
+        let mut per_class: Vec<ClassResult> = (0..10)
+            .map(|c| class_result(c, 50.0 + c as f64, 1.0))
+            .collect();
+        per_class[3] = class_result(3, 2.0, 0.1); // tiny norm but never works
+        let o = DetectionOutcome::from_class_results("nc", per_class, 0.5);
+        assert!(!o.is_backdoored());
+    }
+
+    #[test]
+    fn scoring_clean_truth() {
+        let o = outcome_with_norms(&[50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0]);
+        let v = score_outcome(&o, None);
+        assert!(v.model_detection_correct);
+        assert_eq!(v.target_call, TargetClassCall::NotApplicable);
+        let bad = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        let v = score_outcome(&bad, None);
+        assert!(!v.model_detection_correct, "false positive must be scored");
+    }
+
+    #[test]
+    fn scoring_backdoored_truth() {
+        let o = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        assert_eq!(score_outcome(&o, Some(2)).target_call, TargetClassCall::Correct);
+        assert_eq!(score_outcome(&o, Some(5)).target_call, TargetClassCall::Wrong);
+        assert!(score_outcome(&o, Some(2)).model_detection_correct);
+    }
+
+    #[test]
+    fn scoring_correct_set() {
+        let o = outcome_with_norms(&[50.0, 3.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        assert_eq!(o.flagged, vec![1, 2]);
+        assert_eq!(
+            score_outcome(&o, Some(2)).target_call,
+            TargetClassCall::CorrectSet
+        );
+    }
+
+    #[test]
+    fn missed_backdoor_is_not_applicable() {
+        let o = outcome_with_norms(&[50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0]);
+        let v = score_outcome(&o, Some(3));
+        assert!(!v.model_detection_correct);
+        assert_eq!(v.target_call, TargetClassCall::NotApplicable);
+    }
+}

@@ -1,0 +1,156 @@
+//! `usb-repro` — regenerate every table and figure of the USB paper.
+//!
+//! ```text
+//! usb-repro <experiment> [--models N] [--fast] [--out DIR]
+//!
+//! experiments: table1 table2 table3 table4 table5 table6 table7
+//!              fig1 fig2 fig3 fig4 fig5 fig6 headline transfer all
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use usb_eval::figures;
+use usb_eval::grid::{self, DefenseSuite};
+use usb_eval::timing::{format_timing, run_timing};
+use usb_eval::{format_table, write_csv};
+
+struct Options {
+    experiment: String,
+    models: usize,
+    fast: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut options = Options {
+        experiment,
+        models: 5,
+        fast: false,
+        out: figures::default_out_dir(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--models" => {
+                let v = args.next().ok_or("--models needs a value")?;
+                options.models = v.parse().map_err(|_| format!("bad --models value {v}"))?;
+            }
+            "--fast" => options.fast = true,
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                options.out = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: usb-repro <table1..table7|fig1..fig6|headline|transfer|all> \
+     [--models N] [--fast] [--out DIR]"
+        .to_owned()
+}
+
+fn progress(line: &str) {
+    println!("{line}");
+}
+
+fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), String> {
+    match id {
+        "table1" | "table2" | "table3" | "table4" | "table5" | "table6" => {
+            let spec = match id {
+                "table1" => grid::table1(),
+                "table2" => grid::table2(),
+                "table3" => grid::table3(),
+                "table4" => grid::table4(),
+                "table5" => grid::table5(),
+                _ => grid::table6(),
+            };
+            let report = grid::run_table(&spec, options.models, suite, progress);
+            print!("{}", format_table(&report));
+            let csv = options.out.join(format!("{id}.csv"));
+            write_csv(&report, &csv).map_err(|e| format!("writing {}: {e}", csv.display()))?;
+            println!("wrote {}", csv.display());
+        }
+        "table7" => {
+            let report = run_timing(options.models.min(3), suite, progress);
+            print!("{}", format_timing(&report));
+        }
+        "fig1" => {
+            let rows = figures::fig1(&options.out, progress);
+            println!("fig1 L1 norms:");
+            for (name, l1) in rows {
+                println!("  {name:<18} {l1:>8.2}");
+            }
+        }
+        "fig2" => {
+            let _ = figures::fig_reconstructions(&options.out.join("fig2_imagenet"), true, progress);
+            let _ = figures::fig_reconstructions(&options.out.join("fig2_cifar"), false, progress);
+        }
+        "fig3" | "fig4" => {
+            let rows = figures::fig_reconstructions(&options.out.join(id), false, progress);
+            println!("{id} reversed-mask L1 norms:");
+            for (name, l1) in rows {
+                println!("  {name:<10} {l1:>8.2}");
+            }
+        }
+        "fig5" => {
+            let norms = figures::fig5(&options.out, progress);
+            println!("fig5 per-class v' L1 norms: {norms:?}");
+        }
+        "fig6" => {
+            let rows = figures::fig6(&options.out, progress);
+            println!("fig6 per-method per-class mask L1 norms:");
+            for (name, class, l1) in rows {
+                println!("  {name:<8} class {class}: {l1:>8.2}");
+            }
+        }
+        "headline" => {
+            let (target, others) = figures::headline(progress);
+            println!(
+                "headline: L1(backdoored class) = {target:.2} vs mean(others) = {others:.2} \
+                 (paper example: 4.49 vs 53.76)"
+            );
+        }
+        "transfer" => {
+            let (full, transfer, success) = figures::transfer(progress);
+            println!(
+                "transfer: full {full:.2}s vs transfer {transfer:.2}s, refined success {success:.2}"
+            );
+        }
+        other => return Err(format!("unknown experiment {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let suite = if options.fast {
+        DefenseSuite::fast()
+    } else {
+        DefenseSuite::standard()
+    };
+    let ids: Vec<&str> = if options.experiment == "all" {
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2",
+            "fig3", "fig4", "fig5", "fig6", "headline", "transfer",
+        ]
+    } else {
+        vec![options.experiment.as_str()]
+    };
+    for id in ids {
+        if let Err(e) = run_one(id, &options, &suite) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Paper-style table formatting and CSV export.
+
+use crate::grid::TableReport;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a [`TableReport`] in the layout of the paper's tables:
+///
+/// ```text
+/// Model                          Acc    ASR   Method  L1      Clean  Backdoored  Correct  Set  Wrong
+/// Clean                          0.95   -     NC      40.78   15     0           -        -    -
+/// ...
+/// ```
+pub fn format_table(report: &TableReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} — {} ===\n", report.id, report.title));
+    out.push_str(&format!(
+        "{:<42} {:>6} {:>6}  {:<6} {:>9} {:>6} {:>11} {:>8} {:>5} {:>6} {:>8}\n",
+        "Model", "Acc", "ASR", "Method", "L1 norm", "Clean", "Backdoored", "Correct", "Set", "Wrong", "sec"
+    ));
+    for case in &report.cases {
+        let is_clean_case = case.mean_asr == 0.0;
+        for (i, cell) in case.cells.iter().enumerate() {
+            let label = if i == 0 { case.label.as_str() } else { "" };
+            let acc = if i == 0 {
+                format!("{:.2}", case.mean_accuracy * 100.0)
+            } else {
+                String::new()
+            };
+            let asr = if i == 0 {
+                if is_clean_case {
+                    "N/A".to_owned()
+                } else {
+                    format!("{:.2}", case.mean_asr * 100.0)
+                }
+            } else {
+                String::new()
+            };
+            let (correct, set, wrong) = if is_clean_case {
+                ("N/A".to_owned(), "N/A".to_owned(), "N/A".to_owned())
+            } else {
+                (
+                    cell.correct.to_string(),
+                    cell.correct_set.to_string(),
+                    cell.wrong.to_string(),
+                )
+            };
+            out.push_str(&format!(
+                "{:<42} {:>6} {:>6}  {:<6} {:>9.2} {:>6} {:>11} {:>8} {:>5} {:>6} {:>8.1}\n",
+                label,
+                acc,
+                asr,
+                cell.method,
+                cell.mean_l1,
+                cell.called_clean,
+                cell.called_backdoored,
+                correct,
+                set,
+                wrong,
+                cell.seconds
+            ));
+        }
+    }
+    out
+}
+
+/// Writes a [`TableReport`] as CSV to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(report: &TableReport, path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut csv = String::from(
+        "case,models,mean_accuracy,mean_asr,method,mean_l1,called_clean,called_backdoored,correct,correct_set,wrong,seconds\n",
+    );
+    for case in &report.cases {
+        for cell in &case.cells {
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{},{:.4},{},{},{},{},{},{:.2}\n",
+                case.label.replace(',', ";"),
+                case.models,
+                case.mean_accuracy,
+                case.mean_asr,
+                cell.method,
+                cell.mean_l1,
+                cell.called_clean,
+                cell.called_backdoored,
+                cell.correct,
+                cell.correct_set,
+                cell.wrong,
+                cell.seconds
+            ));
+        }
+    }
+    fs::write(path, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CaseReport, MethodCell};
+
+    fn sample_report() -> TableReport {
+        TableReport {
+            id: "tableX",
+            title: "sample".to_owned(),
+            cases: vec![CaseReport {
+                label: "Backdoored (2x2 trigger)".to_owned(),
+                mean_accuracy: 0.93,
+                mean_asr: 0.97,
+                models: 5,
+                cells: vec![
+                    MethodCell {
+                        method: "NC",
+                        mean_l1: 8.72,
+                        called_clean: 1,
+                        called_backdoored: 4,
+                        correct: 4,
+                        correct_set: 0,
+                        wrong: 0,
+                        seconds: 12.0,
+                    },
+                    MethodCell {
+                        method: "USB",
+                        mean_l1: 9.83,
+                        called_clean: 0,
+                        called_backdoored: 5,
+                        correct: 5,
+                        correct_set: 0,
+                        wrong: 0,
+                        seconds: 6.0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn formatted_table_contains_key_fields() {
+        let s = format_table(&sample_report());
+        assert!(s.contains("Backdoored (2x2 trigger)"));
+        assert!(s.contains("NC"));
+        assert!(s.contains("USB"));
+        assert!(s.contains("8.72"));
+        assert!(s.contains("Correct"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("usb_report_test");
+        let path = dir.join("t.csv");
+        write_csv(&sample_report(), &path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("case,models"));
+        assert_eq!(text.lines().count(), 3, "header + 2 method rows");
+        assert!(text.contains("USB"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

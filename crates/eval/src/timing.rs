@@ -1,0 +1,140 @@
+//! Table 7: per-class detection wall-clock for NC, TABOR, and USB.
+//!
+//! The paper measures GPU minutes per class on EfficientNet-B0/ImageNet;
+//! here it is CPU seconds per class on the scaled substrate. The claim
+//! being reproduced is the *ordering and ratio*: TABOR > NC ≫ USB, because
+//! USB's optimisation starts from an informative UAP and needs far fewer
+//! iterations.
+
+use crate::grid::{table2, DefenseSuite};
+use crate::grid::{train_victim, CaseSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use usb_defenses::Defense;
+
+/// Per-class timing for one defense.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Defense name.
+    pub method: &'static str,
+    /// Seconds spent reverse-engineering each class.
+    pub per_class_seconds: Vec<f64>,
+}
+
+impl TimingRow {
+    /// Total seconds across classes.
+    pub fn total(&self) -> f64 {
+        self.per_class_seconds.iter().sum()
+    }
+}
+
+/// A Table 7 style report: per-class timing per defense, averaged over
+/// `models` victims.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Case description.
+    pub label: String,
+    /// One row per defense.
+    pub rows: Vec<TimingRow>,
+}
+
+/// Measures per-class detection time on the Table 2 setting (EfficientNet).
+pub fn run_timing(models: usize, suite: &DefenseSuite, mut progress: impl FnMut(&str)) -> TimingReport {
+    let spec = table2();
+    let case = CaseSpec {
+        attack: crate::grid::AttackChoice::BadNet { trigger: 3 },
+        poison_rate: 0.15,
+    };
+    let k = spec.dataset.num_classes;
+    let mut rows = vec![
+        TimingRow {
+            method: "NC",
+            per_class_seconds: vec![0.0; k],
+        },
+        TimingRow {
+            method: "TABOR",
+            per_class_seconds: vec![0.0; k],
+        },
+        TimingRow {
+            method: "USB",
+            per_class_seconds: vec![0.0; k],
+        },
+    ];
+    for m in 0..models {
+        let seed = 9000 + m as u64;
+        let mut victim = train_victim(&spec, &case, seed);
+        progress(&format!(
+            "[table7] model {}/{}: acc {:.2} asr {:.2}",
+            m + 1,
+            models,
+            victim.clean_accuracy,
+            victim.asr()
+        ));
+        let data = spec.dataset.generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7131);
+        let (clean_x, _) = data.clean_subset(spec.defense_samples, &mut rng);
+        let defenses: [&dyn Defense; 3] = [&suite.nc, &suite.tabor, &suite.usb];
+        for (di, defense) in defenses.iter().enumerate() {
+            for t in 0..k {
+                let t0 = std::time::Instant::now();
+                let _ = defense.reverse_class(&mut victim.model, &clean_x, t, &mut rng);
+                rows[di].per_class_seconds[t] += t0.elapsed().as_secs_f64() / models as f64;
+            }
+            progress(&format!(
+                "[table7]   {}: {:.1}s total",
+                defense.name(),
+                rows[di].total() * models as f64 / (m + 1) as f64
+            ));
+        }
+    }
+    TimingReport {
+        label: format!("{} ({} models)", spec.title, models),
+        rows,
+    }
+}
+
+/// Formats a [`TimingReport`] like the paper's Table 7 (time per class).
+pub fn format_timing(report: &TimingReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== table7 — {} ===\n", report.label));
+    let k = report.rows.first().map_or(0, |r| r.per_class_seconds.len());
+    out.push_str(&format!("{:<8}", "Method"));
+    for t in 0..k {
+        out.push_str(&format!(" {:>7}", format!("cls{t}")));
+    }
+    out.push_str(&format!(" {:>8}\n", "total"));
+    for row in &report.rows {
+        out.push_str(&format!("{:<8}", row.method));
+        for s in &row.per_class_seconds {
+            out.push_str(&format!(" {:>7.2}", s));
+        }
+        out.push_str(&format!(" {:>8.2}\n", row.total()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_includes_all_methods() {
+        let report = TimingReport {
+            label: "x".to_owned(),
+            rows: vec![
+                TimingRow {
+                    method: "NC",
+                    per_class_seconds: vec![1.0, 2.0],
+                },
+                TimingRow {
+                    method: "USB",
+                    per_class_seconds: vec![0.5, 0.5],
+                },
+            ],
+        };
+        let s = format_timing(&report);
+        assert!(s.contains("NC"));
+        assert!(s.contains("USB"));
+        assert!(s.contains("3.00"), "totals rendered");
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`Layer`] trait: forward caching, backward gradients, parameter
+//! visitation.
+
+use usb_tensor::Tensor;
+
+/// Whether a forward pass runs in training mode (batch statistics, caches
+/// for backward) or evaluation mode (running statistics).
+///
+/// Defenses backpropagate through models in [`Mode::Eval`] — batch-norm
+/// layers must therefore support `backward` after an eval-mode forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: use batch statistics, update running averages.
+    Train,
+    /// Inference: use running statistics; backward still works and
+    /// differentiates the frozen affine transform.
+    Eval,
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+pub struct ParamSlot<'a> {
+    /// The parameter values, updated by optimizers.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by `backward`, consumed by optimizers.
+    pub grad: &'a mut Tensor,
+    /// Whether weight decay should apply (false for biases and batch-norm
+    /// affine parameters, following common practice).
+    pub decay: bool,
+}
+
+/// A differentiable module.
+///
+/// # Contract
+///
+/// * `forward` must be called before `backward`; the layer caches whatever
+///   intermediate state the gradient needs. One forward supports exactly one
+///   backward (calling `backward` twice without a fresh forward is
+///   unspecified but must not panic unsafely).
+/// * `backward(grad_out)` returns `dL/d input` for the *most recent* forward
+///   batch and **adds** parameter gradients into the slots visited by
+///   [`Layer::visit_params`]. Call [`Layer::zero_grad`] between optimizer
+///   steps.
+/// * Layers are plain data (`Send`), so trained models can be moved across
+///   threads and cached in `OnceLock` fixtures.
+pub trait Layer: Send {
+    /// Computes the layer output for `x`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out = dL/d output` backwards, returning
+    /// `dL/d input` and accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before any `forward` or with a
+    /// gradient whose shape does not match the last output.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair owned by this layer (and
+    /// recursively by sub-layers), in a deterministic order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>));
+
+    /// Resets all accumulated parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |slot| slot.grad.fill(0.0));
+    }
+
+    /// Human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Total number of scalar parameters (for reporting).
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |slot| n += slot.value.len());
+        n
+    }
+}
+
+/// A parameter tensor paired with its gradient accumulator.
+///
+/// Most layers own a few of these; [`Param::slot`] adapts them to the
+/// visitation API.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies.
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient buffer.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad, decay }
+    }
+
+    /// Borrows this parameter as a [`ParamSlot`].
+    pub fn slot(&mut self) -> ParamSlot<'_> {
+        ParamSlot {
+            value: &mut self.value,
+            grad: &mut self.grad,
+            decay: self.decay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        w: Param,
+    }
+
+    impl Layer for Dummy {
+        fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+            x.scale(self.w.value.data()[0])
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.scale(self.w.value.data()[0])
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+            f(self.w.slot());
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+    }
+
+    #[test]
+    fn param_count_and_zero_grad() {
+        let mut d = Dummy {
+            w: Param::new(Tensor::from_vec(vec![2.0, 3.0], &[2]), true),
+        };
+        assert_eq!(d.param_count(), 2);
+        d.w.grad.fill(5.0);
+        d.zero_grad();
+        assert_eq!(d.w.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mode_is_copy_and_comparable() {
+        let m = Mode::Train;
+        let n = m;
+        assert_eq!(m, n);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+}

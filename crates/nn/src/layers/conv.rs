@@ -1,0 +1,218 @@
+//! Dense and depthwise convolution layers.
+
+use crate::layer::{Layer, Mode, Param, ParamSlot};
+use rand::Rng;
+use usb_tensor::conv::{
+    conv2d_backward, conv2d_forward, depthwise_backward, depthwise_forward, ConvSpec,
+};
+use usb_tensor::{init, Tensor};
+
+/// A 2-D convolution `[N, IC, H, W] -> [N, OC, OH, OW]`.
+///
+/// Weights are Kaiming-uniform initialised with fan-in `IC·KH·KW`.
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with square kernel `k`, the given stride and
+    /// padding, and an optional bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_ch`, `out_ch` or `k` is zero, or `stride` is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0, "Conv2d: zero dimension");
+        let fan_in = in_ch * k * k;
+        let weight = Param::new(
+            init::kaiming_uniform(&[out_ch, in_ch, k, k], fan_in, rng),
+            true,
+        );
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[out_ch]), false));
+        Conv2d {
+            weight,
+            bias,
+            spec: ConvSpec::new(stride, pad),
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry (stride / padding).
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
+    }
+
+    /// Immutable access to the weight tensor (e.g. for inspection in tests).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cached_input = Some(x.clone());
+        conv2d_forward(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.spec)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
+        let (gi, gw, gb) = conv2d_backward(x, &self.weight.value, grad_out, self.spec);
+        self.weight.grad.add_assign(&gw);
+        if let Some(b) = self.bias.as_mut() {
+            b.grad.add_assign(&gb);
+        }
+        gi
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+        f(self.weight.slot());
+        if let Some(b) = self.bias.as_mut() {
+            f(b.slot());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// A depthwise 2-D convolution: each channel convolved with its own kernel.
+///
+/// Used by the EfficientNet-B0 MBConv blocks.
+pub struct DepthwiseConv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution over `ch` channels with square kernel
+    /// `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` or `k` is zero, or `stride` is zero.
+    pub fn new(
+        ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(ch > 0 && k > 0, "DepthwiseConv2d: zero dimension");
+        let weight = Param::new(init::kaiming_uniform(&[ch, 1, k, k], k * k, rng), true);
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[ch]), false));
+        DepthwiseConv2d {
+            weight,
+            bias,
+            spec: ConvSpec::new(stride, pad),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cached_input = Some(x.clone());
+        depthwise_forward(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.spec)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("DepthwiseConv2d::backward before forward");
+        let (gi, gw, gb) = depthwise_backward(x, &self.weight.value, grad_out, self.spec);
+        self.weight.grad.add_assign(&gw);
+        if let Some(b) = self.bias.as_mut() {
+            b.grad.add_assign(&gb);
+        }
+        gi
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+        f(self.weight.slot());
+        if let Some(b) = self.bias.as_mut() {
+            f(b.slot());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng);
+        assert_eq!(c.param_count(), 8 * 3 * 3 * 3 + 8);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = c.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        let gi = c.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn backward_accumulates_until_zero_grad() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = c.forward(&x, Mode::Train);
+        let _ = c.backward(&Tensor::ones(y.shape()));
+        let mut g1 = 0.0;
+        c.visit_params(&mut |s| g1 = s.grad.data()[0]);
+        let _ = c.forward(&x, Mode::Train);
+        let _ = c.backward(&Tensor::ones(y.shape()));
+        let mut g2 = 0.0;
+        c.visit_params(&mut |s| g2 = s.grad.data()[0]);
+        assert!((g2 - 2.0 * g1).abs() < 1e-5, "grad must accumulate");
+        c.zero_grad();
+        let mut g3 = -1.0;
+        c.visit_params(&mut |s| g3 = s.grad.data()[0]);
+        assert_eq!(g3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        let _ = c.backward(&Tensor::ones(&[1, 1, 2, 2]));
+    }
+
+    #[test]
+    fn depthwise_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = DepthwiseConv2d::new(4, 3, 2, 1, true, &mut rng);
+        let x = Tensor::zeros(&[1, 4, 8, 8]);
+        let y = d.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+        let gi = d.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+        assert_eq!(d.param_count(), 4 * 9 + 4);
+    }
+}

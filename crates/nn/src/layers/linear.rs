@@ -1,0 +1,194 @@
+//! Fully-connected layer and flattening.
+
+use crate::layer::{Layer, Mode, Param, ParamSlot};
+use rand::Rng;
+use usb_tensor::{init, ops, Tensor};
+
+/// A dense layer `y = x Wᵀ + b` mapping `[N, in] -> [N, out]`.
+pub struct Linear {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialised dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_features > 0 && out_features > 0, "Linear: zero dimension");
+        Linear {
+            weight: Param::new(
+                init::kaiming_uniform(&[out_features, in_features], in_features, rng),
+                true,
+            ),
+            bias: Param::new(Tensor::zeros(&[out_features]), false),
+            cached_input: None,
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear: input must be [N, in]");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features(),
+            "Linear: expected {} input features, got {}",
+            self.in_features(),
+            x.shape()[1]
+        );
+        self.cached_input = Some(x.clone());
+        let mut y = ops::matmul_transb(x, &self.weight.value);
+        let out = self.out_features();
+        let n = x.shape()[0];
+        let bd = self.bias.value.data().to_vec();
+        let yd = y.data_mut();
+        for i in 0..n {
+            for (v, &b) in yd[i * out..(i + 1) * out].iter_mut().zip(&bd) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        // dL/dW = gᵀ x ; dL/db = column sums of g ; dL/dx = g W.
+        let gw = ops::matmul_transa(grad_out, x);
+        self.weight.grad.add_assign(&gw);
+        let (n, out) = (grad_out.shape()[0], grad_out.shape()[1]);
+        for i in 0..n {
+            for j in 0..out {
+                self.bias.grad.data_mut()[j] += grad_out.data()[i * out + j];
+            }
+        }
+        ops::matmul(grad_out, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+        f(self.weight.slot());
+        f(self.bias.slot());
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Reshapes `[N, C, H, W]` (or any rank ≥ 2) to `[N, C·H·W]`; the backward
+/// pass restores the cached shape.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flattening layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(x.ndim() >= 2, "Flatten: need at least rank-2 input");
+        self.cached_shape = Some(x.shape().to_vec());
+        let n = x.shape()[0];
+        x.reshape(&[n, x.len() / n])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .expect("Flatten::backward before forward");
+        grad_out.reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // Overwrite with known weights.
+        l.visit_params(&mut |slot| {
+            if slot.value.shape() == [2usize, 2] {
+                *slot.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+            } else {
+                *slot.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+            }
+        });
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = l.forward(&x, Mode::Eval);
+        // y = [1+2+0.5, 3+4-0.5]
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.7, 0.1, 0.9, -0.4], &[2, 3]);
+        let y = l.forward(&x, Mode::Train);
+        let gi = l.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3;
+        for flat in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let num = (l.forward(&xp, Mode::Train).sum() - l.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gi.data()[flat]).abs() < 1e-2,
+                "input grad mismatch at {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&Tensor::ones(&[2, 12]));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn linear_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let _ = l.forward(&Tensor::zeros(&[1, 4]), Mode::Eval);
+    }
+}

@@ -1,0 +1,14 @@
+//! Concrete layers: convolutions, linear, activations, normalisation,
+//! pooling.
+
+mod act;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::{ReLU, Sigmoid, SiLU};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use linear::{Flatten, Linear};
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,295 @@
+//! Batch normalisation over `[N, C, H, W]` activations.
+
+use crate::layer::{Layer, Mode, Param, ParamSlot};
+use usb_tensor::Tensor;
+
+/// 2-D batch normalisation with learned affine parameters and running
+/// statistics.
+///
+/// In [`Mode::Train`] the layer normalises with batch statistics and updates
+/// exponential running averages; in [`Mode::Eval`] it applies the frozen
+/// affine transform built from the running statistics. `backward` works in
+/// both modes — defenses differentiate through eval-mode models, where the
+/// layer is an elementwise affine map.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    // Cache for backward.
+    cached: Option<BnCache>,
+}
+
+struct BnCache {
+    mode: Mode,
+    xhat: Tensor,
+    inv_std: Vec<f32>, // per channel
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `ch` channels with the conventional
+    /// momentum 0.1 and epsilon 1e-5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is zero.
+    pub fn new(ch: usize) -> Self {
+        assert!(ch > 0, "BatchNorm2d: zero channels");
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[ch]), false),
+            beta: Param::new(Tensor::zeros(&[ch]), false),
+            running_mean: Tensor::zeros(&[ch]),
+            running_var: Tensor::ones(&[ch]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+
+    /// Running mean per channel (for inspection).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance per channel (for inspection).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn channel_count(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d: input must be [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.channel_count(), "BatchNorm2d: channel mismatch");
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_std = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = match mode {
+                Mode::Train => {
+                    let mut s = 0.0f32;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        s += x.data()[base..base + plane].iter().sum::<f32>();
+                    }
+                    let mean = s / m;
+                    let mut v = 0.0f32;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for &xv in &x.data()[base..base + plane] {
+                            let d = xv - mean;
+                            v += d * d;
+                        }
+                    }
+                    let var = v / m;
+                    // Update running statistics.
+                    let rm = &mut self.running_mean.data_mut()[ch];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                    let rv = &mut self.running_var.data_mut()[ch];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                    (mean, var)
+                }
+                Mode::Eval => (
+                    self.running_mean.data()[ch],
+                    self.running_var.data()[ch],
+                ),
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ch] = istd;
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let xh = (x.data()[base + j] - mean) * istd;
+                    xhat.data_mut()[base + j] = xh;
+                    out.data_mut()[base + j] = g * xh + b;
+                }
+            }
+        }
+        self.cached = Some(BnCache {
+            mode,
+            xhat,
+            inv_std,
+            shape: x.shape().to_vec(),
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
+        assert_eq!(
+            grad_out.shape(),
+            &cache.shape[..],
+            "BatchNorm2d: grad shape mismatch"
+        );
+        let (n, c, h, w) = (
+            cache.shape[0],
+            cache.shape[1],
+            cache.shape[2],
+            cache.shape[3],
+        );
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut gi = Tensor::zeros(grad_out.shape());
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let istd = cache.inv_std[ch];
+            // Accumulate dgamma / dbeta in both modes.
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let go = grad_out.data()[base + j];
+                    dgamma += go * cache.xhat.data()[base + j];
+                    dbeta += go;
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
+            match cache.mode {
+                Mode::Eval => {
+                    // Frozen affine transform: dx = g · istd · dy.
+                    let k = g * istd;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for j in 0..plane {
+                            gi.data_mut()[base + j] = k * grad_out.data()[base + j];
+                        }
+                    }
+                }
+                Mode::Train => {
+                    // dx = (g·istd/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+                    let sum_dy = dbeta;
+                    let sum_dy_xhat = dgamma;
+                    let k = g * istd / m;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for j in 0..plane {
+                            let dy = grad_out.data()[base + j];
+                            let xh = cache.xhat.data()[base + j];
+                            gi.data_mut()[base + j] =
+                                k * (m * dy - sum_dy - xh * sum_dy_xhat);
+                        }
+                    }
+                }
+            }
+        }
+        gi
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+        f(self.gamma.slot());
+        f(self.beta.slot());
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_fn(&[2, 3, 2, 2], |i| ((i * 7 % 11) as f32) * 0.3 - 1.0)
+    }
+
+    #[test]
+    fn train_forward_normalises_batch() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = sample();
+        let y = bn.forward(&x, Mode::Train);
+        // Per channel, output should have ~zero mean and ~unit variance.
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..2 {
+                for j in 0..4 {
+                    vals.push(y.data()[(n * 3 + ch) * 4 + j]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "ch {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "ch {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = sample().add_scalar(5.0);
+        for _ in 0..60 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        // After many updates the running mean approaches the batch mean ≈ 5ish.
+        assert!(bn.running_mean().mean() > 4.0);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[1, 1, 2, 2]);
+        // Untouched running stats: mean 0, var 1 -> y = x (gamma=1, beta=0).
+        let y = bn.forward(&x, Mode::Eval);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn train_gradient_matches_finite_differences() {
+        let x = sample();
+        let go = Tensor::from_fn(x.shape(), |i| ((i % 5) as f32) * 0.25 - 0.5);
+        let mut bn = BatchNorm2d::new(3);
+        let _ = bn.forward(&x, Mode::Train);
+        let gi = bn.backward(&go);
+        let eps = 1e-2;
+        for &flat in &[0usize, 5, 13, 22] {
+            // Fresh layers so running stats do not drift between evaluations.
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let mut bnp = BatchNorm2d::new(3);
+            let mut bnm = BatchNorm2d::new(3);
+            let fp = bnp.forward(&xp, Mode::Train).dot(&go);
+            let fm = bnm.forward(&xm, Mode::Train).dot(&go);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - gi.data()[flat]).abs() < 2e-2,
+                "flat {flat}: num={num} ana={}",
+                gi.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn eval_gradient_is_affine_scale() {
+        let mut bn = BatchNorm2d::new(2);
+        // Set distinctive running stats.
+        bn.running_var = Tensor::from_vec(vec![4.0, 0.25], &[2]);
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let _ = bn.forward(&x, Mode::Eval);
+        let gi = bn.backward(&Tensor::ones(&[1, 2, 2, 2]));
+        // dx = gamma / sqrt(var+eps): 1/2 for ch0, 1/0.5=2 for ch1.
+        assert!((gi.data()[0] - 0.5).abs() < 1e-3);
+        assert!((gi.data()[4] - 2.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pooling layers wrapping the kernels in [`usb_tensor::pool`].
+
+use crate::layer::{Layer, Mode, ParamSlot};
+use usb_tensor::{pool, Tensor};
+
+/// Average pooling over `k x k` windows with the given stride.
+pub struct AvgPool2d {
+    k: usize,
+    stride: usize,
+    cached_hw: Option<(usize, usize)>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0, "AvgPool2d: zero window or stride");
+        AvgPool2d {
+            k,
+            stride,
+            cached_hw: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cached_hw = Some((x.shape()[2], x.shape()[3]));
+        pool::avg_pool2d_forward(x, self.k, self.stride)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self
+            .cached_hw
+            .expect("AvgPool2d::backward before forward");
+        pool::avg_pool2d_backward(grad_out, h, w, self.k, self.stride)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+/// Max pooling over `k x k` windows with the given stride.
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0, "MaxPool2d: zero window or stride");
+        MaxPool2d {
+            k,
+            stride,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (y, arg) = pool::max_pool2d_forward(x, self.k, self.stride);
+        self.cached = Some((arg, x.shape().to_vec()));
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, shape) = self
+            .cached
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
+        pool::max_pool2d_backward(grad_out, arg, shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// Global average pooling `[N, C, H, W] -> [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_hw: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cached_hw = Some((x.shape()[2], x.shape()[3]));
+        pool::global_avg_pool_forward(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self
+            .cached_hw
+            .expect("GlobalAvgPool::backward before forward");
+        pool::global_avg_pool_backward(grad_out, h, w)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_layers_roundtrip_shapes() {
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i as f32).sin());
+        let mut ap = AvgPool2d::new(2, 2);
+        let y = ap.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+        assert_eq!(ap.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+
+        let mut mp = MaxPool2d::new(2, 2);
+        let y = mp.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+        assert_eq!(mp.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+
+        let mut gp = GlobalAvgPool::new();
+        let y = gp.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(gp.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+    }
+
+    #[test]
+    fn max_pool_grad_is_sparse() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let mut mp = MaxPool2d::new(2, 2);
+        let y = mp.forward(&x, Mode::Eval);
+        let g = mp.backward(&Tensor::ones(y.shape()));
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(g.data().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! # usb-nn
+//!
+//! A layer-based neural-network library with full backpropagation, built on
+//! [`usb_tensor`]. It exists so the Universal Soldier reproduction can train
+//! victim CNNs *and* differentiate through them with respect to their
+//! **inputs** — the core operation behind trigger reverse-engineering
+//! (Neural Cleanse, TABOR) and targeted universal adversarial perturbations
+//! (the paper's Alg. 1/2).
+//!
+//! Design in one paragraph: a [`layer::Layer`] caches whatever its forward
+//! pass needs, `backward` consumes the gradient of the loss with respect to
+//! its output and returns the gradient with respect to its *input* while
+//! accumulating parameter gradients in place. Models are [`compose::Sequential`]
+//! stacks (plus residual / squeeze-excite composites) wrapped in a
+//! [`models::Network`] that splits feature extractor from classifier head so
+//! the latent-backdoor attack can reach penultimate activations.
+//!
+//! # Example
+//!
+//! ```rust
+//! use usb_nn::models::{Architecture, ModelKind};
+//! use usb_nn::layer::Mode;
+//! use usb_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+//! let mut net = arch.build(&mut rng);
+//! let x = Tensor::zeros(&[2, 1, 12, 12]);
+//! let logits = net.forward(&x, Mode::Eval);
+//! assert_eq!(logits.shape(), &[2, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod train;
+
+pub use layer::{Layer, Mode};
+pub use models::Network;

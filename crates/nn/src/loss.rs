@@ -1,0 +1,178 @@
+//! Loss functions returning both the scalar loss and the gradient with
+//! respect to the logits (ready to feed into `Layer::backward`).
+
+use usb_tensor::{ops, Tensor};
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// `logits` is `[N, K]`, `labels` has one class index per row. Returns
+/// `(loss, dL/dlogits)` where the gradient is already divided by `N`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+///
+/// ```rust
+/// # use usb_nn::loss::softmax_cross_entropy;
+/// # use usb_tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![5.0, -5.0], &[1, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.01, "confident correct prediction has near-zero loss");
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "softmax_cross_entropy: logits must be [N,K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "softmax_cross_entropy: label count mismatch");
+    let probs = ops::softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        let p = probs.data()[i * k + y].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[i * k + y] -= 1.0;
+    }
+    grad.scale_assign(inv_n);
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax cross-entropy where every row shares one target class — the form
+/// used by all trigger reverse-engineering losses (`CE(f(x'), t)`).
+///
+/// # Panics
+///
+/// Panics if `target >= K`.
+pub fn softmax_cross_entropy_uniform_target(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    let n = logits.shape()[0];
+    let labels = vec![target; n];
+    softmax_cross_entropy(logits, &labels)
+}
+
+/// Mean squared error `mean((a - b)²)` and its gradient with respect to `a`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(a: &Tensor, b: &Tensor) -> (f32, Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mse: shape mismatch");
+    let diff = a.sub(b);
+    let loss = diff.map(|d| d * d).mean();
+    let grad = diff.scale(2.0 / a.len() as f32);
+    (loss, grad)
+}
+
+/// Negative mean of the margin `logit_target − max_other`, a hinge-free
+/// targeted-attack surrogate used by the IAD generator training.
+///
+/// Returns `(loss, dL/dlogits)`; minimising pushes every row's target logit
+/// above all others.
+///
+/// # Panics
+///
+/// Panics if `target >= K`.
+pub fn targeted_margin(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "targeted_margin: logits must be [N,K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert!(target < k, "target {target} out of range for {k} classes");
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(logits.shape());
+    let inv_n = 1.0 / n as f32;
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best_other = f32::NEG_INFINITY;
+        let mut best_j = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if j != target && v > best_other {
+                best_other = v;
+                best_j = j;
+            }
+        }
+        loss += (best_other - row[target]) * inv_n;
+        grad.data_mut()[i * k + target] -= inv_n;
+        grad.data_mut()[i * k + best_j] += inv_n;
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.2, -0.7, 1.1, 0.4, 0.0, -0.3], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for flat in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[flat] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // softmax CE gradient per row is (p - onehot), which sums to 0.
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_target_matches_explicit_labels() {
+        let logits = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[2, 3]);
+        let (a, ga) = softmax_cross_entropy_uniform_target(&logits, 1);
+        let (b, gb) = softmax_cross_entropy(&logits, &[1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(ga.data(), gb.data());
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        let b = Tensor::from_vec(vec![0.0, 1.0, 2.5], &[3]);
+        let (_, g) = mse(&a, &b);
+        let eps = 1e-3;
+        for flat in 0..3 {
+            let mut ap = a.clone();
+            ap.data_mut()[flat] += eps;
+            let mut am = a.clone();
+            am.data_mut()[flat] -= eps;
+            let num = (mse(&ap, &b).0 - mse(&am, &b).0) / (2.0 * eps);
+            assert!((num - g.data()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn targeted_margin_negative_when_target_wins() {
+        let logits = Tensor::from_vec(vec![5.0, 1.0, 0.0], &[1, 3]);
+        let (l, g) = targeted_margin(&logits, 0);
+        assert!(l < 0.0);
+        assert!(g.data()[0] < 0.0, "gradient pushes target logit up");
+    }
+}

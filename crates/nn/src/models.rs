@@ -1,0 +1,520 @@
+//! The victim-model zoo: the paper's four architectures, width-scaled for
+//! CPU training.
+//!
+//! * [`ModelKind::BasicCnn`] — the paper's §A.7 two-conv / two-fc network.
+//! * [`ModelKind::ResNet18`] — 4 stages × 2 basic residual blocks.
+//! * [`ModelKind::Vgg16`] — 13 conv layers in the familiar 2-2-3-3-3 groups.
+//! * [`ModelKind::EfficientNetB0`] — MBConv blocks with depthwise
+//!   convolutions and squeeze-excite gating.
+//!
+//! Every builder takes a `width` multiplier so the topology of the paper's
+//! models is preserved while parameter counts stay CPU-trainable (see
+//! DESIGN.md for the substitution argument).
+
+use crate::compose::{Residual, Sequential, SqueezeExcite};
+use crate::layer::{Layer, Mode, ParamSlot};
+use crate::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d,
+    ReLU, SiLU,
+};
+use rand::Rng;
+use usb_tensor::{ops, Tensor};
+
+/// Which of the paper's architectures to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Two conv + two fc layers (paper §A.7); MNIST-scale experiments.
+    BasicCnn,
+    /// ResNet-18 topology (CIFAR-10 experiments, Table 1).
+    ResNet18,
+    /// VGG-16 topology (Tables 3 and 4).
+    Vgg16,
+    /// EfficientNet-B0 topology (ImageNet-subset experiments, Table 2).
+    EfficientNetB0,
+}
+
+impl ModelKind {
+    /// Default width multiplier giving a CPU-trainable model.
+    pub fn default_width(self) -> usize {
+        match self {
+            ModelKind::BasicCnn => 16,
+            ModelKind::ResNet18 => 8,
+            ModelKind::Vgg16 => 8,
+            ModelKind::EfficientNetB0 => 8,
+        }
+    }
+
+    /// Name as used in the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ModelKind::BasicCnn => "Basic CNN",
+            ModelKind::ResNet18 => "ResNet-18",
+            ModelKind::Vgg16 => "VGG-16",
+            ModelKind::EfficientNetB0 => "EfficientNet-B0",
+        }
+    }
+}
+
+/// A fully specified architecture: kind, input shape, classes, width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Architecture {
+    /// Topology family.
+    pub kind: ModelKind,
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Width multiplier (base channel count).
+    pub width: usize,
+}
+
+impl Architecture {
+    /// Describes an architecture with the kind's default width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the class count is zero.
+    pub fn new(kind: ModelKind, input: (usize, usize, usize), num_classes: usize) -> Self {
+        assert!(
+            input.0 > 0 && input.1 > 0 && input.2 > 0,
+            "Architecture: zero input dimension"
+        );
+        assert!(num_classes > 0, "Architecture: zero classes");
+        Architecture {
+            kind,
+            input,
+            num_classes,
+            width: kind.default_width(),
+        }
+    }
+
+    /// Overrides the width multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "Architecture: zero width");
+        self.width = width;
+        self
+    }
+
+    /// Instantiates the network with fresh random weights.
+    pub fn build(&self, rng: &mut impl Rng) -> Network {
+        let (features, feat_dim) = match self.kind {
+            ModelKind::BasicCnn => build_basic_cnn(self, rng),
+            ModelKind::ResNet18 => build_resnet18(self, rng),
+            ModelKind::Vgg16 => build_vgg16(self, rng),
+            ModelKind::EfficientNetB0 => build_efficientnet_b0(self, rng),
+        };
+        let classifier = Sequential::new().push(Linear::new(feat_dim, self.num_classes, rng));
+        Network {
+            features,
+            classifier,
+            arch: *self,
+        }
+    }
+}
+
+/// A trained (or trainable) victim network: a feature extractor followed by
+/// a linear classifier head.
+///
+/// The split lets the latent-backdoor attack reach penultimate activations
+/// ([`Network::penultimate`]) and lets defenses backpropagate all the way to
+/// the *input* (see [`Layer::backward`] on the composite).
+pub struct Network {
+    /// Everything up to (and including) the penultimate representation.
+    pub features: Sequential,
+    /// The final linear head mapping features to logits.
+    pub classifier: Sequential,
+    arch: Architecture,
+}
+
+impl Network {
+    /// The architecture this network was built from.
+    pub fn arch(&self) -> Architecture {
+        self.arch
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.arch.num_classes
+    }
+
+    /// Expected input shape `(C, H, W)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.arch.input
+    }
+
+    /// Logits for a batch `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the architecture.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (c, h, w) = self.arch.input;
+        assert_eq!(
+            &x.shape()[1..],
+            &[c, h, w],
+            "Network: expected input [N,{c},{h},{w}], got {:?}",
+            x.shape()
+        );
+        let feats = self.features.forward(x, mode);
+        self.classifier.forward(&feats, mode)
+    }
+
+    /// Penultimate (feature-space) activations for a batch.
+    pub fn penultimate(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.features.forward(x, mode)
+    }
+
+    /// Backward pass from `dL/dlogits` to `dL/dinput`, accumulating
+    /// parameter gradients along the way.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g_feat = self.classifier.backward(grad_logits);
+        self.features.backward(&g_feat)
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.features.zero_grad();
+        self.classifier.zero_grad();
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.features.param_count() + self.classifier.param_count()
+    }
+
+    /// Predicted class per batch row (eval mode).
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x, Mode::Eval);
+        ops::argmax_rows(&logits)
+    }
+
+    /// Gradient of an arbitrary logit-space loss with respect to the input.
+    ///
+    /// Runs an eval-mode forward, feeds `grad_of(logits)` backwards, returns
+    /// `dL/dx`, and leaves parameter gradients zeroed (they are a side
+    /// effect the input-space defenses never want).
+    pub fn input_grad(
+        &mut self,
+        x: &Tensor,
+        grad_of: impl FnOnce(&Tensor) -> Tensor,
+    ) -> (Tensor, Tensor) {
+        let logits = self.forward(x, Mode::Eval);
+        let g = grad_of(&logits);
+        let gi = self.backward(&g);
+        self.zero_grad();
+        (logits, gi)
+    }
+}
+
+impl Layer for Network {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        Network::forward(self, x, mode)
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        Network::backward(self, grad_out)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+        self.features.visit_params(f);
+        self.classifier.visit_params(f);
+    }
+    fn name(&self) -> &'static str {
+        "network"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------
+
+/// Paper §A.7: two conv layers (ReLU + 2x2 average pooling) and two fully
+/// connected layers. Kernel size adapts to small inputs so the second
+/// convolution always fits.
+fn build_basic_cnn(arch: &Architecture, rng: &mut impl Rng) -> (Sequential, usize) {
+    let (c, h, w) = arch.input;
+    let wdt = arch.width;
+    let k = if h.min(w) >= 20 { 5 } else { 3 };
+    let mut cur_h = h;
+    let mut cur_w = w;
+    let mut seq = Sequential::new();
+    seq = seq.push(Conv2d::new(c, wdt, k, 1, 0, true, rng));
+    cur_h -= k - 1;
+    cur_w -= k - 1;
+    seq = seq.push(ReLU::new());
+    if cur_h >= 2 && cur_w >= 2 {
+        seq = seq.push(AvgPool2d::new(2, 2));
+        cur_h = (cur_h - 2) / 2 + 1;
+        cur_w = (cur_w - 2) / 2 + 1;
+    }
+    seq = seq.push(Conv2d::new(wdt, 2 * wdt, k, 1, 0, true, rng));
+    cur_h -= k - 1;
+    cur_w -= k - 1;
+    seq = seq.push(ReLU::new());
+    if cur_h >= 2 && cur_w >= 2 {
+        seq = seq.push(AvgPool2d::new(2, 2));
+        cur_h = (cur_h - 2) / 2 + 1;
+        cur_w = (cur_w - 2) / 2 + 1;
+    }
+    let flat = 2 * wdt * cur_h * cur_w;
+    let hidden = flat.clamp(32, 512);
+    let seq = seq
+        .push(Flatten::new())
+        .push(Linear::new(flat, hidden, rng))
+        .push(ReLU::new());
+    (seq, hidden)
+}
+
+fn conv_bn_act(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(in_ch, out_ch, k, stride, pad, false, rng))
+        .push(BatchNorm2d::new(out_ch))
+        .push(ReLU::new())
+}
+
+/// One ResNet basic block (two 3x3 convs) with optional downsampling.
+fn basic_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut impl Rng) -> Sequential {
+    let main = Sequential::new()
+        .push(Conv2d::new(in_ch, out_ch, 3, stride, 1, false, rng))
+        .push(BatchNorm2d::new(out_ch))
+        .push(ReLU::new())
+        .push(Conv2d::new(out_ch, out_ch, 3, 1, 1, false, rng))
+        .push(BatchNorm2d::new(out_ch));
+    let block = if stride != 1 || in_ch != out_ch {
+        let shortcut = Sequential::new()
+            .push(Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng))
+            .push(BatchNorm2d::new(out_ch));
+        Residual::with_shortcut(main, shortcut)
+    } else {
+        Residual::new(main)
+    };
+    Sequential::new().push(block).push(ReLU::new())
+}
+
+/// ResNet-18 topology: stem + 4 stages × 2 basic blocks + GAP.
+fn build_resnet18(arch: &Architecture, rng: &mut impl Rng) -> (Sequential, usize) {
+    let (c, _, _) = arch.input;
+    let w = arch.width;
+    let widths = [w, 2 * w, 4 * w, 8 * w];
+    let mut seq = conv_bn_act(c, w, 3, 1, 1, rng);
+    let mut in_ch = w;
+    for (stage, &out_ch) in widths.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        seq = seq.push(basic_block(in_ch, out_ch, stride, rng));
+        seq = seq.push(basic_block(out_ch, out_ch, 1, rng));
+        in_ch = out_ch;
+    }
+    let seq = seq.push(GlobalAvgPool::new());
+    (seq, in_ch)
+}
+
+/// VGG-16 topology: conv groups 2-2-3-3-3 with max pooling between groups.
+/// Pools are skipped once the spatial size reaches 1 so small inputs work.
+fn build_vgg16(arch: &Architecture, rng: &mut impl Rng) -> (Sequential, usize) {
+    let (c, h, _) = arch.input;
+    let w = arch.width;
+    let groups: [(usize, usize); 5] = [(2, w), (2, 2 * w), (3, 4 * w), (3, 8 * w), (3, 8 * w)];
+    let mut seq = Sequential::new();
+    let mut in_ch = c;
+    let mut cur = h;
+    for &(convs, out_ch) in &groups {
+        for _ in 0..convs {
+            seq = seq
+                .push(Conv2d::new(in_ch, out_ch, 3, 1, 1, false, rng))
+                .push(BatchNorm2d::new(out_ch))
+                .push(ReLU::new());
+            in_ch = out_ch;
+        }
+        if cur >= 2 {
+            seq = seq.push(MaxPool2d::new(2, 2));
+            cur /= 2;
+        }
+    }
+    let flat = in_ch * cur * cur;
+    let hidden = (4 * w).max(16);
+    let seq = seq
+        .push(Flatten::new())
+        .push(Linear::new(flat, hidden, rng))
+        .push(ReLU::new());
+    (seq, hidden)
+}
+
+/// One MBConv block: 1x1 expand → depthwise k×k → squeeze-excite → 1x1
+/// project, residual when the shape is preserved.
+fn mbconv(
+    in_ch: usize,
+    out_ch: usize,
+    expand: usize,
+    k: usize,
+    stride: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
+    let mid = in_ch * expand;
+    let mut main = Sequential::new();
+    if expand != 1 {
+        main = main
+            .push(Conv2d::new(in_ch, mid, 1, 1, 0, false, rng))
+            .push(BatchNorm2d::new(mid))
+            .push(SiLU::new());
+    }
+    main = main
+        .push(DepthwiseConv2d::new(mid, k, stride, k / 2, false, rng))
+        .push(BatchNorm2d::new(mid))
+        .push(SiLU::new())
+        .push(SqueezeExcite::new(mid, 4, rng))
+        .push(Conv2d::new(mid, out_ch, 1, 1, 0, false, rng))
+        .push(BatchNorm2d::new(out_ch));
+    if stride == 1 && in_ch == out_ch {
+        Sequential::new().push(Residual::new(main))
+    } else {
+        main
+    }
+}
+
+/// EfficientNet-B0 topology (width-scaled): stem, four MBConv stages, 1x1
+/// head, GAP.
+fn build_efficientnet_b0(arch: &Architecture, rng: &mut impl Rng) -> (Sequential, usize) {
+    let (c, _, _) = arch.input;
+    let w = arch.width;
+    // (expand, out_ch, kernel, stride) per stage, mirroring B0's progression.
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(1, w, 3, 1), (4, 2 * w, 3, 2), (4, 3 * w, 5, 2), (4, 4 * w, 3, 2)];
+    let mut seq = Sequential::new()
+        .push(Conv2d::new(c, w, 3, 1, 1, false, rng))
+        .push(BatchNorm2d::new(w))
+        .push(SiLU::new());
+    let mut in_ch = w;
+    for &(expand, out_ch, k, stride) in &stages {
+        seq = seq.push(mbconv(in_ch, out_ch, expand, k, stride, rng));
+        in_ch = out_ch;
+    }
+    let head = 8 * w;
+    let seq = seq
+        .push(Conv2d::new(in_ch, head, 1, 1, 0, false, rng))
+        .push(BatchNorm2d::new(head))
+        .push(SiLU::new())
+        .push(GlobalAvgPool::new());
+    (seq, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(kind: ModelKind, input: (usize, usize, usize), classes: usize, width: usize) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let arch = Architecture::new(kind, input, classes).with_width(width);
+        let mut net = arch.build(&mut rng);
+        let x = Tensor::from_fn(&[2, input.0, input.1, input.2], |i| ((i as f32) * 0.1).sin());
+        let logits = net.forward(&x, Mode::Train);
+        assert_eq!(logits.shape(), &[2, classes], "{kind:?} logits shape");
+        assert!(logits.all_finite(), "{kind:?} produced non-finite logits");
+        // Input gradients flow end to end.
+        let gi = net.backward(&Tensor::ones(logits.shape()));
+        assert_eq!(gi.shape(), x.shape(), "{kind:?} input grad shape");
+        assert!(gi.all_finite(), "{kind:?} produced non-finite input grads");
+        assert!(net.param_count() > 0);
+        // Eval mode also works and supports backward.
+        let logits_eval = net.forward(&x, Mode::Eval);
+        assert!(logits_eval.all_finite());
+        let gi = net.backward(&Tensor::ones(logits_eval.shape()));
+        assert!(gi.all_finite());
+    }
+
+    #[test]
+    fn basic_cnn_on_mnist_shape() {
+        check(ModelKind::BasicCnn, (1, 28, 28), 10, 8);
+    }
+
+    #[test]
+    fn basic_cnn_on_small_input() {
+        check(ModelKind::BasicCnn, (1, 12, 12), 4, 4);
+    }
+
+    #[test]
+    fn resnet18_on_cifar_shape() {
+        check(ModelKind::ResNet18, (3, 16, 16), 10, 4);
+    }
+
+    #[test]
+    fn vgg16_on_cifar_shape() {
+        check(ModelKind::Vgg16, (3, 16, 16), 10, 4);
+    }
+
+    #[test]
+    fn efficientnet_on_imagenet_shape() {
+        check(ModelKind::EfficientNetB0, (3, 24, 24), 10, 4);
+    }
+
+    #[test]
+    fn basic_cnn_matches_paper_dimensions() {
+        // Paper §A.7: 28x28x1 input, conv(1,16,5) + pool + conv(16,32,5) +
+        // pool gives 32·4·4 = 512 flat features.
+        let mut rng = StdRng::seed_from_u64(0);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 28, 28), 10).with_width(16);
+        let mut net = arch.build(&mut rng);
+        let x = Tensor::zeros(&[1, 1, 28, 28]);
+        let feats = net.penultimate(&x, Mode::Eval);
+        assert_eq!(feats.shape(), &[1, 512]);
+    }
+
+    #[test]
+    fn penultimate_feeds_classifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 3).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| (i as f32 * 0.05).cos());
+        let feats = net.penultimate(&x, Mode::Eval);
+        let via_head = net.classifier.forward(&feats, Mode::Eval);
+        let direct = net.forward(&x, Mode::Eval);
+        for (a, b) in via_head.data().iter().zip(direct.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn input_grad_discards_param_grads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 3).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let x = Tensor::from_fn(&[1, 1, 12, 12], |i| (i as f32 * 0.07).sin());
+        let (logits, gi) = net.input_grad(&x, |l| Tensor::ones(l.shape()));
+        assert_eq!(logits.shape(), &[1, 3]);
+        assert_eq!(gi.shape(), x.shape());
+        let mut max_param_grad = 0.0f32;
+        net.visit_params(&mut |s| max_param_grad = max_param_grad.max(s.grad.linf_norm()));
+        assert_eq!(max_param_grad, 0.0, "param grads must be zeroed");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected input")]
+    fn network_rejects_wrong_input_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 3).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let _ = net.forward(&Tensor::zeros(&[1, 3, 12, 12]), Mode::Eval);
+    }
+
+    #[test]
+    fn deterministic_build_given_seed() {
+        let arch = Architecture::new(ModelKind::ResNet18, (3, 8, 8), 4).with_width(2);
+        let mut a = arch.build(&mut StdRng::seed_from_u64(9));
+        let mut b = arch.build(&mut StdRng::seed_from_u64(9));
+        let x = Tensor::from_fn(&[1, 3, 8, 8], |i| (i as f32 * 0.11).sin());
+        let ya = a.forward(&x, Mode::Eval);
+        let yb = b.forward(&x, Mode::Eval);
+        assert_eq!(ya.data(), yb.data());
+    }
+}

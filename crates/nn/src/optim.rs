@@ -1,0 +1,320 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Two APIs are provided:
+//!
+//! * [`Sgd`] / [`Adam`] step a whole [`Layer`] via parameter visitation —
+//!   used by the model-training loops.
+//! * [`TensorAdam`] steps a flat list of free tensors — used by the
+//!   defenses, whose optimisation variables (mask, pattern, UAP) are not
+//!   layer parameters.
+
+use crate::layer::Layer;
+use usb_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled weight
+/// decay (applied only to parameters whose slot has `decay = true`).
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: non-positive learning rate");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step using the gradients currently accumulated in
+    /// `model`, then leaves the gradients untouched (callers usually follow
+    /// with [`Layer::zero_grad`]).
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |slot| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(slot.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            let vd = v.data_mut();
+            let pd = slot.value.data_mut();
+            let gd = slot.grad.data();
+            let decay = if slot.decay { wd } else { 0.0 };
+            for i in 0..pd.len() {
+                let g = gd[i] + decay * pd[i];
+                vd[i] = momentum * vd[i] + g;
+                pd[i] -= lr * vd[i];
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam state for one tensor.
+#[derive(Debug, Clone)]
+struct AdamSlotState {
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Adam over a model's parameters (visitation order defines state pairing,
+/// which is stable because layer structure never changes during training).
+#[derive(Debug)]
+pub struct Adam {
+    inner: TensorAdam,
+    /// L2 weight-decay coefficient for decaying slots.
+    pub weight_decay: f32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's detection betas
+    /// `(0.5, 0.9)` available through [`Adam::with_betas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            inner: TensorAdam::new(lr),
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Overrides the `(β₁, β₂)` pair.
+    #[must_use]
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.inner = self.inner.with_betas(beta1, beta2);
+        self
+    }
+
+    /// Sets decoupled weight decay.
+    #[must_use]
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one Adam step to every parameter of `model`.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        self.inner.t += 1;
+        let mut idx = 0;
+        let inner = &mut self.inner;
+        let wd = self.weight_decay;
+        model.visit_params(&mut |slot| {
+            if inner.state.len() <= idx {
+                inner.state.push(AdamSlotState {
+                    m: Tensor::zeros(slot.value.shape()),
+                    v: Tensor::zeros(slot.value.shape()),
+                });
+            }
+            let decay = if slot.decay { wd } else { 0.0 };
+            inner.apply(idx, slot.value, slot.grad, decay);
+            idx += 1;
+        });
+    }
+}
+
+/// Adam over a flat list of free tensors (defense optimisation variables).
+///
+/// Call [`TensorAdam::step`] with matching `(params, grads)` slices; state
+/// is keyed by position, so always pass the tensors in the same order.
+#[derive(Debug)]
+pub struct TensorAdam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    state: Vec<AdamSlotState>,
+}
+
+impl TensorAdam {
+    /// Creates an optimizer with betas `(0.9, 0.999)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "TensorAdam: non-positive learning rate");
+        TensorAdam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    /// Overrides the `(β₁, β₂)` pair — the paper uses `(0.5, 0.9)` for
+    /// detection.
+    #[must_use]
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 out of range");
+        assert!((0.0..1.0).contains(&beta2), "beta2 out of range");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// One Adam update over position-paired `(params, grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or a pair's shapes
+    /// disagree.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "TensorAdam: slice mismatch");
+        self.t += 1;
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            if self.state.len() <= i {
+                self.state.push(AdamSlotState {
+                    m: Tensor::zeros(p.shape()),
+                    v: Tensor::zeros(p.shape()),
+                });
+            }
+            let mut grad_owned = (*g).clone();
+            self.apply_owned(i, p, &mut grad_owned, 0.0);
+        }
+    }
+
+    fn apply(&mut self, idx: usize, value: &mut Tensor, grad: &mut Tensor, decay: f32) {
+        self.apply_owned(idx, value, grad, decay)
+    }
+
+    fn apply_owned(&mut self, idx: usize, value: &mut Tensor, grad: &mut Tensor, decay: f32) {
+        let st = &mut self.state[idx];
+        assert_eq!(st.m.shape(), value.shape(), "TensorAdam: state shape drift");
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let md = st.m.data_mut();
+        let vd = st.v.data_mut();
+        let pd = value.data_mut();
+        let gd = grad.data_mut();
+        for i in 0..pd.len() {
+            let g = gd[i] + decay * pd[i];
+            md[i] = b1 * md[i] + (1.0 - b1) * g;
+            vd[i] = b2 * vd[i] + (1.0 - b2) * g * g;
+            let mhat = md[i] / bc1;
+            let vhat = vd[i] / bc2;
+            pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Mode, Param, ParamSlot};
+
+    /// y = w·x ; loss = (w·x − 1)²; single scalar parameter.
+    struct Scalar {
+        w: Param,
+        x: f32,
+    }
+
+    impl Layer for Scalar {
+        fn forward(&mut self, _x: &Tensor, _mode: Mode) -> Tensor {
+            Tensor::from_vec(vec![self.w.value.data()[0] * self.x], &[1])
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            self.w.grad.data_mut()[0] += grad_out.data()[0] * self.x;
+            grad_out.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
+            f(self.w.slot());
+        }
+        fn name(&self) -> &'static str {
+            "scalar"
+        }
+    }
+
+    fn optimize(opt: &mut dyn FnMut(&mut Scalar), steps: usize) -> f32 {
+        let mut model = Scalar {
+            w: Param::new(Tensor::from_vec(vec![0.0], &[1]), true),
+            x: 2.0,
+        };
+        for _ in 0..steps {
+            let y = model.forward(&Tensor::zeros(&[1]), Mode::Train).data()[0];
+            let dl = 2.0 * (y - 1.0);
+            model.zero_grad();
+            let _ = model.backward(&Tensor::from_vec(vec![dl], &[1]));
+            opt(&mut model);
+        }
+        model.w.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+        let w = optimize(&mut |m| sgd.step(m), 200);
+        assert!((w - 0.5).abs() < 1e-2, "w={w}, expected 0.5");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let w = optimize(&mut |m| adam.step(m), 300);
+        assert!((w - 0.5).abs() < 1e-2, "w={w}, expected 0.5");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut sgd = Sgd::new(0.1, 0.0, 0.5);
+        let mut model = Scalar {
+            w: Param::new(Tensor::from_vec(vec![4.0], &[1]), true),
+            x: 0.0, // no data gradient, only decay
+        };
+        for _ in 0..10 {
+            model.zero_grad();
+            let _ = model.forward(&Tensor::zeros(&[1]), Mode::Train);
+            let _ = model.backward(&Tensor::from_vec(vec![0.0], &[1]));
+            sgd.step(&mut model);
+        }
+        assert!(model.w.value.data()[0] < 4.0);
+    }
+
+    #[test]
+    fn tensor_adam_minimises_free_tensor() {
+        // minimise ||p − target||².
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let mut p = Tensor::zeros(&[3]);
+        let mut adam = TensorAdam::new(0.1).with_betas(0.5, 0.9);
+        for _ in 0..200 {
+            let grad = p.sub(&target).scale(2.0);
+            adam.step(&mut [&mut p], &[&grad]);
+        }
+        for (a, b) in p.data().iter().zip(target.data()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn rejects_bad_learning_rate() {
+        let _ = Sgd::new(0.0, 0.9, 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Mini-batch training loop over raw `(images, labels)` tensors.
+//!
+//! Dataset handling (synthetic generation, poisoning) lives in higher
+//! crates; this module only needs a `[N, C, H, W]` tensor and class labels.
+
+use crate::layer::Mode;
+use crate::loss::softmax_cross_entropy;
+use crate::models::Network;
+use crate::optim::Sgd;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use usb_tensor::{ops, Tensor};
+
+/// Hyperparameters for supervised training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl TrainConfig {
+    /// The paper's TrojanZoo-default-inspired configuration, scaled to CPU:
+    /// batch 96 → 32, lr 0.01 → 0.05 (smaller nets tolerate higher rates),
+    /// epochs 50 → caller-chosen.
+    pub fn new(epochs: usize) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
+    }
+
+    /// A configuration fast enough for unit tests (5 epochs, small batches).
+    pub fn fast() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
+    }
+
+    /// Overrides the batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "TrainConfig: zero batch size");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the learning rate.
+    #[must_use]
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "TrainConfig: non-positive lr");
+        self.lr = lr;
+        self
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig::new(3)
+    }
+}
+
+/// Per-epoch training metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy over the epoch.
+    pub loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Trains `net` in place on `(images, labels)` and returns per-epoch stats.
+///
+/// Batches are reshuffled each epoch with `rng`, so runs are deterministic
+/// given the seed.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank-4 or label count mismatches.
+pub fn fit(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    config: TrainConfig,
+    rng: &mut impl Rng,
+) -> Vec<EpochStats> {
+    assert_eq!(images.ndim(), 4, "fit: images must be [N,C,H,W]");
+    let n = images.shape()[0];
+    assert_eq!(labels.len(), n, "fit: label count mismatch");
+    assert!(n > 0, "fit: empty dataset");
+    let mut sgd = Sgd::new(config.lr, config.momentum, config.weight_decay);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        // Step decay: ×0.3 at 60% and 85% of the schedule, stabilising the
+        // end of training (mirrors the common TrojanZoo recipe).
+        let decay = if epoch * 100 >= config.epochs * 85 {
+            0.09
+        } else if epoch * 100 >= config.epochs * 60 {
+            0.3
+        } else {
+            1.0
+        };
+        sgd.lr = config.lr * decay;
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0f64;
+        let mut hits = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let (bx, by) = gather_batch(images, labels, chunk);
+            let logits = net.forward(&bx, Mode::Train);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &by);
+            epoch_loss += loss as f64 * chunk.len() as f64;
+            hits += ops::argmax_rows(&logits)
+                .iter()
+                .zip(&by)
+                .filter(|(p, l)| p == l)
+                .count();
+            net.zero_grad();
+            let _ = net.backward(&dlogits);
+            sgd.step(net);
+        }
+        history.push(EpochStats {
+            loss: epoch_loss / n as f64,
+            accuracy: hits as f64 / n as f64,
+        });
+    }
+    history
+}
+
+/// Collects the rows of `images`/`labels` selected by `indices` into a
+/// batch.
+///
+/// # Panics
+///
+/// Panics if an index is out of bounds.
+pub fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let items: Vec<Tensor> = indices.iter().map(|&i| images.index_axis0(i)).collect();
+    let by: Vec<usize> = indices.iter().map(|&i| labels[i]).collect();
+    (Tensor::stack(&items), by)
+}
+
+/// Classification accuracy of `net` on `(images, labels)`, evaluated in
+/// batches of 64.
+pub fn evaluate(net: &mut Network, images: &Tensor, labels: &[usize]) -> f64 {
+    let n = images.shape()[0];
+    assert_eq!(labels.len(), n, "evaluate: label count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let indices: Vec<usize> = (0..n).collect();
+    for chunk in indices.chunks(64) {
+        let (bx, by) = gather_batch(images, labels, chunk);
+        let preds = net.predict(&bx);
+        hits += preds.iter().zip(&by).filter(|(p, l)| p == l).count();
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Architecture, ModelKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use usb_tensor::init;
+
+    /// Tiny two-class dataset: class 0 bright top half, class 1 bright
+    /// bottom half, plus noise.
+    fn toy_dataset(n: usize, rng: &mut impl Rng) -> (Tensor, Vec<usize>) {
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let mut img = init::uniform(&[1, 8, 8], 0.0, 0.15, rng);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let bright = if class == 0 { y < 4 } else { y >= 4 };
+                    if bright {
+                        *img.at_mut(&[0, y, x]) += 0.7;
+                    }
+                }
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        (Tensor::stack(&images), labels)
+    }
+
+    #[test]
+    fn training_learns_separable_toy_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (images, labels) = toy_dataset(64, &mut rng);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 8, 8), 2).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let before = evaluate(&mut net, &images, &labels);
+        let stats = fit(&mut net, &images, &labels, TrainConfig::fast(), &mut rng);
+        let after = evaluate(&mut net, &images, &labels);
+        assert!(after > 0.9, "accuracy {before} -> {after}, stats {stats:?}");
+        assert!(
+            stats.last().unwrap().loss < stats.first().unwrap().loss + 1e-6,
+            "loss should not increase: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn gather_batch_selects_rows() {
+        let images = Tensor::from_fn(&[3, 1, 2, 2], |i| i as f32);
+        let labels = vec![7, 8, 9];
+        let (bx, by) = gather_batch(&images, &labels, &[2, 0]);
+        assert_eq!(bx.shape(), &[2, 1, 2, 2]);
+        assert_eq!(by, vec![9, 7]);
+        assert_eq!(bx.index_axis0(0).data()[0], 8.0);
+    }
+
+    #[test]
+    fn evaluate_on_untrained_model_is_near_chance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (images, labels) = toy_dataset(32, &mut rng);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 8, 8), 2).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let acc = evaluate(&mut net, &images, &labels);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_rejects_empty_dataset() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 8, 8), 2).with_width(4);
+        let mut net = arch.build(&mut rng);
+        let _ = fit(
+            &mut net,
+            &Tensor::zeros(&[0, 1, 8, 8]),
+            &[],
+            TrainConfig::fast(),
+            &mut rng,
+        );
+    }
+}

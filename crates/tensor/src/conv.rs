@@ -1,0 +1,632 @@
+//! 2-D convolution kernels (dense and depthwise) built on im2col / col2im.
+//!
+//! Layout conventions:
+//!
+//! * activations: `[N, C, H, W]`
+//! * dense weights: `[OC, IC, KH, KW]`
+//! * depthwise weights: `[C, 1, KH, KW]`
+//!
+//! All functions provide forward *and* backward passes; the backward passes
+//! return gradients with respect to the input as well as the parameters,
+//! because the defenses in this workspace optimise over the *input space*
+//! (triggers, masks, universal perturbations).
+
+use crate::{ops, Tensor};
+
+/// Geometry of a convolution: strides and symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Symmetric zero padding along both spatial axes.
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "ConvSpec: stride must be positive");
+        ConvSpec { stride, pad }
+    }
+
+    /// Output spatial size for an input of `in_size` with kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_size(&self, in_size: usize, k: usize) -> usize {
+        let padded = in_size + 2 * self.pad;
+        assert!(
+            padded >= k,
+            "kernel {k} larger than padded input {padded}"
+        );
+        (padded - k) / self.stride + 1
+    }
+}
+
+impl Default for ConvSpec {
+    /// Stride 1, no padding.
+    fn default() -> Self {
+        ConvSpec { stride: 1, pad: 0 }
+    }
+}
+
+/// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
+///
+/// Column `(oy, ox)` holds the receptive field that the kernel sees when it
+/// produces output pixel `(oy, ox)`; out-of-bounds taps read as zero.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 or the kernel does not fit.
+pub fn im2col(img: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
+    assert_eq!(img.ndim(), 3, "im2col: need [C,H,W], got {:?}", img.shape());
+    let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = img.data();
+    for ch in 0..c {
+        let img_ch = &data[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Adjoint of [`im2col`]: folds a `[C*KH*KW, OH*OW]` column matrix back into
+/// a `[C, H, W]` image, *summing* overlapping contributions.
+///
+/// # Panics
+///
+/// Panics if the column matrix shape is inconsistent with the geometry.
+pub fn col2im(
+    cols_mat: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Tensor {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    assert_eq!(
+        cols_mat.shape(),
+        &[c * kh * kw, oh * ow],
+        "col2im: column matrix shape mismatch"
+    );
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols_mat.data();
+    let cols = oh * ow;
+    for ch in 0..c {
+        let img_ch = &mut out[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                let src_row = &data[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img_ch[iy as usize * w + ix as usize] += src_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Dense convolution forward pass.
+///
+/// `input` is `[N, IC, H, W]`, `weight` is `[OC, IC, KH, KW]`, optional
+/// `bias` is `[OC]`; the result is `[N, OC, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on any rank or channel-count mismatch.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d: input must be [N,IC,H,W]");
+    assert_eq!(weight.ndim(), 4, "conv2d: weight must be [OC,IC,KH,KW]");
+    let (n, ic, h, w) = dims4(input);
+    let (oc, wic, kh, kw) = dims4(weight);
+    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let w_mat = weight.reshape(&[oc, ic * kh * kw]);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    for i in 0..n {
+        let img = input.index_axis0(i);
+        let cols_mat = im2col(&img, kh, kw, spec);
+        let mut o = ops::matmul(&w_mat, &cols_mat); // [OC, OH*OW]
+        if let Some(b) = bias {
+            assert_eq!(b.len(), oc, "conv2d: bias length mismatch");
+            let od = o.data_mut();
+            for ch in 0..oc {
+                let bv = b.data()[ch];
+                for v in &mut od[ch * oh * ow..(ch + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+        out.set_axis0(i, &o.reshape(&[oc, oh, ow]));
+    }
+    out
+}
+
+/// Gradients of a dense convolution.
+///
+/// Given `grad_out = dL/d output` of shape `[N, OC, OH, OW]`, returns
+/// `(grad_input, grad_weight, grad_bias)` with the shapes of `input`,
+/// `weight`, and `[OC]` respectively.
+///
+/// # Panics
+///
+/// Panics on any rank or shape mismatch.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, ic, h, w) = dims4(input);
+    let (oc, _, kh, kw) = dims4(weight);
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    assert_eq!(
+        grad_out.shape(),
+        &[n, oc, oh, ow],
+        "conv2d_backward: grad_out shape mismatch"
+    );
+    let w_mat = weight.reshape(&[oc, ic * kh * kw]);
+    let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
+    let mut grad_w_mat = Tensor::zeros(&[oc, ic * kh * kw]);
+    let mut grad_bias = Tensor::zeros(&[oc]);
+    for i in 0..n {
+        let img = input.index_axis0(i);
+        let cols_mat = im2col(&img, kh, kw, spec);
+        let go = grad_out.index_axis0(i).reshape(&[oc, oh * ow]);
+        // dL/dW += grad_out_i @ cols^T
+        grad_w_mat.add_assign(&ops::matmul_transb(&go, &cols_mat));
+        // dL/dbias += row sums
+        for ch in 0..oc {
+            let s: f32 = go.data()[ch * oh * ow..(ch + 1) * oh * ow].iter().sum();
+            grad_bias.data_mut()[ch] += s;
+        }
+        // dL/dcols = W^T @ grad_out_i, then fold back.
+        let grad_cols = ops::matmul_transa(&w_mat, &go);
+        let gi = col2im(&grad_cols, ic, h, w, kh, kw, spec);
+        grad_input.set_axis0(i, &gi);
+    }
+    (
+        grad_input,
+        grad_w_mat.reshape(weight.shape()),
+        grad_bias,
+    )
+}
+
+/// Depthwise convolution forward pass: each channel is convolved with its own
+/// single-channel kernel.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[C, 1, KH, KW]`, optional `bias`
+/// is `[C]`; the result is `[N, C, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn depthwise_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Tensor {
+    assert_eq!(input.ndim(), 4, "depthwise: input must be [N,C,H,W]");
+    assert_eq!(weight.ndim(), 4, "depthwise: weight must be [C,1,KH,KW]");
+    let (n, c, h, w) = dims4(input);
+    let (wc, one, kh, kw) = dims4(weight);
+    assert_eq!(c, wc, "depthwise: channel mismatch {c} vs {wc}");
+    assert_eq!(one, 1, "depthwise: weight second dim must be 1");
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let id = input.data();
+    let wd = weight.data();
+    for i in 0..n {
+        for ch in 0..c {
+            let img = &id[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let ker = &wd[ch * kh * kw..(ch + 1) * kh * kw];
+            let bv = bias.map(|b| b.data()[ch]).unwrap_or(0.0);
+            let o = &mut out[(i * c + ch) * oh * ow..(i * c + ch + 1) * oh * ow];
+            conv_single_into(img, h, w, ker, kh, kw, spec, bv, o);
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Gradients of a depthwise convolution; returns
+/// `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn depthwise_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = dims4(input);
+    let (_, _, kh, kw) = dims4(weight);
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    assert_eq!(
+        grad_out.shape(),
+        &[n, c, oh, ow],
+        "depthwise_backward: grad_out shape mismatch"
+    );
+    let mut grad_input = vec![0.0f32; n * c * h * w];
+    let mut grad_weight = vec![0.0f32; c * kh * kw];
+    let mut grad_bias = vec![0.0f32; c];
+    let id = input.data();
+    let wd = weight.data();
+    let god = grad_out.data();
+    for i in 0..n {
+        for ch in 0..c {
+            let img = &id[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let ker = &wd[ch * kh * kw..(ch + 1) * kh * kw];
+            let go = &god[(i * c + ch) * oh * ow..(i * c + ch + 1) * oh * ow];
+            let gi = &mut grad_input[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let gw = &mut grad_weight[ch * kh * kw..(ch + 1) * kh * kw];
+            grad_bias[ch] += go.iter().sum::<f32>();
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let pix = iy as usize * w + ix as usize;
+                            gi[pix] += g * ker[ky * kw + kx];
+                            gw[ky * kw + kx] += g * img[pix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(grad_input, &[n, c, h, w]),
+        Tensor::from_vec(grad_weight, weight.shape()),
+        Tensor::from_vec(grad_bias, &[c]),
+    )
+}
+
+/// Convolves a single-channel image with a single kernel (used by SSIM's
+/// gaussian blur and the depthwise kernels). Writes into `out`.
+fn conv_single_into(
+    img: &[f32],
+    h: usize,
+    w: usize,
+    ker: &[f32],
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    bias: f32,
+    out: &mut [f32],
+) {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    debug_assert_eq!(out.len(), oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = bias;
+            for ky in 0..kh {
+                let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    acc += img[iy as usize * w + ix as usize] * ker[ky * kw + kx];
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+}
+
+/// Valid (no padding, stride 1) convolution of one `[H, W]` plane with a
+/// `[KH, KW]` kernel; the result is `[H-KH+1, W-KW+1]`.
+///
+/// # Panics
+///
+/// Panics if either tensor is not rank-2 or the kernel does not fit.
+pub fn conv2d_valid_single(img: &Tensor, ker: &Tensor) -> Tensor {
+    assert_eq!(img.ndim(), 2, "conv2d_valid_single: image must be rank-2");
+    assert_eq!(ker.ndim(), 2, "conv2d_valid_single: kernel must be rank-2");
+    let (h, w) = (img.shape()[0], img.shape()[1]);
+    let (kh, kw) = (ker.shape()[0], ker.shape()[1]);
+    let spec = ConvSpec::new(1, 0);
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let mut out = vec![0.0f32; oh * ow];
+    conv_single_into(img.data(), h, w, ker.data(), kh, kw, spec, 0.0, &mut out);
+    Tensor::from_vec(out, &[oh, ow])
+}
+
+/// Adjoint of [`conv2d_valid_single`] with respect to the image: scatters an
+/// output-sized gradient back onto an `[H, W]` input-gradient plane
+/// ("full" correlation with the same kernel).
+///
+/// # Panics
+///
+/// Panics on rank mismatches or if `grad.shape()` is inconsistent with
+/// `(h, w)` and the kernel.
+pub fn conv2d_valid_single_adjoint(grad: &Tensor, ker: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(grad.ndim(), 2, "adjoint: grad must be rank-2");
+    assert_eq!(ker.ndim(), 2, "adjoint: kernel must be rank-2");
+    let (kh, kw) = (ker.shape()[0], ker.shape()[1]);
+    let (oh, ow) = (grad.shape()[0], grad.shape()[1]);
+    assert_eq!(oh, h + 1 - kh, "adjoint: grad height mismatch");
+    assert_eq!(ow, w + 1 - kw, "adjoint: grad width mismatch");
+    let mut out = vec![0.0f32; h * w];
+    let gd = grad.data();
+    let kd = ker.data();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let g = gd[oy * ow + ox];
+            if g == 0.0 {
+                continue;
+            }
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    out[(oy + ky) * w + (ox + kx)] += g * kd[ky * kw + kx];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[h, w])
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.ndim(), 4, "expected rank-4 tensor, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        Tensor::from_fn(shape, |i| (i as f32 * 0.37).sin())
+    }
+
+    #[test]
+    fn out_size_math() {
+        let s = ConvSpec::new(1, 0);
+        assert_eq!(s.out_size(5, 3), 3);
+        let s = ConvSpec::new(2, 1);
+        assert_eq!(s.out_size(8, 3), 4);
+        let s = ConvSpec::new(1, 1);
+        assert_eq!(s.out_size(4, 3), 4); // 'same' for 3x3
+    }
+
+    #[test]
+    fn identity_kernel_preserves_image() {
+        // 1x1 kernel of value 1 with stride 1 pad 0 is the identity.
+        let img = seq_tensor(&[1, 2, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]);
+        let out = conv2d_forward(&img, &w, None, ConvSpec::default());
+        assert_eq!(out.shape(), img.shape());
+        for (a, b) in out.data().iter().zip(img.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv_matches_manual_3x3() {
+        // Single-channel 3x3 image, 2x2 averaging kernel.
+        let img = Tensor::from_vec((1..=9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let w = Tensor::full(&[1, 1, 2, 2], 0.25);
+        let out = conv2d_forward(&img, &w, None, ConvSpec::default());
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[3.0, 4.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let img = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[3, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let out = conv2d_forward(&img, &w, Some(&b), ConvSpec::default());
+        assert_eq!(out.index_axis0(0).index_axis0(2).data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the pair is a
+        // true adjoint, which is exactly what backprop needs.
+        let spec = ConvSpec::new(2, 1);
+        let x = seq_tensor(&[2, 5, 5]);
+        let cols_mat = im2col(&x, 3, 3, spec);
+        let y = Tensor::from_fn(cols_mat.shape(), |i| ((i * 13 % 7) as f32) - 3.0);
+        let lhs = cols_mat.dot(&y);
+        let folded = col2im(&y, 2, 5, 5, 3, 3, spec);
+        let rhs = x.dot(&folded);
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn conv2d_gradients_match_finite_differences() {
+        let spec = ConvSpec::new(1, 1);
+        let x = seq_tensor(&[2, 2, 4, 4]);
+        let w = seq_tensor(&[3, 2, 3, 3]).scale(0.5);
+        let b = seq_tensor(&[3]);
+        // Loss = sum(conv(x)); dL/d out = ones.
+        let out = conv2d_forward(&x, &w, Some(&b), spec);
+        let go = Tensor::ones(out.shape());
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &go, spec);
+        let eps = 1e-3;
+        // Check a handful of input coordinates.
+        for &flat in &[0usize, 7, 19, 40, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fp = conv2d_forward(&xp, &w, Some(&b), spec).sum();
+            let fm = conv2d_forward(&xm, &w, Some(&b), spec).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - gi.data()[flat]).abs() < 1e-2,
+                "input grad mismatch at {flat}: num={num} ana={}",
+                gi.data()[flat]
+            );
+        }
+        // Check weight coordinates.
+        for &flat in &[0usize, 11, 33, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let fp = conv2d_forward(&x, &wp, Some(&b), spec).sum();
+            let fm = conv2d_forward(&x, &wm, Some(&b), spec).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - gw.data()[flat]).abs() < 1e-2,
+                "weight grad mismatch at {flat}: num={num} ana={}",
+                gw.data()[flat]
+            );
+        }
+        // Bias gradient is the number of output pixels per channel.
+        let expected = (out.len() / 3) as f32;
+        for ch in 0..3 {
+            assert!((gb.data()[ch] - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_dense_with_diagonal_weights() {
+        // A depthwise conv equals a dense conv whose weight is diagonal in
+        // the channel dimensions.
+        let spec = ConvSpec::new(1, 1);
+        let x = seq_tensor(&[1, 3, 5, 5]);
+        let dw = seq_tensor(&[3, 1, 3, 3]);
+        let out_dw = depthwise_forward(&x, &dw, None, spec);
+        let mut dense = Tensor::zeros(&[3, 3, 3, 3]);
+        for c in 0..3 {
+            for k in 0..9 {
+                let v = dw.data()[c * 9 + k];
+                dense.data_mut()[((c * 3 + c) * 9) + k] = v;
+            }
+        }
+        let out_dense = conv2d_forward(&x, &dense, None, spec);
+        assert_eq!(out_dw.shape(), out_dense.shape());
+        for (a, b) in out_dw.data().iter().zip(out_dense.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let spec = ConvSpec::new(1, 1);
+        let x = seq_tensor(&[1, 2, 4, 4]);
+        let w = seq_tensor(&[2, 1, 3, 3]);
+        let out = depthwise_forward(&x, &w, None, spec);
+        let go = Tensor::ones(out.shape());
+        let (gi, gw, _gb) = depthwise_backward(&x, &w, &go, spec);
+        let eps = 1e-3;
+        for &flat in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let num = (depthwise_forward(&xp, &w, None, spec).sum()
+                - depthwise_forward(&xm, &w, None, spec).sum())
+                / (2.0 * eps);
+            assert!((num - gi.data()[flat]).abs() < 1e-2);
+        }
+        for &flat in &[0usize, 8, 12] {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let num = (depthwise_forward(&x, &wp, None, spec).sum()
+                - depthwise_forward(&x, &wm, None, spec).sum())
+                / (2.0 * eps);
+            assert!((num - gw.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn valid_single_and_adjoint_are_adjoint() {
+        let img = seq_tensor(&[6, 7]);
+        let ker = seq_tensor(&[3, 3]);
+        let out = conv2d_valid_single(&img, &ker);
+        assert_eq!(out.shape(), &[4, 5]);
+        let y = Tensor::from_fn(out.shape(), |i| (i as f32 % 5.0) - 2.0);
+        let lhs = out.dot(&y);
+        let back = conv2d_valid_single_adjoint(&y, &ker, 6, 7);
+        let rhs = img.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let x = seq_tensor(&[2, 3, 8, 8]);
+        let w = seq_tensor(&[4, 3, 3, 3]);
+        let out = conv2d_forward(&x, &w, None, ConvSpec::new(2, 1));
+        assert_eq!(out.shape(), &[2, 4, 4, 4]);
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &Tensor::ones(out.shape()), ConvSpec::new(2, 1));
+        assert_eq!(gi.shape(), x.shape());
+        assert_eq!(gw.shape(), w.shape());
+        assert_eq!(gb.shape(), &[4]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Seeded random tensor initialisers.
+//!
+//! Every experiment in the reproduction is deterministic given its seed, so
+//! all initialisers take an explicit [`rand::Rng`] instead of using thread
+//! RNG.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo <= hi, "uniform: lo {lo} > hi {hi}");
+    Tensor::from_fn(shape, |_| rng.gen_range(lo..=hi))
+}
+
+/// Tensor with elements drawn from `N(mean, std²)` via Box–Muller.
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(std >= 0.0, "normal: negative std {std}");
+    Tensor::from_fn(shape, |_| mean + std * sample_standard_normal(rng))
+}
+
+/// One standard-normal sample (Box–Muller transform).
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Kaiming/He uniform initialisation for a weight tensor with the given
+/// fan-in: `U(−√(6/fan_in), √(6/fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "kaiming_uniform: zero fan-in");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.max() <= 0.5 && t.min() >= -0.5);
+        // Mean should be near zero for 1000 samples.
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&[4000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.15, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.5, "var={var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = uniform(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.data(), b.data());
+        let c = uniform(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_uniform(&[512], 64, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.linf_norm() <= bound + 1e-6);
+    }
+}

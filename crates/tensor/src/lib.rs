@@ -1,0 +1,46 @@
+//! # usb-tensor
+//!
+//! CPU tensor substrate for the Universal Soldier (USB) backdoor-detection
+//! reproduction.
+//!
+//! This crate provides everything the neural-network layer above
+//! ([`usb-nn`](../usb_nn/index.html)) and the defense algorithms need from a
+//! numerical library:
+//!
+//! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array with
+//!   elementwise arithmetic, reductions, and shape algebra.
+//! * [`ops`] — matrix multiplication, transposition, softmax, argmax.
+//! * [`conv`] — im2col/col2im based 2-D convolution kernels (dense and
+//!   depthwise) with full forward and backward (input, weight, and bias
+//!   gradients).
+//! * [`pool`] — average / max pooling with backward passes.
+//! * [`ssim`] — the structural similarity index (SSIM) with an *analytic
+//!   input gradient*, required by the paper's Alg. 2 loss
+//!   `CE − SSIM + ‖mask‖₁`.
+//! * [`stats`] — median / MAD / anomaly-index statistics used by every
+//!   reverse-engineering defense to flag outlier classes.
+//! * [`init`] — seeded random initialisers (uniform, normal, Kaiming).
+//!
+//! # Example
+//!
+//! ```rust
+//! use usb_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b);
+//! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod ssim;
+pub mod stats;
+mod tensor;
+
+pub use tensor::{ShapeError, Tensor};

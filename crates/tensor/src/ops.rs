@@ -1,0 +1,266 @@
+//! Linear-algebra and classification helper operations on [`Tensor`]s.
+
+use crate::Tensor;
+
+/// Dense matrix product `a @ b` for 2-D tensors `[m, k] x [k, n] -> [m, n]`.
+///
+/// Uses an i-k-j loop order so the innermost loop streams rows of `b`,
+/// which is the cache-friendly layout for row-major data.
+///
+/// # Panics
+///
+/// Panics if either argument is not rank-2 or the inner dimensions differ.
+///
+/// ```rust
+/// # use usb_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(ops::matmul(&a, &i).data(), a.data());
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul: lhs must be rank-2, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul: rhs must be rank-2, got {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a @ b^T` for 2-D tensors `[m, k] x [n, k] -> [m, n]` without
+/// materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if either argument is not rank-2 or the `k` dimensions differ.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_transb: lhs must be rank-2");
+    assert_eq!(b.ndim(), 2, "matmul_transb: rhs must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_transb: inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a^T @ b` for 2-D tensors `[k, m] x [k, n] -> [m, n]` without
+/// materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if either argument is not rank-2 or the `k` dimensions differ.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_transa: lhs must be rank-2");
+    assert_eq!(b.ndim(), 2, "matmul_transa: rhs must be rank-2");
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_transa: inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose of a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics if the argument is not rank-2.
+pub fn transpose2d(a: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "transpose2d: need rank-2, got {:?}", a.shape());
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Numerically stable row-wise softmax of a `[n, k]` logits tensor.
+///
+/// Each row of the result is a probability distribution.
+///
+/// # Panics
+///
+/// Panics if the argument is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax_rows: need rank-2 logits");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for (o, &v) in out[i * k..(i + 1) * k].iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in &mut out[i * k..(i + 1) * k] {
+            *o /= z;
+        }
+    }
+    Tensor::from_vec(out, &[n, k])
+}
+
+/// Row-wise argmax of a `[n, k]` tensor: the predicted class per sample.
+///
+/// # Panics
+///
+/// Panics if the argument is not rank-2 or has zero columns.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.ndim(), 2, "argmax_rows: need rank-2 logits");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert!(k > 0, "argmax_rows: zero classes");
+    let mut preds = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        preds.push(best);
+    }
+    preds
+}
+
+/// Fraction of rows whose argmax equals the paired label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len(), "accuracy: label count mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / preds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[3, 3]);
+        let i = Tensor::from_fn(&[3, 3], |k| if k % 4 == 0 { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &i).data(), a.data());
+        assert_eq!(matmul(&i, &a).data(), a.data());
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[4, 3]);
+        let direct = matmul_transb(&a, &b);
+        let explicit = matmul(&a, &transpose2d(&b));
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| (i as f32).cos()).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let direct = matmul_transa(&a, &b);
+        let explicit = matmul(&transpose2d(&a), &b);
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let tt = transpose2d(&transpose2d(&a));
+        assert_eq!(tt.shape(), a.shape());
+        assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax_rows(&l);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(p.at(&[0, 2]) > p.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let l = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let p = softmax_rows(&l);
+        assert!(p.all_finite());
+        assert!((p.data()[0] + p.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_accuracy() {
+        let l = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        assert_eq!(argmax_rows(&l), vec![1, 0]);
+        assert_eq!(accuracy(&l, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&l, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,342 @@
+//! Structural similarity index (SSIM) with an analytic input gradient.
+//!
+//! The USB paper's Alg. 2 optimises `L = CE(f(x'), t) − SSIM(x, x') +
+//! ‖mask‖₁`, so the trigger-refinement loop needs `∂SSIM/∂x'`. This module
+//! implements the classic windowed SSIM of Wang et al. (2004) — gaussian
+//! window, valid convolution — and derives the gradient in closed form.
+//!
+//! With `G` the gaussian blur, `p = G*x`, `q = G*(x∘x)`, `r = G*(x∘y)`,
+//! `u_y = G*y`, `v_y = G*(y∘y) − u_y²`:
+//!
+//! ```text
+//! A1 = 2·p·u_y + C1        B1 = p² + u_y² + C1
+//! A2 = 2·(r − p·u_y) + C2  B2 = (q − p²) + v_y + C2
+//! S  = (A1·A2)/(B1·B2)     ssim = mean(S)
+//! ```
+//!
+//! and the chain rule through the three blurs gives
+//!
+//! ```text
+//! ∂ssim/∂x = Gᵀ(∂S/∂p)/|S| + 2x∘Gᵀ(∂S/∂q)/|S| + y∘Gᵀ(∂S/∂r)/|S|
+//! ```
+//!
+//! where `Gᵀ` is the adjoint blur ([`crate::conv::conv2d_valid_single_adjoint`]).
+//! The gradient is verified against finite differences in the tests.
+
+use crate::conv::{conv2d_valid_single, conv2d_valid_single_adjoint};
+use crate::Tensor;
+
+/// Stabilisation constants `(C1, C2)` from the SSIM paper, for a dynamic
+/// range `L`: `C1 = (0.01 L)²`, `C2 = (0.03 L)²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimConstants {
+    /// Luminance stabiliser `C1`.
+    pub c1: f32,
+    /// Contrast stabiliser `C2`.
+    pub c2: f32,
+}
+
+impl SsimConstants {
+    /// Constants for images with values in `[0, range]`.
+    pub fn for_range(range: f32) -> Self {
+        SsimConstants {
+            c1: (0.01 * range).powi(2),
+            c2: (0.03 * range).powi(2),
+        }
+    }
+}
+
+impl Default for SsimConstants {
+    /// Constants for the unit dynamic range `[0, 1]` used throughout this
+    /// workspace.
+    fn default() -> Self {
+        Self::for_range(1.0)
+    }
+}
+
+/// A normalised 2-D gaussian window of odd side `size` and bandwidth `sigma`.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or even, or `sigma` is not positive.
+pub fn gaussian_window(size: usize, sigma: f32) -> Tensor {
+    assert!(size % 2 == 1 && size > 0, "gaussian window size must be odd");
+    assert!(sigma > 0.0, "gaussian sigma must be positive");
+    let half = (size / 2) as isize;
+    let mut data = Vec::with_capacity(size * size);
+    for y in -half..=half {
+        for x in -half..=half {
+            let d2 = (x * x + y * y) as f32;
+            data.push((-d2 / (2.0 * sigma * sigma)).exp());
+        }
+    }
+    let sum: f32 = data.iter().sum();
+    for v in &mut data {
+        *v /= sum;
+    }
+    Tensor::from_vec(data, &[size, size])
+}
+
+/// Picks the largest odd window `<= 11` that fits both spatial dims.
+fn fitting_window(h: usize, w: usize) -> usize {
+    let mut k = 11.min(h).min(w);
+    if k % 2 == 0 {
+        k -= 1;
+    }
+    k.max(1)
+}
+
+/// Mean SSIM between two `[C, H, W]` (or `[N, C, H, W]`) tensors.
+///
+/// Channels (and batch items) are treated as independent planes and
+/// averaged. Values are expected in `[0, 1]`; identical images give `1.0`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the rank is not 3 or 4.
+pub fn ssim(x: &Tensor, y: &Tensor) -> f32 {
+    ssim_with_constants(x, y, SsimConstants::default())
+}
+
+/// [`ssim`] with explicit stabilisation constants.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the rank is not 3 or 4.
+pub fn ssim_with_constants(x: &Tensor, y: &Tensor, k: SsimConstants) -> f32 {
+    let (val, _) = ssim_impl(x, y, k, false);
+    val
+}
+
+/// Mean SSIM and its gradient with respect to `x`.
+///
+/// Returns `(ssim, d ssim / d x)` where the gradient has `x`'s shape.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the rank is not 3 or 4.
+pub fn ssim_with_grad(x: &Tensor, y: &Tensor) -> (f32, Tensor) {
+    let (val, grad) = ssim_impl(x, y, SsimConstants::default(), true);
+    (val, grad.expect("gradient requested"))
+}
+
+fn plane_views(t: &Tensor) -> (usize, usize, usize) {
+    match t.ndim() {
+        3 => (t.shape()[0], t.shape()[1], t.shape()[2]),
+        4 => (t.shape()[0] * t.shape()[1], t.shape()[2], t.shape()[3]),
+        r => panic!("ssim: expected rank-3 or rank-4 tensor, got rank {r}"),
+    }
+}
+
+fn ssim_impl(x: &Tensor, y: &Tensor, k: SsimConstants, want_grad: bool) -> (f32, Option<Tensor>) {
+    assert_eq!(x.shape(), y.shape(), "ssim: shape mismatch");
+    let (planes, h, w) = plane_views(x);
+    let win = fitting_window(h, w);
+    let g = gaussian_window(win, 1.5);
+    let mut total = 0.0f64;
+    let mut grad = if want_grad {
+        Some(vec![0.0f32; x.len()])
+    } else {
+        None
+    };
+    let plane_len = h * w;
+    for pl in 0..planes {
+        let xp = Tensor::from_vec(
+            x.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
+            &[h, w],
+        );
+        let yp = Tensor::from_vec(
+            y.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
+            &[h, w],
+        );
+        let (s, gpl) = ssim_plane(&xp, &yp, &g, k, want_grad);
+        total += s as f64;
+        if let (Some(gacc), Some(gp)) = (grad.as_mut(), gpl) {
+            gacc[pl * plane_len..(pl + 1) * plane_len]
+                .iter_mut()
+                .zip(gp.data())
+                .for_each(|(a, &b)| *a += b / planes as f32);
+        }
+    }
+    let val = (total / planes as f64) as f32;
+    let grad = grad.map(|gv| Tensor::from_vec(gv, x.shape()));
+    (val, grad)
+}
+
+/// SSIM of a single `[H, W]` plane; optionally also `d ssim / d x`.
+fn ssim_plane(
+    x: &Tensor,
+    y: &Tensor,
+    g: &Tensor,
+    k: SsimConstants,
+    want_grad: bool,
+) -> (f32, Option<Tensor>) {
+    let (h, w) = (x.shape()[0], x.shape()[1]);
+    let p = conv2d_valid_single(x, g); // G*x
+    let u_y = conv2d_valid_single(y, g); // G*y
+    let q = conv2d_valid_single(&x.mul(x), g); // G*(x²)
+    let r = conv2d_valid_single(&x.mul(y), g); // G*(xy)
+    let yy = conv2d_valid_single(&y.mul(y), g); // G*(y²)
+    let v_y = yy.sub(&u_y.mul(&u_y));
+
+    let n_out = p.len() as f32;
+    let mut ssim_sum = 0.0f64;
+    let mut d_p = Tensor::zeros(p.shape());
+    let mut d_q = Tensor::zeros(p.shape());
+    let mut d_r = Tensor::zeros(p.shape());
+    for i in 0..p.len() {
+        let pv = p.data()[i];
+        let uy = u_y.data()[i];
+        let qv = q.data()[i];
+        let rv = r.data()[i];
+        let vy = v_y.data()[i];
+        let a1 = 2.0 * pv * uy + k.c1;
+        let a2 = 2.0 * (rv - pv * uy) + k.c2;
+        let b1 = pv * pv + uy * uy + k.c1;
+        let b2 = (qv - pv * pv) + vy + k.c2;
+        let s = (a1 * a2) / (b1 * b2);
+        ssim_sum += s as f64;
+        if want_grad {
+            // dS/dp = 2 u_y (A2 − A1)/(B1 B2) − 2 p S (1/B1 − 1/B2)
+            let dp = 2.0 * uy * (a2 - a1) / (b1 * b2) - 2.0 * pv * s * (1.0 / b1 - 1.0 / b2);
+            let dq = -s / b2;
+            let dr = 2.0 * a1 / (b1 * b2);
+            d_p.data_mut()[i] = dp / n_out;
+            d_q.data_mut()[i] = dq / n_out;
+            d_r.data_mut()[i] = dr / n_out;
+        }
+    }
+    let val = (ssim_sum / n_out as f64) as f32;
+    if !want_grad {
+        return (val, None);
+    }
+    // Pull the three window-statistic gradients back through the blur.
+    let gp = conv2d_valid_single_adjoint(&d_p, g, h, w);
+    let gq = conv2d_valid_single_adjoint(&d_q, g, h, w);
+    let gr = conv2d_valid_single_adjoint(&d_r, g, h, w);
+    let grad = gp
+        .add(&gq.mul(&x.scale(2.0)))
+        .add(&gr.mul(y));
+    (val, Some(grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(shape: &[usize], phase: f32) -> Tensor {
+        Tensor::from_fn(shape, |i| 0.5 + 0.4 * ((i as f32) * 0.13 + phase).sin())
+    }
+
+    #[test]
+    fn gaussian_window_normalised_and_symmetric() {
+        let g = gaussian_window(11, 1.5);
+        assert!((g.sum() - 1.0).abs() < 1e-5);
+        let (n, _) = (g.shape()[0], g.shape()[1]);
+        for y in 0..n {
+            for x in 0..n {
+                let a = g.at(&[y, x]);
+                let b = g.at(&[n - 1 - y, n - 1 - x]);
+                assert!((a - b).abs() < 1e-7);
+            }
+        }
+        // Peak at centre.
+        assert_eq!(g.argmax(), (n / 2) * n + n / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn gaussian_window_rejects_even_size() {
+        let _ = gaussian_window(4, 1.5);
+    }
+
+    #[test]
+    fn identical_images_have_unit_ssim() {
+        let x = image(&[1, 16, 16], 0.0);
+        let s = ssim(&x, &x);
+        assert!((s - 1.0).abs() < 1e-4, "ssim(x,x)={s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let x = image(&[1, 16, 16], 0.0);
+        let y = image(&[1, 16, 16], 1.3);
+        let a = ssim(&x, &y);
+        let b = ssim(&y, &x);
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ssim_decreases_with_perturbation() {
+        let x = image(&[3, 16, 16], 0.0);
+        let small = x.add(&Tensor::full(x.shape(), 0.01));
+        let large = x.add(&Tensor::from_fn(x.shape(), |i| {
+            0.3 * ((i * 7 % 13) as f32 / 13.0 - 0.5)
+        }));
+        let s_small = ssim(&x, &small);
+        let s_large = ssim(&x, &large);
+        assert!(s_small > s_large, "small={s_small} large={s_large}");
+        assert!(s_small <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn ssim_handles_tiny_images() {
+        // Window shrinks to fit 5x5.
+        let x = image(&[1, 5, 5], 0.0);
+        let s = ssim(&x, &x);
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_rank4_matches_mean_of_planes() {
+        let a = image(&[1, 12, 12], 0.0);
+        let b = image(&[1, 12, 12], 0.9);
+        let ya = image(&[1, 12, 12], 0.2);
+        let yb = image(&[1, 12, 12], 0.5);
+        let batch_x = Tensor::stack(&[a.clone(), b.clone()]);
+        let batch_y = Tensor::stack(&[ya.clone(), yb.clone()]);
+        let joint = ssim(&batch_x, &batch_y);
+        let sep = 0.5 * (ssim(&a, &ya) + ssim(&b, &yb));
+        assert!((joint - sep).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let x = image(&[1, 10, 10], 0.4);
+        let y = image(&[1, 10, 10], 1.1);
+        let (_, grad) = ssim_with_grad(&x, &y);
+        let eps = 1e-3;
+        for &flat in &[0usize, 13, 47, 55, 99] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let num = (ssim(&xp, &y) - ssim(&xm, &y)) / (2.0 * eps);
+            let ana = grad.data()[flat];
+            assert!(
+                (num - ana).abs() < 2e-3,
+                "flat={flat}: numeric={num} analytic={ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_at_identity_is_near_zero() {
+        // SSIM is maximised at x == y, so the gradient there must vanish.
+        let x = image(&[1, 12, 12], 0.0);
+        let (s, grad) = ssim_with_grad(&x, &x);
+        assert!((s - 1.0).abs() < 1e-4);
+        assert!(grad.linf_norm() < 1e-3, "grad max={}", grad.linf_norm());
+    }
+
+    #[test]
+    fn gradient_points_toward_reference() {
+        // Moving x a small step along the gradient must not decrease SSIM.
+        let x = image(&[1, 12, 12], 0.0);
+        let y = image(&[1, 12, 12], 0.8);
+        let (s0, grad) = ssim_with_grad(&x, &y);
+        let stepped = x.add(&grad.scale(0.5));
+        let s1 = ssim(&stepped, &y);
+        assert!(s1 >= s0, "s0={s0} s1={s1}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Robust statistics used by the backdoor detectors.
+//!
+//! Every reverse-engineering defense in the paper (NC, TABOR, USB) reduces a
+//! model to one scalar per class — the L1 norm of that class's reversed
+//! trigger — and then asks: *is any class an outlier on the small side?*
+//! The outlier test is the median-absolute-deviation (MAD) based anomaly
+//! index of Neural Cleanse: `|x − median| / (1.4826 · MAD)`, flagged when it
+//! exceeds 2.0 *and* the value sits below the median.
+
+use std::cmp::Ordering;
+
+/// Consistency constant that makes the MAD an unbiased estimator of the
+/// standard deviation under normality (Neural Cleanse uses the same value).
+pub const MAD_CONSISTENCY: f64 = 1.4826;
+
+/// Default anomaly-index threshold above which a class is flagged.
+pub const DEFAULT_ANOMALY_THRESHOLD: f64 = 2.0;
+
+/// Median of a slice (averaged middle pair for even lengths).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Median absolute deviation (not yet scaled by [`MAD_CONSISTENCY`]).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mad(values: &[f64]) -> f64 {
+    let med = median(values);
+    let dev: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&dev)
+}
+
+/// Per-value anomaly indices: `|x − median| / (MAD_CONSISTENCY · mad)`.
+///
+/// When the MAD is zero (all values identical) the indices are all zero, so
+/// nothing is flagged — the degenerate case of a perfectly uniform profile.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn anomaly_indices(values: &[f64]) -> Vec<f64> {
+    let med = median(values);
+    let m = mad(values);
+    let denom = MAD_CONSISTENCY * m;
+    values
+        .iter()
+        .map(|v| {
+            if denom <= f64::EPSILON {
+                0.0
+            } else {
+                (v - med).abs() / denom
+            }
+        })
+        .collect()
+}
+
+/// The outlier decision used by all three defenses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierReport {
+    /// Anomaly index per class.
+    pub indices: Vec<f64>,
+    /// Classes flagged as suspiciously *small* outliers (candidate backdoor
+    /// target classes), in ascending class order.
+    pub flagged: Vec<usize>,
+    /// Median of the input values.
+    pub median: f64,
+}
+
+/// Flags classes whose value is an abnormally **small** outlier.
+///
+/// A class `t` is flagged when `anomaly_index(t) > threshold` and
+/// `values[t] < median`, following Neural Cleanse: a backdoor shortcut makes
+/// the reversed trigger of the target class much *smaller* than the others,
+/// while abnormally large values are irrelevant.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+///
+/// ```rust
+/// # use usb_tensor::stats::flag_small_outliers;
+/// let norms = [50.0, 52.0, 4.5, 49.0, 51.0, 48.0, 50.5, 49.5, 52.5, 47.0];
+/// let report = flag_small_outliers(&norms, 2.0);
+/// assert_eq!(report.flagged, vec![2]);
+/// ```
+pub fn flag_small_outliers(values: &[f64], threshold: f64) -> OutlierReport {
+    let med = median(values);
+    let indices = anomaly_indices(values);
+    let flagged = indices
+        .iter()
+        .enumerate()
+        .filter(|&(i, &idx)| idx > threshold && values[i] < med)
+        .map(|(i, _)| i)
+        .collect();
+    OutlierReport {
+        indices,
+        flagged,
+        median: med,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn mad_known_value() {
+        // values: 1..=7, median 4, deviations {3,2,1,0,1,2,3}, median 2.
+        let v: Vec<f64> = (1..=7).map(f64::from).collect();
+        assert_eq!(mad(&v), 2.0);
+    }
+
+    #[test]
+    fn anomaly_indices_zero_for_uniform() {
+        let idx = anomaly_indices(&[3.0; 10]);
+        assert!(idx.iter().all(|&i| i == 0.0));
+    }
+
+    #[test]
+    fn flags_only_small_outliers() {
+        // One small outlier (index 2) and one large outlier (index 7): only
+        // the small one is a backdoor signature.
+        let v = [50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 200.0, 49.0, 51.0];
+        let rep = flag_small_outliers(&v, 2.0);
+        assert_eq!(rep.flagged, vec![2]);
+        assert!(rep.indices[7] > 2.0, "large outlier has big index too");
+    }
+
+    #[test]
+    fn clean_profile_unflagged() {
+        let v = [50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0];
+        let rep = flag_small_outliers(&v, 2.0);
+        assert!(rep.flagged.is_empty(), "flagged {:?}", rep.flagged);
+    }
+
+    #[test]
+    fn multiple_small_outliers_all_flagged() {
+        let v = [50.0, 5.0, 47.0, 6.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0];
+        let rep = flag_small_outliers(&v, 2.0);
+        assert_eq!(rep.flagged, vec![1, 3]);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let v = [10.0, 10.5, 9.5, 8.0, 10.2, 9.8, 10.1, 9.9, 10.3, 9.7];
+        let strict = flag_small_outliers(&v, 100.0);
+        assert!(strict.flagged.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Head-to-head: Neural Cleanse vs TABOR vs USB on one backdoored and one
+//! clean victim — a one-model slice of the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --example compare_defenses
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use universal_soldier::prelude::*;
+
+fn report(name: &str, outcome: &DetectionOutcome, truth: Option<usize>, seconds: f64) {
+    let verdict = score_outcome(outcome, truth);
+    println!(
+        "  {name:<6} called {:<10} flagged {:?} (reported L1 {:.2}, {:.1}s) -> {}",
+        if verdict.called_backdoored {
+            "BACKDOORED"
+        } else {
+            "clean"
+        },
+        outcome.flagged,
+        outcome.reported_l1(),
+        seconds,
+        match verdict.target_call {
+            TargetClassCall::Correct => "correct target",
+            TargetClassCall::CorrectSet => "correct set",
+            TargetClassCall::Wrong => "WRONG target",
+            TargetClassCall::NotApplicable =>
+                if verdict.model_detection_correct {
+                    "correct"
+                } else {
+                    "INCORRECT"
+                },
+        }
+    );
+}
+
+fn main() {
+    let data = SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(400)
+        .with_test_size(100)
+        .generate(11);
+    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
+
+    println!("training one backdoored and one clean victim...");
+    let mut backdoored = BadNet::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 1);
+    let mut clean = train_clean_victim(&data, arch, TrainConfig::new(20), 2);
+    println!(
+        "backdoored: acc {:.2} asr {:.2} | clean: acc {:.2}",
+        backdoored.clean_accuracy,
+        backdoored.asr(),
+        clean.clean_accuracy
+    );
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let nc = NeuralCleanse::new(NcConfig::standard());
+    let tabor = Tabor::new(TaborConfig::standard());
+    let usb = UsbDetector::new(UsbConfig::standard());
+    let suite: [(&str, &dyn Defense); 3] = [("NC", &nc), ("TABOR", &tabor), ("USB", &usb)];
+
+    println!("\n--- backdoored victim (true target: {:?}) ---", backdoored.target());
+    for (name, defense) in suite {
+        let t0 = Instant::now();
+        let outcome = defense.inspect(&mut backdoored.model, &clean_x, &mut rng);
+        report(name, &outcome, backdoored.target(), t0.elapsed().as_secs_f64());
+    }
+
+    println!("\n--- clean victim ---");
+    for (name, defense) in suite {
+        let t0 = Instant::now();
+        let outcome = defense.inspect(&mut clean.model, &clean_x, &mut rng);
+        report(name, &outcome, None, t0.elapsed().as_secs_f64());
+    }
+}

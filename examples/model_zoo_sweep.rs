@@ -1,0 +1,24 @@
+//! A miniature model-zoo sweep: one paper-style table row-group produced
+//! end to end with the `usb-eval` grid (Table 5 setting, 2 models per case,
+//! fast defense configs). The full reproduction lives in the `usb-repro`
+//! binary; this example shows the library API behind it.
+//!
+//! ```text
+//! cargo run --release --example model_zoo_sweep
+//! ```
+
+use universal_soldier::eval::grid::{run_table, table5, DefenseSuite};
+use universal_soldier::eval::{format_table, write_csv};
+
+fn main() {
+    let spec = table5();
+    println!("running {} with 2 models/case (fast configs)...", spec.id);
+    let suite = DefenseSuite::fast();
+    let report = run_table(&spec, 2, &suite, |line| println!("{line}"));
+    print!("\n{}", format_table(&report));
+    let path = std::path::Path::new("target/repro/example_sweep.csv");
+    match write_csv(&report, path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

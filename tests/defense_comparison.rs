@@ -1,0 +1,98 @@
+//! Cross-defense integration: NC, TABOR, and USB inspect the same victim;
+//! all three must rank the implanted target class lowest on a classic
+//! BadNet victim (Table 1's qualitative content), and the latent backdoor
+//! must still be visible to USB (Table 3).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use universal_soldier::prelude::*;
+
+#[test]
+fn all_defenses_rank_badnet_target_lowest() {
+    let data = SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(300)
+        .with_test_size(60)
+        .with_classes(6)
+        .generate(211);
+    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
+    let mut victim = BadNet::new(2, 2, 0.15).execute(&data, arch, TrainConfig::new(20), 21);
+    assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let nc = NeuralCleanse::fast();
+    let tabor = Tabor::fast();
+    let usb = UsbDetector::fast();
+    let defenses: [(&str, &dyn Defense); 3] = [("NC", &nc), ("TABOR", &tabor), ("USB", &usb)];
+    for (name, defense) in defenses {
+        let outcome = defense.inspect(&mut victim.model, &clean_x, &mut rng);
+        let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
+        let min_idx = norms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(
+            min_idx, 2,
+            "{name} did not rank the target lowest: {norms:?}"
+        );
+    }
+}
+
+#[test]
+fn latent_backdoor_is_visible_to_usb() {
+    let data = SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(300)
+        .with_test_size(60)
+        .with_classes(6)
+        .generate(212);
+    let arch = Architecture::new(ModelKind::Vgg16, (3, 12, 12), 6).with_width(6);
+    let mut victim =
+        LatentBackdoor::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 22);
+    assert!(victim.asr() > 0.7, "latent attack failed: {}", victim.asr());
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+    let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
+    let min_idx = norms
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(min_idx, 4, "USB did not rank latent target lowest: {norms:?}");
+}
+
+#[test]
+fn usb_is_faster_than_nc_per_class() {
+    // Table 7's qualitative claim at unit scale: USB's UAP-seeded search
+    // needs less wall-clock than NC's random-start optimisation, using the
+    // standard (non-fast) configurations of both.
+    let data = SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(300)
+        .with_test_size(60)
+        .with_classes(6)
+        .generate(213);
+    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
+    let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 23);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+
+    let nc = NeuralCleanse::new(NcConfig::standard());
+    let usb = UsbDetector::new(UsbConfig::standard());
+    let t0 = std::time::Instant::now();
+    let _ = nc.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+    let t_nc = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let _ = usb.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+    let t_usb = t0.elapsed();
+    assert!(
+        t_usb < t_nc,
+        "USB ({t_usb:?}) should be faster than NC ({t_nc:?})"
+    );
+}

@@ -1,0 +1,92 @@
+//! End-to-end integration: synthetic data → poisoned training → USB
+//! detection → paper-style scoring. This is the full pipeline a user of the
+//! library would run, crossing every workspace crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use universal_soldier::prelude::*;
+
+// Ten classes, like every setting in the paper: the MAD outlier test needs
+// enough classes for a stable median.
+fn dataset(seed: u64) -> Dataset {
+    SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(400)
+        .with_test_size(80)
+        .generate(seed)
+}
+
+fn arch() -> Architecture {
+    Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4)
+}
+
+#[test]
+fn usb_detects_badnet_end_to_end() {
+    let data = dataset(201);
+    let mut victim = BadNet::new(2, 3, 0.15).execute(&data, arch(), TrainConfig::new(20), 13);
+    assert!(
+        victim.clean_accuracy > 0.8,
+        "victim under-trained: {}",
+        victim.clean_accuracy
+    );
+    assert!(victim.asr() > 0.8, "backdoor failed: {}", victim.asr());
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let usb = UsbDetector::fast();
+    let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+
+    assert!(outcome.is_backdoored(), "USB missed the backdoor");
+    assert!(
+        outcome.flagged.contains(&3),
+        "USB flagged {:?}, expected target 3",
+        outcome.flagged
+    );
+    let verdict = score_outcome(&outcome, victim.target());
+    assert!(verdict.model_detection_correct);
+    assert!(matches!(
+        verdict.target_call,
+        TargetClassCall::Correct | TargetClassCall::CorrectSet
+    ));
+}
+
+#[test]
+fn usb_does_not_flag_clean_model_end_to_end() {
+    let data = dataset(202);
+    let mut victim = train_clean_victim(&data, arch(), TrainConfig::new(20), 14);
+    assert!(victim.clean_accuracy > 0.8);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let usb = UsbDetector::fast();
+    let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+    let verdict = score_outcome(&outcome, None);
+    assert!(
+        verdict.model_detection_correct,
+        "false positive: flagged {:?} with norms {:?}",
+        outcome.flagged,
+        outcome.per_class.iter().map(|c| c.l1_norm).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn backdoored_class_has_smallest_usb_norm() {
+    // The §4.2 headline property (2x2 BadNet, ResNet-18), on a fresh victim.
+    let data = dataset(203);
+    let mut victim = BadNet::new(2, 1, 0.15).execute(&data, arch(), TrainConfig::new(20), 15);
+    assert!(victim.asr() > 0.8);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+    let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
+    let min_idx = norms
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(
+        min_idx, 1,
+        "backdoored class should have the smallest norm: {norms:?}"
+    );
+}

@@ -1,0 +1,67 @@
+//! Smoke test of the `usb-eval` grid: a miniature table runs end to end and
+//! produces a structurally correct report plus CSV.
+
+use universal_soldier::data::SyntheticSpec;
+use universal_soldier::eval::grid::{
+    run_table, table5, AttackChoice, CaseSpec, DefenseSuite, TableSpec,
+};
+use universal_soldier::eval::{format_table, write_csv};
+use universal_soldier::nn::models::ModelKind;
+use universal_soldier::nn::train::TrainConfig;
+
+fn tiny_spec() -> TableSpec {
+    TableSpec {
+        dataset: SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(240)
+            .with_test_size(60)
+            .with_classes(6),
+        model: ModelKind::ResNet18,
+        width: 4,
+        train: TrainConfig::new(20),
+        cases: vec![CaseSpec {
+            attack: AttackChoice::BadNet { trigger: 2 },
+            poison_rate: 0.15,
+        }],
+        defense_samples: 40,
+        ..table5()
+    }
+}
+
+#[test]
+fn mini_table_runs_and_reports() {
+    let spec = tiny_spec();
+    let suite = DefenseSuite::fast();
+    let mut lines = 0usize;
+    let report = run_table(&spec, 1, &suite, |_| lines += 1);
+    assert!(lines > 0, "progress callback never fired");
+    assert_eq!(report.cases.len(), 1);
+    let case = &report.cases[0];
+    assert_eq!(case.cells.len(), 3, "NC, TABOR, USB");
+    assert!(case.mean_accuracy > 0.7, "victim under-trained");
+    assert!(case.mean_asr > 0.7, "attack failed");
+    for cell in &case.cells {
+        assert_eq!(cell.called_clean + cell.called_backdoored, 1);
+        assert!(cell.mean_l1.is_finite() && cell.mean_l1 >= 0.0);
+        assert!(cell.seconds > 0.0);
+    }
+    // USB must be the fastest method (Table 7's ordering).
+    let seconds: Vec<f64> = case.cells.iter().map(|c| c.seconds).collect();
+    assert!(
+        seconds[2] < seconds[0] && seconds[2] < seconds[1],
+        "USB should be fastest: NC {:.1}s TABOR {:.1}s USB {:.1}s",
+        seconds[0],
+        seconds[1],
+        seconds[2]
+    );
+
+    // Formatting and CSV round-trip.
+    let text = format_table(&report);
+    assert!(text.contains("Backdoored (2x2 trigger)"));
+    assert!(text.contains("USB"));
+    let path = std::env::temp_dir().join("usb_grid_smoke").join("t.csv");
+    write_csv(&report, &path).unwrap();
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(csv.lines().count(), 4, "header + 3 method rows");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
