@@ -136,9 +136,7 @@ mod tests {
         let (px, py, trigger) = attack.poison_training_set(&data, &mut rng);
         assert_eq!(px.shape(), data.train_images.shape());
         let changed: usize = (0..data.train_len())
-            .filter(|&i| {
-                px.index_axis0(i).data() != data.train_images.index_axis0(i).data()
-            })
+            .filter(|&i| px.index_axis0(i).data() != data.train_images.index_axis0(i).data())
             .count();
         // ceil(200 * 0.1) = 20 stamped samples (a stamp may be a no-op only
         // if the image already matched the patch, which noise makes

@@ -123,13 +123,15 @@ pub struct IadAttack {
 
 impl IadAttack {
     /// Creates an IAD attack with the defaults calibrated for the synthetic
-    /// substrate: 20% poison, 10% cross, ε = 0.4, diversity 0.3, generator
+    /// substrate: 30% poison, 10% cross, ε = 0.4, diversity 0.3, generator
     /// width 8. (The effective trigger spans the whole image, mirroring the
-    /// paper's 32×32×3 IAD trigger size.)
+    /// paper's 32×32×3 IAD trigger size; the joint generator/classifier
+    /// optimisation needs the higher poison rate to implant reliably at
+    /// this scale.)
     pub fn new(target: usize) -> Self {
         IadAttack {
             target,
-            poison_fraction: 0.2,
+            poison_fraction: 0.3,
             cross_fraction: 0.1,
             epsilon: 0.4,
             diversity_weight: 0.3,
@@ -178,6 +180,7 @@ impl Attack for IadAttack {
                 let patterns = generator.generate(&bx); // [bn, C, H, W]
                 let mut train_rows: Vec<Tensor> = Vec::with_capacity(bn);
                 let mut train_labels: Vec<usize> = Vec::with_capacity(bn);
+                #[allow(clippy::needless_range_loop)] // row indexes three parallel arrays
                 for row in 0..bn {
                     let img = bx.index_axis0(row);
                     if row < poison_n {
@@ -208,8 +211,7 @@ impl Attack for IadAttack {
                 let patterns = generator.generate(&gx);
                 let stamped = blend(&gx, &patterns, self.epsilon);
                 let logits = model.forward(&stamped, Mode::Eval);
-                let (_, dlogits) =
-                    softmax_cross_entropy(&logits, &vec![self.target; bn]);
+                let (_, dlogits) = softmax_cross_entropy(&logits, &vec![self.target; bn]);
                 let dstamped = model.backward(&dlogits);
                 model.zero_grad(); // classifier params frozen for this step
                 let mut dpatterns = dstamped.scale(self.epsilon);

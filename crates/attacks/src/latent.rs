@@ -87,6 +87,7 @@ impl Attack for LatentBackdoor {
                 let poison_count = ((bn as f64 * self.poison_rate).ceil() as usize).min(bn);
                 // Poison the first `poison_count` rows of the shuffled batch.
                 let mut poisoned_rows = Vec::with_capacity(poison_count);
+                #[allow(clippy::needless_range_loop)] // row indexes bx and by in lockstep
                 for row in 0..poison_count {
                     let stamped = trigger.stamp_image(&bx.index_axis0(row));
                     bx.set_axis0(row, &stamped);

@@ -29,12 +29,7 @@ fn bench_suite(c: &mut Criterion, group: &str, fixture: &'static Fixture) {
             bench.iter(|| {
                 let mut rng = StdRng::seed_from_u64(0);
                 let mut victim = fixture.victim.lock().unwrap();
-                black_box(defense.reverse_class(
-                    &mut victim.model,
-                    &fixture.clean_x,
-                    0,
-                    &mut rng,
-                ))
+                black_box(defense.reverse_class(&mut victim.model, &fixture.clean_x, 0, &mut rng))
             })
         });
     }

@@ -113,7 +113,13 @@ pub fn imagenet_efficientnet_badnet() -> &'static Fixture {
 pub fn cifar_vgg_iad() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
-        Fixture::build(cifar_spec(), ModelKind::Vgg16, 6, Some(&IadAttack::new(0)), 304)
+        Fixture::build(
+            cifar_spec(),
+            ModelKind::Vgg16,
+            6,
+            Some(&IadAttack::new(0)),
+            304,
+        )
     })
 }
 

@@ -45,18 +45,15 @@ impl Default for DeepfoolConfig {
 /// # Panics
 ///
 /// Panics if `x` is not rank-3 or `target` is out of range.
-pub fn deepfool(
-    model: &mut Network,
-    x: &Tensor,
-    target: usize,
-    config: DeepfoolConfig,
-) -> Tensor {
+pub fn deepfool(model: &mut Network, x: &Tensor, target: usize, config: DeepfoolConfig) -> Tensor {
     assert_eq!(x.ndim(), 3, "deepfool: x must be [C,H,W]");
     assert!(
         target < model.num_classes(),
         "deepfool: target {target} out of range"
     );
-    let shape4: Vec<usize> = std::iter::once(1).chain(x.shape().iter().copied()).collect();
+    let shape4: Vec<usize> = std::iter::once(1)
+        .chain(x.shape().iter().copied())
+        .collect();
     let mut xi = x.reshape(&shape4);
     let orig = xi.clone();
     for _ in 0..config.max_iters {
@@ -152,7 +149,7 @@ mod tests {
         // Find a test image the model classifies correctly.
         for i in 0..10 {
             let x = data.test_images.index_axis0(i);
-            let pred = model.predict(&Tensor::stack(&[x.clone()]))[0];
+            let pred = model.predict(&Tensor::stack(std::slice::from_ref(&x)))[0];
             if pred == data.test_labels[i] {
                 let r = deepfool(&mut model, &x, pred, DeepfoolConfig::default());
                 assert_eq!(r.l1_norm(), 0.0, "no perturbation needed");

@@ -223,7 +223,7 @@ mod tests {
         let mut v = Tensor::zeros(&[1, 4, 4]);
         *v.at_mut(&[0, 1, 1]) = 0.5; // single strong pixel
         let (mask, _) = init_from_uap(&v);
-        assert_eq!(mask.argmax(), 1 * 4 + 1);
+        assert_eq!(mask.argmax(), 5); // row 1, col 1 of the 4x4 mask
         assert!(mask.at(&[0, 0]) < 0.01);
     }
 
@@ -241,7 +241,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (x, _) = data.clean_subset(32, &mut rng);
         let uap = targeted_uap(&mut victim.model, &x, 1, UapConfig::fast());
-        let refined = refine_uap(&mut victim.model, &x, 1, &uap.perturbation, RefineConfig::fast());
+        let refined = refine_uap(
+            &mut victim.model,
+            &x,
+            1,
+            &uap.perturbation,
+            RefineConfig::fast(),
+        );
         assert!(
             refined.success_rate > 0.6,
             "refined trigger lost the shortcut: {}",
@@ -254,7 +260,11 @@ mod tests {
             "mask did not concentrate: {}",
             refined.mask_l1()
         );
-        assert!(refined.final_ssim > 0.2, "ssim collapsed: {}", refined.final_ssim);
+        assert!(
+            refined.final_ssim > 0.2,
+            "ssim collapsed: {}",
+            refined.final_ssim
+        );
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub fn targeted_uap(
         for i in 0..n {
             let xi = images.index_axis0(i);
             let perturbed = xi.add(&v).clamp(0.0, 1.0);
-            let pred = model.predict(&Tensor::stack(&[perturbed.clone()]))[0];
+            let pred = model.predict(&Tensor::stack(std::slice::from_ref(&perturbed)))[0];
             if pred != target {
                 let dv = deepfool(model, &perturbed, target, config.deepfool);
                 deepfool_calls += 1;

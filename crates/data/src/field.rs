@@ -70,9 +70,7 @@ impl ClassPrototypes {
                     .collect()
             })
             .collect();
-        let shared_bumps: Vec<Bump> = (0..shared_pool)
-            .map(|_| Bump::random(spec, rng))
-            .collect();
+        let shared_bumps: Vec<Bump> = (0..shared_pool).map(|_| Bump::random(spec, rng)).collect();
         // Class c shares bumps c and c+1 (mod pool) with its neighbours, so
         // adjacent classes literally share features.
         let shared_assignment = (0..spec.num_classes)

@@ -235,8 +235,14 @@ pub struct Dataset {
 impl Dataset {
     /// Draws `n` fresh samples from the generating distribution — the
     /// "small amount of clean data" every inference-time defense assumes
-    /// (the paper uses 300 entries).
+    /// (the paper uses 300 entries). Because samples are drawn fresh, `n`
+    /// may exceed the stored train/test split sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (a defense cannot run on an empty subset).
     pub fn clean_subset(&self, n: usize, rng: &mut impl Rng) -> (Tensor, Vec<usize>) {
+        assert!(n > 0, "clean_subset: requested 0 samples");
         let mut images = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -301,10 +307,19 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = SyntheticSpec::mnist().with_size(12).with_train_size(8).generate(9);
-        let b = SyntheticSpec::mnist().with_size(12).with_train_size(8).generate(9);
+        let a = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .generate(9);
+        let b = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .generate(9);
         assert_eq!(a.train_images.data(), b.train_images.data());
-        let c = SyntheticSpec::mnist().with_size(12).with_train_size(8).generate(10);
+        let c = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .generate(10);
         assert_ne!(a.train_images.data(), c.train_images.data());
     }
 
@@ -344,8 +359,28 @@ mod tests {
     }
 
     #[test]
+    fn clean_subset_rejects_zero_samples() {
+        let d = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .generate(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.clean_subset(0, &mut rng)))
+                .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(
+            msg.contains("requested 0 samples"),
+            "panic message should name the mistake: {msg}"
+        );
+    }
+
+    #[test]
     fn clean_subset_draws_fresh_samples() {
-        let d = SyntheticSpec::mnist().with_size(12).with_train_size(8).generate(5);
+        let d = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(8)
+            .generate(5);
         let mut rng = StdRng::seed_from_u64(0);
         let (x, y) = d.clean_subset(25, &mut rng);
         assert_eq!(x.shape(), &[25, 1, 12, 12]);

@@ -173,14 +173,9 @@ impl Defense for NeuralCleanse {
     ) -> ClassResult {
         let (c, h, w) = model.input_shape();
         let var = TriggerVar::random(c, h, w, rng);
-        let (var, success) = optimise_trigger(
-            model,
-            images,
-            target,
-            &self.config,
-            var,
-            |_| (Tensor::zeros(&[h, w]), Tensor::zeros(&[c, h, w])),
-        );
+        let (var, success) = optimise_trigger(model, images, target, &self.config, var, |_| {
+            (Tensor::zeros(&[h, w]), Tensor::zeros(&[c, h, w]))
+        });
         ClassResult {
             class: target,
             l1_norm: var.mask_l1(),

@@ -155,8 +155,8 @@ impl Defense for Tabor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use usb_attacks::{Attack, BadNet};
     use usb_data::SyntheticSpec;
     use usb_nn::models::{Architecture, ModelKind};

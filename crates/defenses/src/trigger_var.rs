@@ -149,10 +149,7 @@ impl TriggerVar {
                 }
             }
         }
-        (
-            self.chain_mask(&d_mask),
-            self.chain_pattern(&d_pattern),
-        )
+        (self.chain_mask(&d_mask), self.chain_pattern(&d_pattern))
     }
 
     /// Gradient of `weight · ‖mask‖₁` with respect to `θ_mask` (to add onto

@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use usb_nn::models::Network;
-use usb_tensor::stats::{flag_small_outliers, DEFAULT_ANOMALY_THRESHOLD};
+use usb_tensor::stats::{flag_small_outliers, median, DEFAULT_ANOMALY_THRESHOLD};
 use usb_tensor::Tensor;
 
 /// The reversed trigger and statistics for one candidate target class.
@@ -46,12 +46,19 @@ pub struct DetectionOutcome {
 
 impl DetectionOutcome {
     /// Builds the outcome from per-class results by running the MAD outlier
-    /// test on the L1 norms (small outliers only), keeping only flagged
-    /// classes whose reversed trigger actually works (`attack_success ≥
-    /// min_success`) **and** whose norm is substantially below the median
-    /// (`< RELATIVE_NORM_BAR × median`). The relative bar compensates for
-    /// partially converged norm profiles, where the MAD alone over-flags
-    /// clean models.
+    /// test on the **log** L1 norms (small outliers only), keeping only
+    /// flagged classes whose reversed trigger actually works
+    /// (`attack_success ≥ min_success`) **and** whose norm is substantially
+    /// below the median (`< RELATIVE_NORM_BAR × median`).
+    ///
+    /// The log transform makes the test robust to the multiplicative spread
+    /// of reversed-trigger norms: clean classes differ from each other by
+    /// *factors* (hard vs easy classes), which inflates a linear MAD until
+    /// a genuinely tiny backdoor norm no longer clears the threshold. In
+    /// log space that spread is additive and the backdoor outlier stands
+    /// out. The relative bar then suppresses borderline flags on clean
+    /// models, where the smallest class can sit near half the median by
+    /// chance alone.
     ///
     /// # Panics
     ///
@@ -62,22 +69,26 @@ impl DetectionOutcome {
         min_success: f64,
     ) -> Self {
         /// A flagged norm must be below this fraction of the median.
-        const RELATIVE_NORM_BAR: f64 = 0.6;
+        const RELATIVE_NORM_BAR: f64 = 0.5;
+        /// Floor avoiding `ln(0)` for fully degenerate (all-zero) masks.
+        const LOG_FLOOR: f64 = 1e-6;
         assert!(!per_class.is_empty(), "DetectionOutcome: no classes");
         let norms: Vec<f64> = per_class.iter().map(|c| c.l1_norm).collect();
-        let report = flag_small_outliers(&norms, DEFAULT_ANOMALY_THRESHOLD);
+        let log_norms: Vec<f64> = norms.iter().map(|&n| n.max(LOG_FLOOR).ln()).collect();
+        let report = flag_small_outliers(&log_norms, DEFAULT_ANOMALY_THRESHOLD);
+        let median = median(&norms);
         let flagged: Vec<usize> = report
             .flagged
             .into_iter()
             .filter(|&c| per_class[c].attack_success >= min_success)
-            .filter(|&c| per_class[c].l1_norm < RELATIVE_NORM_BAR * report.median)
+            .filter(|&c| per_class[c].l1_norm < RELATIVE_NORM_BAR * median)
             .collect();
         DetectionOutcome {
             method,
             per_class,
             anomaly_indices: report.indices,
             flagged,
-            median_l1: report.median,
+            median_l1: median,
         }
     }
 
@@ -255,8 +266,14 @@ mod tests {
     #[test]
     fn scoring_backdoored_truth() {
         let o = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
-        assert_eq!(score_outcome(&o, Some(2)).target_call, TargetClassCall::Correct);
-        assert_eq!(score_outcome(&o, Some(5)).target_call, TargetClassCall::Wrong);
+        assert_eq!(
+            score_outcome(&o, Some(2)).target_call,
+            TargetClassCall::Correct
+        );
+        assert_eq!(
+            score_outcome(&o, Some(5)).target_call,
+            TargetClassCall::Wrong
+        );
         assert!(score_outcome(&o, Some(2)).model_detection_correct);
     }
 

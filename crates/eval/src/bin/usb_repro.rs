@@ -86,7 +86,8 @@ fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), Stri
             }
         }
         "fig2" => {
-            let _ = figures::fig_reconstructions(&options.out.join("fig2_imagenet"), true, progress);
+            let _ =
+                figures::fig_reconstructions(&options.out.join("fig2_imagenet"), true, progress);
             let _ = figures::fig_reconstructions(&options.out.join("fig2_cifar"), false, progress);
         }
         "fig3" | "fig4" => {

@@ -60,9 +60,18 @@ pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, f64)
         ("random_start".to_owned(), random_pattern.l1_norm() as f64),
         ("uap_backdoored".to_owned(), uap_bd.l1_norm()),
         ("uap_clean".to_owned(), uap_clean.l1_norm()),
-        ("nc_optimized".to_owned(), nc_result.pattern.l1_norm() as f64),
+        (
+            "nc_optimized".to_owned(),
+            nc_result.pattern.l1_norm() as f64,
+        ),
     ];
-    save_image(&out_dir.join("fig1_random_start.ppm"), &random_pattern, 0.0, 1.0).ok();
+    save_image(
+        &out_dir.join("fig1_random_start.ppm"),
+        &random_pattern,
+        0.0,
+        1.0,
+    )
+    .ok();
     save_image(
         &out_dir.join("fig1_uap_backdoored.ppm"),
         &uap_bd.perturbation,
@@ -77,7 +86,13 @@ pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, f64)
         0.5,
     )
     .ok();
-    save_image(&out_dir.join("fig1_nc_optimized.ppm"), &nc_result.pattern, 0.0, 1.0).ok();
+    save_image(
+        &out_dir.join("fig1_nc_optimized.ppm"),
+        &nc_result.pattern,
+        0.0,
+        1.0,
+    )
+    .ok();
     for (name, l1) in &rows {
         progress(&format!("[fig1] {name}: L1 = {l1:.2}"));
     }
@@ -115,7 +130,13 @@ pub fn fig_reconstructions(
         ..
     } = &victim.ground_truth
     {
-        save_image(&out_dir.join("orig_trigger.ppm"), trigger.pattern(), 0.0, 1.0).ok();
+        save_image(
+            &out_dir.join("orig_trigger.ppm"),
+            trigger.pattern(),
+            0.0,
+            1.0,
+        )
+        .ok();
         save_pgm(&out_dir.join("orig_mask.pgm"), trigger.mask(), 0.0, 1.0).ok();
         rows.push(("original".to_owned(), trigger.mask_l1()));
     }
@@ -132,7 +153,13 @@ pub fn fig_reconstructions(
             1.0,
         )
         .ok();
-        save_pgm(&out_dir.join(format!("reversed_{name}_mask.pgm")), &r.mask, 0.0, 1.0).ok();
+        save_pgm(
+            &out_dir.join(format!("reversed_{name}_mask.pgm")),
+            &r.mask,
+            0.0,
+            1.0,
+        )
+        .ok();
         progress(&format!(
             "[fig2-4] {name}: mask L1 {:.2}, success {:.2}",
             r.l1_norm, r.attack_success
@@ -165,7 +192,13 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<f64> {
     } = &victim.ground_truth
     {
         let carried = trigger.stamp_image(&data.test_images.index_axis0(0));
-        save_image(&out_dir.join("fig5_triggered_input.ppm"), &carried, 0.0, 1.0).ok();
+        save_image(
+            &out_dir.join("fig5_triggered_input.ppm"),
+            &carried,
+            0.0,
+            1.0,
+        )
+        .ok();
     }
     let refine = RefineConfig::standard().without_mask_constraint();
     let mut norms = Vec::new();
@@ -258,12 +291,24 @@ pub fn transfer(mut progress: impl FnMut(&str)) -> (f64, f64, f64) {
     // Full pipeline on B.
     let t0 = std::time::Instant::now();
     let uap_b = targeted_uap(&mut b.model, &x, 0, UapConfig::default());
-    let _ = refine_uap(&mut b.model, &x, 0, &uap_b.perturbation, RefineConfig::standard());
+    let _ = refine_uap(
+        &mut b.model,
+        &x,
+        0,
+        &uap_b.perturbation,
+        RefineConfig::standard(),
+    );
     let full = t0.elapsed().as_secs_f64();
     // Transfer: UAP from A, refinement only on B.
     let uap_a = targeted_uap(&mut a.model, &x, 0, UapConfig::default());
     let t0 = std::time::Instant::now();
-    let out = transfer_uap(&mut b.model, &x, 0, &uap_a.perturbation, RefineConfig::standard());
+    let out = transfer_uap(
+        &mut b.model,
+        &x,
+        0,
+        &uap_a.perturbation,
+        RefineConfig::standard(),
+    );
     let transfer_time = t0.elapsed().as_secs_f64();
     progress(&format!(
         "[transfer] full pipeline {:.2}s vs transfer {:.2}s; raw transfer success {:.2}, refined {:.2}",

@@ -3,9 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use usb_attacks::{
-    train_clean_victim, Attack, BadNet, IadAttack, LatentBackdoor, Victim,
-};
+use usb_attacks::{train_clean_victim, Attack, BadNet, IadAttack, LatentBackdoor, Victim};
 use usb_core::{UsbConfig, UsbDetector};
 use usb_data::SyntheticSpec;
 use usb_defenses::{

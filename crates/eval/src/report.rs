@@ -17,7 +17,17 @@ pub fn format_table(report: &TableReport) -> String {
     out.push_str(&format!("=== {} — {} ===\n", report.id, report.title));
     out.push_str(&format!(
         "{:<42} {:>6} {:>6}  {:<6} {:>9} {:>6} {:>11} {:>8} {:>5} {:>6} {:>8}\n",
-        "Model", "Acc", "ASR", "Method", "L1 norm", "Clean", "Backdoored", "Correct", "Set", "Wrong", "sec"
+        "Model",
+        "Acc",
+        "ASR",
+        "Method",
+        "L1 norm",
+        "Clean",
+        "Backdoored",
+        "Correct",
+        "Set",
+        "Wrong",
+        "sec"
     ));
     for case in &report.cases {
         let is_clean_case = case.mean_asr == 0.0;

@@ -39,7 +39,11 @@ pub struct TimingReport {
 }
 
 /// Measures per-class detection time on the Table 2 setting (EfficientNet).
-pub fn run_timing(models: usize, suite: &DefenseSuite, mut progress: impl FnMut(&str)) -> TimingReport {
+pub fn run_timing(
+    models: usize,
+    suite: &DefenseSuite,
+    mut progress: impl FnMut(&str),
+) -> TimingReport {
     let spec = table2();
     let case = CaseSpec {
         attack: crate::grid::AttackChoice::BadNet { trigger: 3 },

@@ -306,9 +306,8 @@ mod tests {
             xp.data_mut()[flat] += eps;
             let mut xm = x.clone();
             xm.data_mut()[flat] -= eps;
-            let num =
-                (r.forward(&xp, Mode::Train).sum() - r.forward(&xm, Mode::Train).sum())
-                    / (2.0 * eps);
+            let num = (r.forward(&xp, Mode::Train).sum() - r.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
             assert!((num - gi.data()[flat]).abs() < 2e-2);
         }
     }
@@ -328,9 +327,8 @@ mod tests {
             xp.data_mut()[flat] += eps;
             let mut xm = x.clone();
             xm.data_mut()[flat] -= eps;
-            let num =
-                (se.forward(&xp, Mode::Train).sum() - se.forward(&xm, Mode::Train).sum())
-                    / (2.0 * eps);
+            let num = (se.forward(&xp, Mode::Train).sum() - se.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
             assert!(
                 (num - gi.data()[flat]).abs() < 2e-2,
                 "flat {flat}: num={num} ana={}",

@@ -133,9 +133,9 @@ mod tests {
             xp.data_mut()[flat] += eps;
             let mut xm = x.clone();
             xm.data_mut()[flat] -= eps;
-            let num =
-                (layer.forward(&xp, Mode::Train).sum() - layer.forward(&xm, Mode::Train).sum())
-                    / (2.0 * eps);
+            let num = (layer.forward(&xp, Mode::Train).sum()
+                - layer.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
             assert!(
                 (num - gi.data()[flat]).abs() < 1e-2,
                 "{}: grad mismatch at {flat}: {num} vs {}",
@@ -172,6 +172,9 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0], &[1]);
         let y = s.forward(&x, Mode::Eval);
         assert!((y.data()[0] - 1.0 / (1.0 + (-1.0f32).exp())).abs() < 1e-6);
-        finite_diff(&mut s, &Tensor::from_vec(vec![-1.5, -0.2, 0.0, 0.7, 2.0], &[5]));
+        finite_diff(
+            &mut s,
+            &Tensor::from_vec(vec![-1.5, -0.2, 0.0, 0.7, 2.0], &[5]),
+        );
     }
 }

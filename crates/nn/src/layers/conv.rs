@@ -62,7 +62,12 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(x.clone());
-        conv2d_forward(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.spec)
+        conv2d_forward(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -130,7 +135,12 @@ impl DepthwiseConv2d {
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(x.clone());
-        depthwise_forward(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.spec)
+        depthwise_forward(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -18,7 +18,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Linear: zero dimension");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Linear: zero dimension"
+        );
         Linear {
             weight: Param::new(
                 init::kaiming_uniform(&[out_features, in_features], in_features, rng),

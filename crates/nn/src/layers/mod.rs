@@ -7,7 +7,7 @@ mod linear;
 mod norm;
 mod pool;
 
-pub use act::{ReLU, Sigmoid, SiLU};
+pub use act::{ReLU, SiLU, Sigmoid};
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use linear::{Flatten, Linear};
 pub use norm::BatchNorm2d;

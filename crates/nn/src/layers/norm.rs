@@ -74,6 +74,7 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_std = vec![0.0f32; c];
+        #[allow(clippy::needless_range_loop)] // ch addresses strided planes, not one slice
         for ch in 0..c {
             let (mean, var) = match mode {
                 Mode::Train => {
@@ -99,10 +100,7 @@ impl Layer for BatchNorm2d {
                     *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
                     (mean, var)
                 }
-                Mode::Eval => (
-                    self.running_mean.data()[ch],
-                    self.running_var.data()[ch],
-                ),
+                Mode::Eval => (self.running_mean.data()[ch], self.running_var.data()[ch]),
             };
             let istd = 1.0 / (var + self.eps).sqrt();
             inv_std[ch] = istd;
@@ -182,8 +180,7 @@ impl Layer for BatchNorm2d {
                         for j in 0..plane {
                             let dy = grad_out.data()[base + j];
                             let xh = cache.xhat.data()[base + j];
-                            gi.data_mut()[base + j] =
-                                k * (m * dy - sum_dy - xh * sum_dy_xhat);
+                            gi.data_mut()[base + j] = k * (m * dy - sum_dy - xh * sum_dy_xhat);
                         }
                     }
                 }

@@ -33,9 +33,7 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (h, w) = self
-            .cached_hw
-            .expect("AvgPool2d::backward before forward");
+        let (h, w) = self.cached_hw.expect("AvgPool2d::backward before forward");
         pool::avg_pool2d_backward(grad_out, h, w, self.k, self.stride)
     }
 

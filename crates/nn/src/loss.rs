@@ -20,9 +20,17 @@ use usb_tensor::{ops, Tensor};
 /// assert!(loss < 0.01, "confident correct prediction has near-zero loss");
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.ndim(), 2, "softmax_cross_entropy: logits must be [N,K]");
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "softmax_cross_entropy: logits must be [N,K]"
+    );
     let (n, k) = (logits.shape()[0], logits.shape()[1]);
-    assert_eq!(labels.len(), n, "softmax_cross_entropy: label count mismatch");
+    assert_eq!(
+        labels.len(),
+        n,
+        "softmax_cross_entropy: label count mismatch"
+    );
     let probs = ops::softmax_rows(logits);
     let mut loss = 0.0f64;
     let mut grad = probs.clone();

@@ -387,8 +387,12 @@ fn build_efficientnet_b0(arch: &Architecture, rng: &mut impl Rng) -> (Sequential
     let (c, _, _) = arch.input;
     let w = arch.width;
     // (expand, out_ch, kernel, stride) per stage, mirroring B0's progression.
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(1, w, 3, 1), (4, 2 * w, 3, 2), (4, 3 * w, 5, 2), (4, 4 * w, 3, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (1, w, 3, 1),
+        (4, 2 * w, 3, 2),
+        (4, 3 * w, 5, 2),
+        (4, 4 * w, 3, 2),
+    ];
     let mut seq = Sequential::new()
         .push(Conv2d::new(c, w, 3, 1, 1, false, rng))
         .push(BatchNorm2d::new(w))
@@ -417,7 +421,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let arch = Architecture::new(kind, input, classes).with_width(width);
         let mut net = arch.build(&mut rng);
-        let x = Tensor::from_fn(&[2, input.0, input.1, input.2], |i| ((i as f32) * 0.1).sin());
+        let x = Tensor::from_fn(&[2, input.0, input.1, input.2], |i| {
+            ((i as f32) * 0.1).sin()
+        });
         let logits = net.forward(&x, Mode::Train);
         assert_eq!(logits.shape(), &[2, classes], "{kind:?} logits shape");
         assert!(logits.all_finite(), "{kind:?} produced non-finite logits");

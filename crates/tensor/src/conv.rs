@@ -40,10 +40,7 @@ impl ConvSpec {
     /// Panics if the kernel does not fit in the padded input.
     pub fn out_size(&self, in_size: usize, k: usize) -> usize {
         let padded = in_size + 2 * self.pad;
-        assert!(
-            padded >= k,
-            "kernel {k} larger than padded input {padded}"
-        );
+        assert!(padded >= k, "kernel {k} larger than padded input {padded}");
         (padded - k) / self.stride + 1
     }
 }
@@ -166,7 +163,10 @@ pub fn conv2d_forward(
     assert_eq!(weight.ndim(), 4, "conv2d: weight must be [OC,IC,KH,KW]");
     let (n, ic, h, w) = dims4(input);
     let (oc, wic, kh, kw) = dims4(weight);
-    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
     let oh = spec.out_size(h, kh);
     let ow = spec.out_size(w, kw);
     let w_mat = weight.reshape(&[oc, ic * kh * kw]);
@@ -234,11 +234,7 @@ pub fn conv2d_backward(
         let gi = col2im(&grad_cols, ic, h, w, kh, kw, spec);
         grad_input.set_axis0(i, &gi);
     }
-    (
-        grad_input,
-        grad_w_mat.reshape(weight.shape()),
-        grad_bias,
-    )
+    (grad_input, grad_w_mat.reshape(weight.shape()), grad_bias)
 }
 
 /// Depthwise convolution forward pass: each channel is convolved with its own
@@ -348,6 +344,7 @@ pub fn depthwise_backward(
 
 /// Convolves a single-channel image with a single kernel (used by SSIM's
 /// gaussian blur and the depthwise kernels). Writes into `out`.
+#[allow(clippy::too_many_arguments)] // flat scalar kernel signature, hot path
 fn conv_single_into(
     img: &[f32],
     h: usize,

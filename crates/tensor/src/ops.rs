@@ -18,8 +18,18 @@ use crate::Tensor;
 /// assert_eq!(ops::matmul(&a, &i).data(), a.data());
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.ndim(), 2, "matmul: lhs must be rank-2, got {:?}", a.shape());
-    assert_eq!(b.ndim(), 2, "matmul: rhs must be rank-2, got {:?}", b.shape());
+    assert_eq!(
+        a.ndim(),
+        2,
+        "matmul: lhs must be rank-2, got {:?}",
+        a.shape()
+    );
+    assert_eq!(
+        b.ndim(),
+        2,
+        "matmul: rhs must be rank-2, got {:?}",
+        b.shape()
+    );
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");

@@ -124,11 +124,7 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, stride: usize) -> (Tensor, V
 /// # Panics
 ///
 /// Panics if `argmax.len()` differs from `grad_out.len()`.
-pub fn max_pool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_shape: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -151,8 +147,8 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
     let (n, c, h, w) = dims4(input);
     let inv = 1.0 / (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
-    for plane in 0..n * c {
-        out[plane] = input.data()[plane * h * w..(plane + 1) * h * w]
+    for (plane, o) in out.iter_mut().enumerate() {
+        *o = input.data()[plane * h * w..(plane + 1) * h * w]
             .iter()
             .sum::<f32>()
             * inv;
@@ -218,7 +214,9 @@ mod tests {
     #[test]
     fn max_pool_values_and_routing() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 4.0, 3.0, 0.0, 1.0, 2.0, 7.0, 1.0, 0.0, 3.0, 2.0, 4.0, 2.0, 1.0],
+            vec![
+                1.0, 2.0, 5.0, 4.0, 3.0, 0.0, 1.0, 2.0, 7.0, 1.0, 0.0, 3.0, 2.0, 4.0, 2.0, 1.0,
+            ],
             &[1, 1, 4, 4],
         );
         let (y, arg) = max_pool2d_forward(&x, 2, 2);

@@ -60,7 +60,10 @@ impl Default for SsimConstants {
 ///
 /// Panics if `size` is zero or even, or `sigma` is not positive.
 pub fn gaussian_window(size: usize, sigma: f32) -> Tensor {
-    assert!(size % 2 == 1 && size > 0, "gaussian window size must be odd");
+    assert!(
+        size % 2 == 1 && size > 0,
+        "gaussian window size must be odd"
+    );
     assert!(sigma > 0.0, "gaussian sigma must be positive");
     let half = (size / 2) as isize;
     let mut data = Vec::with_capacity(size * size);
@@ -214,9 +217,7 @@ fn ssim_plane(
     let gp = conv2d_valid_single_adjoint(&d_p, g, h, w);
     let gq = conv2d_valid_single_adjoint(&d_q, g, h, w);
     let gr = conv2d_valid_single_adjoint(&d_r, g, h, w);
-    let grad = gp
-        .add(&gq.mul(&x.scale(2.0)))
-        .add(&gr.mul(y));
+    let grad = gp.add(&gq.mul(&x.scale(2.0))).add(&gr.mul(y));
     (val, Some(grad))
 }
 
@@ -285,6 +286,44 @@ mod tests {
         let x = image(&[1, 5, 5], 0.0);
         let s = ssim(&x, &x);
         assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ssim_is_bounded_for_arbitrary_unit_images() {
+        // SSIM of unit-range images must stay in [-1, 1] whatever the pair.
+        let phases = [0.0f32, 0.7, 1.3, 2.9];
+        for (i, &pa) in phases.iter().enumerate() {
+            for &pb in &phases[i..] {
+                let a = image(&[3, 10, 10], pa);
+                let b = image(&[3, 10, 10], pb);
+                let s = ssim(&a, &b);
+                assert!((-1.0..=1.0 + 1e-5).contains(&s), "out of range: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ssim_extremes_stay_bounded() {
+        // Constant black vs constant white: structure is undefined, the
+        // stabilising constants must keep the score finite and in range.
+        let black = Tensor::zeros(&[1, 10, 10]);
+        let white = Tensor::ones(&[1, 10, 10]);
+        let s = ssim(&black, &white);
+        assert!(s.is_finite());
+        assert!((-1.0..1.0).contains(&s), "black/white ssim: {s}");
+        // Identical constants are perfectly similar.
+        let s_same = ssim(&white, &white);
+        assert!((s_same - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ssim_gradient_is_finite_everywhere_sampled() {
+        let x = image(&[1, 8, 8], 0.4);
+        let grey = Tensor::full(&[1, 8, 8], 0.5);
+        let (s, g) = ssim_with_grad(&x, &grey);
+        assert!(s.is_finite());
+        assert!(g.data().iter().all(|v| v.is_finite()));
+        assert_eq!(g.shape(), x.shape());
     }
 
     #[test]

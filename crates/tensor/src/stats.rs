@@ -172,4 +172,72 @@ mod tests {
         let strict = flag_small_outliers(&v, 100.0);
         assert!(strict.flagged.is_empty());
     }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn median_empty_panics() {
+        let _ = median(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn anomaly_indices_empty_panics() {
+        let _ = anomaly_indices(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn flag_small_outliers_empty_panics() {
+        let _ = flag_small_outliers(&[], 2.0);
+    }
+
+    #[test]
+    fn single_element_is_its_own_median_and_never_flagged() {
+        assert_eq!(median(&[42.0]), 42.0);
+        assert_eq!(mad(&[42.0]), 0.0);
+        assert_eq!(anomaly_indices(&[42.0]), vec![0.0]);
+        let rep = flag_small_outliers(&[42.0], 2.0);
+        assert!(rep.flagged.is_empty());
+        assert_eq!(rep.median, 42.0);
+    }
+
+    #[test]
+    fn all_equal_values_are_degenerate_but_unflagged() {
+        // MAD = 0: the anomaly index must degrade to 0 everywhere instead
+        // of dividing by zero, so a perfectly uniform profile is clean.
+        let v = [3.25; 9];
+        assert_eq!(mad(&v), 0.0);
+        let rep = flag_small_outliers(&v, 2.0);
+        assert!(rep.indices.iter().all(|&i| i == 0.0));
+        assert!(rep.flagged.is_empty());
+    }
+
+    #[test]
+    fn two_elements_are_never_small_outliers() {
+        // With two values each sits 1 MAD from the median — indices are
+        // equal, so neither can cross a sane threshold alone.
+        let rep = flag_small_outliers(&[1.0, 100.0], 2.0);
+        assert!(rep.flagged.is_empty());
+        assert!((rep.indices[0] - rep.indices[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flagging_survives_huge_magnitudes() {
+        // Values near the top of the f64 range: deviations and indices must
+        // stay finite and the tiny entry must still be flagged.
+        let v = [1.00e300, 1.0, 0.90e300, 1.10e300, 0.95e300, 1.05e300];
+        let rep = flag_small_outliers(&v, 2.0);
+        assert!(rep.indices.iter().all(|i| i.is_finite()));
+        assert_eq!(rep.flagged, vec![1]);
+    }
+
+    #[test]
+    fn majority_identical_values_give_zero_mad_and_no_flags() {
+        // MAD collapses to 0 when more than half the values coincide; the
+        // degenerate path must yield zero indices, not a division by zero.
+        let v = [5.0, 1.0, 5.0, 5.0, 5.0];
+        let rep = flag_small_outliers(&v, 2.0);
+        assert!(rep.indices.iter().all(|&i| i == 0.0));
+        assert!(rep.flagged.is_empty());
+    }
 }

@@ -61,11 +61,19 @@ fn main() {
     let usb = UsbDetector::new(UsbConfig::standard());
     let suite: [(&str, &dyn Defense); 3] = [("NC", &nc), ("TABOR", &tabor), ("USB", &usb)];
 
-    println!("\n--- backdoored victim (true target: {:?}) ---", backdoored.target());
+    println!(
+        "\n--- backdoored victim (true target: {:?}) ---",
+        backdoored.target()
+    );
     for (name, defense) in suite {
         let t0 = Instant::now();
         let outcome = defense.inspect(&mut backdoored.model, &clean_x, &mut rng);
-        report(name, &outcome, backdoored.target(), t0.elapsed().as_secs_f64());
+        report(
+            name,
+            &outcome,
+            backdoored.target(),
+            t0.elapsed().as_secs_f64(),
+        );
     }
 
     println!("\n--- clean victim ---");

@@ -54,7 +54,11 @@ fn main() {
     let nc_out = nc.inspect(&mut victim.model, &clean_x, &mut rng);
     println!(
         "NC   : called {:<10} flagged {:?}",
-        if nc_out.is_backdoored() { "BACKDOORED" } else { "clean" },
+        if nc_out.is_backdoored() {
+            "BACKDOORED"
+        } else {
+            "clean"
+        },
         nc_out.flagged
     );
 
@@ -62,7 +66,11 @@ fn main() {
     let usb_out = usb.inspect(&mut victim.model, &clean_x, &mut rng);
     println!(
         "USB  : called {:<10} flagged {:?} (true target {:?})",
-        if usb_out.is_backdoored() { "BACKDOORED" } else { "clean" },
+        if usb_out.is_backdoored() {
+            "BACKDOORED"
+        } else {
+            "clean"
+        },
         usb_out.flagged,
         victim.target()
     );

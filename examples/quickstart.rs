@@ -64,7 +64,10 @@ fn main() {
         }
     );
     if let Some(&t) = outcome.flagged.first() {
-        println!("suspected target class: {t} (ground truth: {:?})", victim.target());
+        println!(
+            "suspected target class: {t} (ground truth: {:?})",
+            victim.target()
+        );
         println!("reversed mask:\n{}", ascii_art(&outcome.per_class[t].mask));
     }
 }

@@ -56,8 +56,11 @@ fn main() {
     );
     let t_transfer = t0.elapsed();
 
-    println!("\nfull pipeline on B : {t_full:?}, refined success {:.2}, mask L1 {:.2}",
-        full_refined.success_rate, full_refined.mask_l1());
+    println!(
+        "\nfull pipeline on B : {t_full:?}, refined success {:.2}, mask L1 {:.2}",
+        full_refined.success_rate,
+        full_refined.mask_l1()
+    );
     println!(
         "transfer (A -> B)  : {t_transfer:?}, raw UAP success {:.2}, refined success {:.2}, mask L1 {:.2}",
         transferred.raw_transfer_success,

@@ -55,8 +55,8 @@ pub mod prelude {
         LatentBackdoor, Trigger, TriggerSpec, Victim,
     };
     pub use usb_core::{
-        deepfool, refine_uap, targeted_uap, transfer_uap, DeepfoolConfig, RefineConfig,
-        UapConfig, UsbConfig, UsbDetector,
+        deepfool, refine_uap, targeted_uap, transfer_uap, DeepfoolConfig, RefineConfig, UapConfig,
+        UsbConfig, UsbDetector,
     };
     pub use usb_data::{Dataset, SyntheticSpec};
     pub use usb_defenses::{

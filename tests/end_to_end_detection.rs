@@ -65,7 +65,11 @@ fn usb_does_not_flag_clean_model_end_to_end() {
         verdict.model_detection_correct,
         "false positive: flagged {:?} with norms {:?}",
         outcome.flagged,
-        outcome.per_class.iter().map(|c| c.l1_norm).collect::<Vec<_>>()
+        outcome
+            .per_class
+            .iter()
+            .map(|c| c.l1_norm)
+            .collect::<Vec<_>>()
     );
 }
 

@@ -9,7 +9,9 @@ use universal_soldier::tensor::stats::{anomaly_indices, flag_small_outliers, med
 use universal_soldier::tensor::Tensor;
 
 fn unit_image(seed_vals: &[f32], c: usize, h: usize, w: usize) -> Tensor {
-    Tensor::from_fn(&[c, h, w], |i| seed_vals[i % seed_vals.len()].clamp(0.0, 1.0))
+    Tensor::from_fn(&[c, h, w], |i| {
+        seed_vals[i % seed_vals.len()].clamp(0.0, 1.0)
+    })
 }
 
 proptest! {

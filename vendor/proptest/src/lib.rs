@@ -1,0 +1,316 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace's property tests.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * numeric range strategies (`0.0f32..1.0`, `1.0f64..100.0`, …),
+//! * [`collection::vec`] with a fixed size or a `usize` range,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! sampled inputs via `Debug` and panics. Case generation is fully
+//! deterministic — the per-test RNG is seeded from a hash of the test
+//! name, so reruns explore the same inputs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use rand as __rand;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Runner configuration (`with_cases` is the only knob this shim honours).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of random values for one property-test argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Debug + Copy,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Number of elements to generate: a fixed count or a `usize` range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — the proptest collection constructor.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Error raised by a failing `prop_assert!` (or a rejected `prop_assume!`).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject(String),
+}
+
+/// Result type each property body is wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, so every rerun of a test
+    // explores the identical input sequence.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines `#[test]` functions that run their body against many sampled
+/// inputs. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::__seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ran < config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may move them.
+                    let mut inputs = ::std::string::String::new();
+                    $(inputs.push_str(&::std::format!(
+                        "\n    {} = {:?}", stringify!($arg), $arg));)+
+                    let result: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(16).max(256),
+                                "proptest {}: too many rejected cases", stringify!($name),
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} falsified at case {}:\n  {}\n  inputs:{}",
+                                stringify!($name), ran, msg, inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the failing inputs instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bind first: `!(a < b)` on floats trips clippy::neg_cmp_op_on_partial_ord
+        // in the *caller's* crate otherwise.
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        $crate::prop_assert!(*l == *r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        $crate::prop_assert!(*l != *r, "assert_ne failed: both {:?}", l);
+    }};
+}
+
+/// Reject the current case (resampled, not counted as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f32..1.0, n in 1usize..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vecs_obey_size(
+            fixed in collection::vec(0.0f64..10.0, 7),
+            ranged in collection::vec(-1.0f32..1.0, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+            for v in &fixed {
+                prop_assert!((0.0..10.0).contains(v));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0.0f64..1.0) {
+            prop_assume!(v > 0.2);
+            prop_assert!(v > 0.1);
+        }
+    }
+
+    #[test]
+    fn seed_is_stable() {
+        assert_eq!(crate::__seed_for("abc"), crate::__seed_for("abc"));
+        assert_ne!(crate::__seed_for("abc"), crate::__seed_for("abd"));
+    }
+}
