@@ -1,15 +1,19 @@
 //! Micro-benchmarks of the numerical substrate: the kernels every defense
-//! iterates over (convolution, matmul, SSIM, DeepFool step).
+//! iterates over (convolution, matmul, SSIM, DeepFool step), plus the
+//! thread-scaling of the parallel per-class detector
+//! (`substrate/usb_inspect_workers{1,4}` — compare the two to see the
+//! speedup the worker pool buys on your hardware).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Duration;
-use usb_core::{deepfool, DeepfoolConfig};
+use usb_core::{deepfool, DeepfoolConfig, UsbDetector};
+use usb_defenses::Defense;
 use usb_tensor::conv::{conv2d_backward, conv2d_forward, ConvSpec};
 use usb_tensor::ssim::{ssim, ssim_with_grad};
-use usb_tensor::{init, ops, Tensor};
+use usb_tensor::{init, ops, par, Tensor};
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
     c
@@ -67,12 +71,63 @@ fn bench_deepfool(c: &mut Criterion) {
     });
 }
 
+fn bench_par_map(c: &mut Criterion) {
+    // Fan-out overhead of the worker pool on a CPU-bound item, relative to
+    // the inline (1-worker) path.
+    let items: Vec<u64> = (0..64).collect();
+    let work = |_: usize, &x: &u64| -> u64 {
+        let mut acc = x;
+        for i in 0..20_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    };
+    c.bench_function("substrate/par_map_64items_1worker", |bench| {
+        bench.iter(|| black_box(par::par_map(1, &items, work)))
+    });
+    let n = par::worker_threads();
+    c.bench_function("substrate/par_map_64items_nworkers", |bench| {
+        bench.iter(|| black_box(par::par_map(n, &items, work)))
+    });
+}
+
+/// Whole-detector throughput at a pinned worker count: the per-class scan
+/// (10 classes, Alg. 1 + Alg. 2 each) on the Table 1 fixture. The
+/// acceptance number for the parallel engine is the ratio of the `workers1`
+/// and `workers4` runs — on a ≥ 4-core machine the 4-worker case should be
+/// at least 2× faster, while verdicts stay bit-identical (enforced by
+/// `tests/determinism.rs`).
+fn bench_detector_scaling(c: &mut Criterion) {
+    let fixture = usb_bench::cifar_resnet_badnet();
+    for workers in [1usize, 4] {
+        c.bench_function(
+            &format!("substrate/usb_inspect_workers{workers}"),
+            |bench| {
+                bench.iter(|| {
+                    let mut victim = fixture.victim.lock().unwrap();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    black_box(UsbDetector::fast_with_workers(workers).inspect(
+                        &mut victim.model,
+                        &fixture.clean_x,
+                        &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+}
+
 fn benches(c: &mut Criterion) {
     let c = configure(c);
     bench_matmul(c);
     bench_conv(c);
     bench_ssim(c);
+    bench_par_map(c);
     bench_deepfool(c);
+}
+
+fn detector_benches(c: &mut Criterion) {
+    bench_detector_scaling(c);
 }
 
 criterion_group! {
@@ -83,4 +138,14 @@ criterion_group! {
         .measurement_time(Duration::from_secs(2));
     targets = benches
 }
-criterion_main!(substrate);
+// One inspection is seconds of work: keep the sample count low so the
+// scaling comparison stays runnable as part of a normal bench sweep.
+criterion_group! {
+    name = detector;
+    config = Criterion::default()
+        .sample_size(3)
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_secs(3));
+    targets = detector_benches
+}
+criterion_main!(substrate, detector);

@@ -15,6 +15,9 @@ use usb_nn::models::Network;
 use usb_tensor::Tensor;
 
 /// Hyperparameters of the targeted DeepFool inner loop.
+///
+/// Defaults: `max_iters: 12`, `overshoot: 0.02` (the original DeepFool
+/// constant), `clamp_pixels: true` (inputs live in `[0, 1]`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeepfoolConfig {
     /// Maximum linearised steps per call.

@@ -21,6 +21,12 @@
 //! generated on one model to seed detection on another (paper §4.4: "we
 //! only need to generate it once").
 //!
+//! Inspection runs the per-class scans **in parallel** on the
+//! [`usb_tensor::par`] worker pool ([`UsbConfig::workers`], or the
+//! `USB_THREADS` environment variable): each class gets its own clone of
+//! the victim and its own rng stream derived from the inspection seed, so
+//! verdicts are bit-identical at any thread count.
+//!
 //! # Example
 //!
 //! ```rust,no_run
@@ -43,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod deepfool;
 mod detector;
@@ -53,7 +59,7 @@ mod uap;
 pub mod viz;
 
 pub use deepfool::{deepfool, DeepfoolConfig};
-pub use detector::{UsbConfig, UsbDetector};
+pub use detector::{StageSeconds, UsbConfig, UsbDetector};
 pub use refine::{refine_uap, RefineConfig, RefinedTrigger};
 pub use transfer::{transfer_uap, TransferOutcome};
 pub use uap::{targeted_uap, UapConfig, UapResult};

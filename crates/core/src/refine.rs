@@ -25,6 +25,11 @@ use usb_tensor::ssim::ssim_with_grad;
 use usb_tensor::{ops, Tensor};
 
 /// Hyperparameters of the Alg. 2 optimisation.
+///
+/// Defaults (via [`RefineConfig::standard`]): `steps: 80`, `lr: 0.1`
+/// (Adam, betas `(0.5, 0.9)` as in the paper), `ssim_weight: 1.0`,
+/// `mask_l1_weight: 0.05` (dimensionless loss weights), `batch_size: 16`
+/// images per step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefineConfig {
     /// Maximum iterations `m` (the paper uses 500 at full scale; the

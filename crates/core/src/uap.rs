@@ -24,6 +24,10 @@ use usb_nn::models::Network;
 use usb_tensor::{ops, Tensor};
 
 /// Hyperparameters for targeted-UAP generation (paper Alg. 1).
+///
+/// Defaults: `error_rate: 0.6` (targeted success fraction θ in `[0, 1]`,
+/// as in the paper), `max_passes: 3` data sweeps, `linf_budget: 0.5`
+/// (pixels live in `[0, 1]`), and the stock DeepFool inner settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UapConfig {
     /// Desired targeted success rate θ (the paper uses 0.6).

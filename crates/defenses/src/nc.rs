@@ -21,6 +21,10 @@ use usb_nn::optim::TensorAdam;
 use usb_tensor::{ops, Tensor};
 
 /// Hyperparameters for Neural Cleanse.
+///
+/// Defaults (via [`NcConfig::standard`]): `steps: 150`, `lr: 0.1`,
+/// `init_lambda: 1e-3`, `asr_threshold: 0.95` (fraction in `[0, 1]`),
+/// `lambda_factor: 1.5`, `patience: 10` steps, `batch_size: 16` images.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NcConfig {
     /// Optimisation steps per class.

@@ -21,6 +21,10 @@ use usb_nn::models::Network;
 use usb_tensor::Tensor;
 
 /// TABOR hyperparameters: the shared NC schedule plus regulariser weights.
+///
+/// Defaults (via [`TaborConfig::standard`]): the NC schedule at
+/// `steps: 200`, with `elastic_weight: 1e-3`, `mask_tv_weight: 1e-3`,
+/// `pattern_tv_weight: 5e-4` (all dimensionless loss weights).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaborConfig {
     /// The underlying mask/pattern optimisation schedule.

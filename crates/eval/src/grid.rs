@@ -11,6 +11,7 @@ use usb_defenses::{
 };
 use usb_nn::models::{Architecture, ModelKind};
 use usb_nn::train::TrainConfig;
+use usb_tensor::par;
 
 /// Which attack (if any) a case trains its victims with.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +107,11 @@ pub struct MethodCell {
     pub correct_set: usize,
     /// Backdoored models flagged with wrong classes only.
     pub wrong: usize,
-    /// Total wall-clock seconds spent in this defense.
+    /// Total wall-clock seconds spent in this defense. Unlike every other
+    /// field, this is *elapsed* time: when the grid runs victims in
+    /// parallel it includes contention from sibling models, so it varies
+    /// with the thread count (use `usb_eval::timing` for contention-free
+    /// per-class numbers).
     pub seconds: f64,
 }
 
@@ -182,16 +187,88 @@ pub fn train_victim(spec: &TableSpec, case: &CaseSpec, seed: u64) -> Victim {
     }
 }
 
+/// Everything one victim contributes to its case's aggregates: accuracy,
+/// ASR, and per-defense `(seconds, reported L1, verdict)` in suite order.
+struct ModelRun {
+    accuracy: f64,
+    asr: f64,
+    per_defense: Vec<(f64, f64, usb_defenses::ModelVerdict)>,
+}
+
+/// Trains and inspects one victim of a case (the per-model unit of work the
+/// grid fans out over worker threads).
+fn run_model(
+    spec: &TableSpec,
+    case: &CaseSpec,
+    seed: u64,
+    m: usize,
+    models_per_case: usize,
+    suite: &DefenseSuite,
+    progress: &(impl Fn(&str) + Sync),
+) -> ModelRun {
+    let mut victim = train_victim(spec, case, seed);
+    progress(&format!(
+        "[{}] case '{}' model {}/{}: acc {:.2} asr {:.2}",
+        spec.id,
+        case.attack.label(),
+        m + 1,
+        models_per_case,
+        victim.clean_accuracy,
+        victim.asr()
+    ));
+    let data = spec.dataset.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdefe_15e5);
+    let (clean_x, _) = data.clean_subset(spec.defense_samples, &mut rng);
+    let truth = victim.target();
+    let defenses: [&dyn Defense; 3] = [&suite.nc, &suite.tabor, &suite.usb];
+    let mut per_defense = Vec::with_capacity(defenses.len());
+    for defense in defenses {
+        let t0 = std::time::Instant::now();
+        let outcome = defense.inspect(&mut victim.model, &clean_x, &mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        let verdict = score_outcome(&outcome, truth);
+        per_defense.push((dt, outcome.reported_l1(), verdict));
+        progress(&format!(
+            "[{}]   {} -> {} (flagged {:?}, L1 {:.2}, {:.1}s)",
+            spec.id,
+            defense.name(),
+            if verdict.called_backdoored {
+                "backdoored"
+            } else {
+                "clean"
+            },
+            outcome.flagged,
+            outcome.reported_l1(),
+            dt
+        ));
+    }
+    ModelRun {
+        accuracy: victim.clean_accuracy,
+        asr: victim.asr(),
+        per_defense,
+    }
+}
+
 /// Runs a full table: `models_per_case` victims per case, all three
 /// defenses on each, scored and aggregated.
 ///
+/// The victims of a case run **in parallel** on the [`usb_tensor::par`]
+/// worker pool (`USB_THREADS` / available parallelism): every model's
+/// training and inspection seeds are fixed functions of its case and model
+/// index, so the per-model work is fully independent and the aggregated
+/// report is identical at any thread count — results are folded in model
+/// order after the fan-in. The one exception is the wall-clock
+/// [`MethodCell::seconds`] cells, which measure real elapsed time and
+/// therefore include cross-model contention when victims run concurrently.
+///
 /// `progress` receives human-readable status lines (pass `|_| {}` to
-/// silence).
+/// silence); it may be called from worker threads, so lines from different
+/// models can interleave.
 pub fn run_table(
     spec: &TableSpec,
     models_per_case: usize,
     suite: &DefenseSuite,
-    mut progress: impl FnMut(&str),
+    progress: impl Fn(&str) + Sync,
 ) -> TableReport {
     let mut cases = Vec::with_capacity(spec.cases.len());
     for (ci, case) in spec.cases.iter().enumerate() {
@@ -215,33 +292,20 @@ pub fn run_table(
                 },
             ],
         };
-        for m in 0..models_per_case {
+        let model_ids: Vec<usize> = (0..models_per_case).collect();
+        let runs = par::par_map(0, &model_ids, |_, &m| {
             let seed = (ci as u64) * 1000 + m as u64;
-            let mut victim = train_victim(spec, case, seed);
-            progress(&format!(
-                "[{}] case '{}' model {}/{}: acc {:.2} asr {:.2}",
-                spec.id,
-                report.label,
-                m + 1,
-                models_per_case,
-                victim.clean_accuracy,
-                victim.asr()
-            ));
-            report.mean_accuracy += victim.clean_accuracy / models_per_case as f64;
-            report.mean_asr += victim.asr() / models_per_case as f64;
-            let data = spec.dataset.generate(seed);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xdefe_15e5);
-            let (clean_x, _) = data.clean_subset(spec.defense_samples, &mut rng);
-            let truth = victim.target();
-            let defenses: [&dyn Defense; 3] = [&suite.nc, &suite.tabor, &suite.usb];
-            for (di, defense) in defenses.iter().enumerate() {
-                let t0 = std::time::Instant::now();
-                let outcome = defense.inspect(&mut victim.model, &clean_x, &mut rng);
-                let dt = t0.elapsed().as_secs_f64();
-                let verdict = score_outcome(&outcome, truth);
+            run_model(spec, case, seed, m, models_per_case, suite, &progress)
+        });
+        // Fold in model order so float accumulation matches a sequential
+        // run exactly.
+        for run in &runs {
+            report.mean_accuracy += run.accuracy / models_per_case as f64;
+            report.mean_asr += run.asr / models_per_case as f64;
+            for (di, &(dt, l1, verdict)) in run.per_defense.iter().enumerate() {
                 let cell = &mut report.cells[di];
                 cell.seconds += dt;
-                cell.mean_l1 += outcome.reported_l1() / models_per_case as f64;
+                cell.mean_l1 += l1 / models_per_case as f64;
                 if verdict.called_backdoored {
                     cell.called_backdoored += 1;
                 } else {
@@ -253,19 +317,6 @@ pub fn run_table(
                     TargetClassCall::Wrong => cell.wrong += 1,
                     TargetClassCall::NotApplicable => {}
                 }
-                progress(&format!(
-                    "[{}]   {} -> {} (flagged {:?}, L1 {:.2}, {:.1}s)",
-                    spec.id,
-                    defense.name(),
-                    if verdict.called_backdoored {
-                        "backdoored"
-                    } else {
-                        "clean"
-                    },
-                    outcome.flagged,
-                    outcome.reported_l1(),
-                    dt
-                ));
             }
         }
         cases.push(report);

@@ -5,12 +5,35 @@
 //! being reproduced is the *ordering and ratio*: TABOR > NC ≫ USB, because
 //! USB's optimisation starts from an informative UAP and needs far fewer
 //! iterations.
+//!
+//! Beyond the paper's table, the harness also splits USB's per-class time
+//! into its two stages — Alg. 1 (targeted UAP) vs Alg. 2 (refinement) —
+//! which is the number that tells you where an optimisation PR should aim.
+//! Measurements run the classes **sequentially on one thread** regardless
+//! of `USB_THREADS`: concurrent classes would contend for cores and
+//! distort exactly the per-class numbers this module exists to report.
 
 use crate::grid::{table2, DefenseSuite};
 use crate::grid::{train_victim, CaseSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use usb_defenses::Defense;
+
+/// Wall time per class for one named pipeline stage of a defense.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Stage name ("uap" = Alg. 1, "refine" = Alg. 2).
+    pub stage: &'static str,
+    /// Seconds this stage spent on each class.
+    pub per_class_seconds: Vec<f64>,
+}
+
+impl StageRow {
+    /// Total seconds across classes.
+    pub fn total(&self) -> f64 {
+        self.per_class_seconds.iter().sum()
+    }
+}
 
 /// Per-class timing for one defense.
 #[derive(Debug, Clone)]
@@ -19,6 +42,9 @@ pub struct TimingRow {
     pub method: &'static str,
     /// Seconds spent reverse-engineering each class.
     pub per_class_seconds: Vec<f64>,
+    /// Per-stage breakdown when the defense exposes stages (USB: Alg. 1
+    /// vs Alg. 2); empty for monolithic defenses (NC, TABOR).
+    pub stages: Vec<StageRow>,
 }
 
 impl TimingRow {
@@ -54,14 +80,26 @@ pub fn run_timing(
         TimingRow {
             method: "NC",
             per_class_seconds: vec![0.0; k],
+            stages: Vec::new(),
         },
         TimingRow {
             method: "TABOR",
             per_class_seconds: vec![0.0; k],
+            stages: Vec::new(),
         },
         TimingRow {
             method: "USB",
             per_class_seconds: vec![0.0; k],
+            stages: vec![
+                StageRow {
+                    stage: "uap",
+                    per_class_seconds: vec![0.0; k],
+                },
+                StageRow {
+                    stage: "refine",
+                    per_class_seconds: vec![0.0; k],
+                },
+            ],
         },
     ];
     for m in 0..models {
@@ -77,8 +115,8 @@ pub fn run_timing(
         let data = spec.dataset.generate(seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7131);
         let (clean_x, _) = data.clean_subset(spec.defense_samples, &mut rng);
-        let defenses: [&dyn Defense; 3] = [&suite.nc, &suite.tabor, &suite.usb];
-        for (di, defense) in defenses.iter().enumerate() {
+        let baselines: [&dyn Defense; 2] = [&suite.nc, &suite.tabor];
+        for (di, defense) in baselines.iter().enumerate() {
             for t in 0..k {
                 let t0 = std::time::Instant::now();
                 let _ = defense.reverse_class(&mut victim.model, &clean_x, t, &mut rng);
@@ -90,6 +128,24 @@ pub fn run_timing(
                 rows[di].total() * models as f64 / (m + 1) as f64
             ));
         }
+        // USB goes through the timed entry point so the report can split
+        // Alg. 1 (UAP) from Alg. 2 (refinement).
+        for t in 0..k {
+            let t0 = std::time::Instant::now();
+            let (_, stages) =
+                suite
+                    .usb
+                    .reverse_class_timed(&mut victim.model, &clean_x, t, &mut rng);
+            rows[2].per_class_seconds[t] += t0.elapsed().as_secs_f64() / models as f64;
+            rows[2].stages[0].per_class_seconds[t] += stages.uap / models as f64;
+            rows[2].stages[1].per_class_seconds[t] += stages.refine / models as f64;
+        }
+        progress(&format!(
+            "[table7]   USB: {:.1}s total (uap {:.1}s, refine {:.1}s)",
+            rows[2].total() * models as f64 / (m + 1) as f64,
+            rows[2].stages[0].total() * models as f64 / (m + 1) as f64,
+            rows[2].stages[1].total() * models as f64 / (m + 1) as f64,
+        ));
     }
     TimingReport {
         label: format!("{} ({} models)", spec.title, models),
@@ -97,22 +153,30 @@ pub fn run_timing(
     }
 }
 
-/// Formats a [`TimingReport`] like the paper's Table 7 (time per class).
+/// Formats a [`TimingReport`] like the paper's Table 7 (time per class),
+/// with indented per-stage rows under defenses that expose them.
 pub fn format_timing(report: &TimingReport) -> String {
     let mut out = String::new();
     out.push_str(&format!("=== table7 — {} ===\n", report.label));
     let k = report.rows.first().map_or(0, |r| r.per_class_seconds.len());
-    out.push_str(&format!("{:<8}", "Method"));
+    out.push_str(&format!("{:<10}", "Method"));
     for t in 0..k {
         out.push_str(&format!(" {:>7}", format!("cls{t}")));
     }
     out.push_str(&format!(" {:>8}\n", "total"));
     for row in &report.rows {
-        out.push_str(&format!("{:<8}", row.method));
+        out.push_str(&format!("{:<10}", row.method));
         for s in &row.per_class_seconds {
             out.push_str(&format!(" {:>7.2}", s));
         }
         out.push_str(&format!(" {:>8.2}\n", row.total()));
+        for stage in &row.stages {
+            out.push_str(&format!("{:<10}", format!("  ·{}", stage.stage)));
+            for s in &stage.per_class_seconds {
+                out.push_str(&format!(" {:>7.2}", s));
+            }
+            out.push_str(&format!(" {:>8.2}\n", stage.total()));
+        }
     }
     out
 }
@@ -129,10 +193,21 @@ mod tests {
                 TimingRow {
                     method: "NC",
                     per_class_seconds: vec![1.0, 2.0],
+                    stages: Vec::new(),
                 },
                 TimingRow {
                     method: "USB",
                     per_class_seconds: vec![0.5, 0.5],
+                    stages: vec![
+                        StageRow {
+                            stage: "uap",
+                            per_class_seconds: vec![0.4, 0.3],
+                        },
+                        StageRow {
+                            stage: "refine",
+                            per_class_seconds: vec![0.1, 0.2],
+                        },
+                    ],
                 },
             ],
         };
@@ -140,5 +215,17 @@ mod tests {
         assert!(s.contains("NC"));
         assert!(s.contains("USB"));
         assert!(s.contains("3.00"), "totals rendered");
+        assert!(s.contains("·uap"), "stage rows rendered");
+        assert!(s.contains("·refine"));
+        assert!(s.contains("0.70"), "stage totals rendered");
+    }
+
+    #[test]
+    fn stage_row_totals() {
+        let row = StageRow {
+            stage: "uap",
+            per_class_seconds: vec![0.25, 0.5, 0.25],
+        };
+        assert!((row.total() - 1.0).abs() < 1e-12);
     }
 }

@@ -9,7 +9,7 @@ use usb_tensor::{pool, Tensor};
 ///
 /// `Sequential` is itself a [`Layer`], so stacks nest arbitrarily (residual
 /// branches, MBConv blocks, whole networks).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -69,6 +69,10 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A residual block `y = main(x) + shortcut(x)`.
@@ -76,6 +80,7 @@ impl Layer for Sequential {
 /// When `shortcut` is empty it acts as the identity skip connection; a
 /// non-empty shortcut (1x1 strided conv + batch-norm) handles dimension
 /// changes, exactly as in ResNet.
+#[derive(Clone)]
 pub struct Residual {
     main: Sequential,
     shortcut: Sequential,
@@ -132,12 +137,17 @@ impl Layer for Residual {
     fn name(&self) -> &'static str {
         "residual"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Squeeze-and-excitation block: per-channel gating
 /// `y = x · sigmoid(W₂ relu(W₁ GAP(x)))`, broadcast over the spatial dims.
 ///
 /// Used inside EfficientNet's MBConv blocks.
+#[derive(Clone)]
 pub struct SqueezeExcite {
     fc1: Linear,
     relu: ReLU,
@@ -146,6 +156,7 @@ pub struct SqueezeExcite {
     cache: Option<SeCache>,
 }
 
+#[derive(Clone)]
 struct SeCache {
     input: Tensor, // [N, C, H, W]
     gate: Tensor,  // [N, C]
@@ -239,6 +250,10 @@ impl Layer for SqueezeExcite {
 
     fn name(&self) -> &'static str {
         "squeeze_excite"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

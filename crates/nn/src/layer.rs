@@ -40,9 +40,12 @@ pub struct ParamSlot<'a> {
 ///   batch and **adds** parameter gradients into the slots visited by
 ///   [`Layer::visit_params`]. Call [`Layer::zero_grad`] between optimizer
 ///   steps.
-/// * Layers are plain data (`Send`), so trained models can be moved across
-///   threads and cached in `OnceLock` fixtures.
-pub trait Layer: Send {
+/// * Layers are plain data (`Send + Sync`), so trained models can be moved
+///   across threads, shared by reference, and cached in `OnceLock`
+///   fixtures; [`Layer::clone_box`] makes whole models cloneable behind
+///   `Box<dyn Layer>`, which is how the parallel inspection engine hands
+///   each worker thread its own victim copy.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `x`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
 
@@ -72,6 +75,17 @@ pub trait Layer: Send {
         let mut n = 0;
         self.visit_params(&mut |slot| n += slot.value.len());
         n
+    }
+
+    /// Clones this layer behind a fresh box (including parameters and any
+    /// forward caches). Implementations are one line on a `Clone` type:
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
@@ -110,6 +124,7 @@ impl Param {
 mod tests {
     use super::*;
 
+    #[derive(Clone)]
     struct Dummy {
         w: Param,
     }
@@ -126,6 +141,9 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "dummy"
+        }
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
     }
 

@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode, ParamSlot};
 use usb_tensor::Tensor;
 
 /// Rectified linear unit `max(0, x)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ReLU {
     cached_input: Option<Tensor>,
 }
@@ -35,10 +35,14 @@ impl Layer for ReLU {
     fn name(&self) -> &'static str {
         "relu"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Logistic sigmoid `1/(1+e^{-x})`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sigmoid {
     cached_output: Option<Tensor>,
 }
@@ -80,11 +84,15 @@ impl Layer for Sigmoid {
     fn name(&self) -> &'static str {
         "sigmoid"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// SiLU / swish activation `x · sigmoid(x)`, the nonlinearity used by
 /// EfficientNet.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SiLU {
     cached_input: Option<Tensor>,
 }
@@ -117,6 +125,10 @@ impl Layer for SiLU {
 
     fn name(&self) -> &'static str {
         "silu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -10,6 +10,7 @@ use usb_tensor::{init, Tensor};
 /// A 2-D convolution `[N, IC, H, W] -> [N, OC, OH, OW]`.
 ///
 /// Weights are Kaiming-uniform initialised with fan-in `IC·KH·KW`.
+#[derive(Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
@@ -93,11 +94,16 @@ impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "conv2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A depthwise 2-D convolution: each channel convolved with its own kernel.
 ///
 /// Used by the EfficientNet-B0 MBConv blocks.
+#[derive(Clone)]
 pub struct DepthwiseConv2d {
     weight: Param,
     bias: Option<Param>,
@@ -165,6 +171,10 @@ impl Layer for DepthwiseConv2d {
 
     fn name(&self) -> &'static str {
         "depthwise_conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

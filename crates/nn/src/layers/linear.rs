@@ -5,6 +5,7 @@ use rand::Rng;
 use usb_tensor::{init, ops, Tensor};
 
 /// A dense layer `y = x Wᵀ + b` mapping `[N, in] -> [N, out]`.
+#[derive(Clone)]
 pub struct Linear {
     weight: Param, // [out, in]
     bias: Param,   // [out]
@@ -92,11 +93,15 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "linear"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Reshapes `[N, C, H, W]` (or any rank ≥ 2) to `[N, C·H·W]`; the backward
 /// pass restores the cached shape.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     cached_shape: Option<Vec<usize>>,
 }
@@ -128,6 +133,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -11,6 +11,7 @@ use usb_tensor::Tensor;
 /// affine transform built from the running statistics. `backward` works in
 /// both modes — defenses differentiate through eval-mode models, where the
 /// layer is an elementwise affine map.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -22,6 +23,7 @@ pub struct BatchNorm2d {
     cached: Option<BnCache>,
 }
 
+#[derive(Clone)]
 struct BnCache {
     mode: Mode,
     xhat: Tensor,
@@ -196,6 +198,10 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "batchnorm2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

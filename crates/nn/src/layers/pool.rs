@@ -4,6 +4,7 @@ use crate::layer::{Layer, Mode, ParamSlot};
 use usb_tensor::{pool, Tensor};
 
 /// Average pooling over `k x k` windows with the given stride.
+#[derive(Clone)]
 pub struct AvgPool2d {
     k: usize,
     stride: usize,
@@ -42,9 +43,14 @@ impl Layer for AvgPool2d {
     fn name(&self) -> &'static str {
         "avg_pool2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Max pooling over `k x k` windows with the given stride.
+#[derive(Clone)]
 pub struct MaxPool2d {
     k: usize,
     stride: usize,
@@ -87,10 +93,14 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "max_pool2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling `[N, C, H, W] -> [N, C]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     cached_hw: Option<(usize, usize)>,
 }
@@ -119,6 +129,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "global_avg_pool"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

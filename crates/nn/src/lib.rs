@@ -15,6 +15,12 @@
 //! [`models::Network`] that splits feature extractor from classifier head so
 //! the latent-backdoor attack can reach penultimate activations.
 //!
+//! Because forward passes mutate those layer caches, a model cannot be
+//! shared across threads — instead every layer is `Clone`
+//! ([`layer::Layer::clone_box`]), so the parallel inspection and
+//! evaluation loops above this crate hand each worker thread its own
+//! `Network` copy ([`train::evaluate`] does this for its eval batches).
+//!
 //! # Example
 //!
 //! ```rust

@@ -123,6 +123,12 @@ impl Architecture {
 /// The split lets the latent-backdoor attack reach penultimate activations
 /// ([`Network::penultimate`]) and lets defenses backpropagate all the way to
 /// the *input* (see [`Layer::backward`] on the composite).
+///
+/// Networks are `Clone`: the parallel inspection engine clones the victim
+/// once per worker thread so each candidate class optimises against its own
+/// copy (forward passes mutate layer caches, so sharing one model across
+/// threads is not possible).
+#[derive(Clone)]
 pub struct Network {
     /// Everything up to (and including) the penultimate representation.
     pub features: Sequential,
@@ -224,6 +230,10 @@ impl Layer for Network {
     }
     fn name(&self) -> &'static str {
         "network"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

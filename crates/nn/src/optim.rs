@@ -231,6 +231,7 @@ mod tests {
     use crate::layer::{Mode, Param, ParamSlot};
 
     /// y = w·x ; loss = (w·x − 1)²; single scalar parameter.
+    #[derive(Clone)]
     struct Scalar {
         w: Param,
         x: f32,
@@ -249,6 +250,10 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "scalar"
+        }
+
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
     }
 

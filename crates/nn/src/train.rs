@@ -9,7 +9,7 @@ use crate::models::Network;
 use crate::optim::Sgd;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{ops, par, Tensor};
 
 /// Hyperparameters for supervised training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,19 +155,46 @@ pub fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Te
 
 /// Classification accuracy of `net` on `(images, labels)`, evaluated in
 /// batches of 64.
+///
+/// Batches run in parallel on the [`usb_tensor::par`] worker pool (thread
+/// count from `USB_THREADS` / available parallelism): evaluation is a pure
+/// eval-mode forward, so each worker predicts on its own clone of the
+/// network — one clone per *stripe* of batches, not per batch — and the
+/// integer hit counts are summed, so the result is identical at any
+/// thread count.
 pub fn evaluate(net: &mut Network, images: &Tensor, labels: &[usize]) -> f64 {
     let n = images.shape()[0];
     assert_eq!(labels.len(), n, "evaluate: label count mismatch");
     if n == 0 {
         return 0.0;
     }
-    let mut hits = 0usize;
     let indices: Vec<usize> = (0..n).collect();
-    for chunk in indices.chunks(64) {
+    let chunks: Vec<&[usize]> = indices.chunks(64).collect();
+    let score = |net: &mut Network, chunk: &[usize]| -> usize {
         let (bx, by) = gather_batch(images, labels, chunk);
         let preds = net.predict(&bx);
-        hits += preds.iter().zip(&by).filter(|(p, l)| p == l).count();
-    }
+        preds.iter().zip(&by).filter(|(p, l)| p == l).count()
+    };
+    let workers = par::resolve_workers(0).min(chunks.len());
+    let hits: usize = if workers <= 1 {
+        // Single worker: predict on the caller's model, no clones.
+        chunks.iter().map(|chunk| score(net, chunk)).sum()
+    } else {
+        // One contiguous stripe of batches per worker, one model clone per
+        // stripe.
+        let stripe = chunks.len().div_ceil(workers);
+        let stripes: Vec<&[&[usize]]> = chunks.chunks(stripe).collect();
+        let shared: &Network = net;
+        par::par_map(workers, &stripes, |_, stripe| {
+            let mut worker_net = shared.clone();
+            stripe
+                .iter()
+                .map(|chunk| score(&mut worker_net, chunk))
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum()
+    };
     hits as f64 / n as f64
 }
 

@@ -20,6 +20,10 @@
 //! * [`stats`] — median / MAD / anomaly-index statistics used by every
 //!   reverse-engineering defense to flag outlier classes.
 //! * [`init`] — seeded random initialisers (uniform, normal, Kaiming).
+//! * [`par`] — std-only scoped-thread worker pool with a deterministic,
+//!   order-preserving [`par::par_map`]; the execution substrate behind the
+//!   per-class, per-model, and per-batch parallel loops higher up the
+//!   stack.
 //!
 //! # Example
 //!
@@ -33,11 +37,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conv;
 pub mod init;
 pub mod ops;
+pub mod par;
 pub mod pool;
 pub mod ssim;
 pub mod stats;

@@ -2,10 +2,26 @@
 
 use crate::Tensor;
 
+/// Panel height (rows of `b` per block): a `BLOCK_K × BLOCK_COLS` panel is
+/// 16 KiB of `f32`, sized to sit in L1 while it is swept over every row of
+/// `a`.
+const BLOCK_K: usize = 64;
+/// Panel width (columns of `b` per block); see [`BLOCK_K`].
+const BLOCK_COLS: usize = 64;
+
 /// Dense matrix product `a @ b` for 2-D tensors `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses an i-k-j loop order so the innermost loop streams rows of `b`,
-/// which is the cache-friendly layout for row-major data.
+/// Uses a blocked i-k-j loop: the innermost loop streams rows of `b`
+/// (cache-friendly for row-major data), and `b` is processed in
+/// `BLOCK_K × BLOCK_COLS` panels that stay L1-resident while being reused
+/// across every row of `a` — the access pattern the im2col GEMM in
+/// `conv::conv2d_forward` / `conv::conv2d_backward` hits on every layer of
+/// every forward and backward pass.
+///
+/// For any fixed output element the `k`-accumulation order is ascending
+/// regardless of the blocking, so results are bit-identical to the naive
+/// triple loop — blocking is a pure layout optimisation, invisible to the
+/// deterministic-seeding guarantees.
 ///
 /// # Panics
 ///
@@ -36,16 +52,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    for jb in (0..n).step_by(BLOCK_COLS) {
+        let je = (jb + BLOCK_COLS).min(n);
+        for kb in (0..k).step_by(BLOCK_K) {
+            let ke = (kb + BLOCK_K).min(k);
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[i * n + jb..i * n + je];
+                for (kk, &av) in arow[kb..ke].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[(kb + kk) * n + jb..(kb + kk) * n + je];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
         }
     }
@@ -84,6 +106,13 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
 /// `a^T @ b` for 2-D tensors `[k, m] x [k, n] -> [m, n]` without
 /// materialising the transpose.
 ///
+/// Output columns are processed in `BLOCK_COLS`-wide panels so the
+/// `m × BLOCK_COLS` output slab being accumulated into stays cache-resident
+/// across the `k` sweep (this is the `Wᵀ @ grad` step of the conv backward
+/// pass, where the full output would thrash). As in [`matmul`], the
+/// per-element accumulation order is unchanged, so results are bit-identical
+/// to the unblocked loop.
+///
 /// # Panics
 ///
 /// Panics if either argument is not rank-2 or the `k` dimensions differ.
@@ -96,16 +125,19 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    for jb in (0..n).step_by(BLOCK_COLS) {
+        let je = (jb + BLOCK_COLS).min(n);
+        for kk in 0..k {
+            let arow = &ad[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n + jb..kk * n + je];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n + jb..i * n + je];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
     }
@@ -235,6 +267,56 @@ mod tests {
         let explicit = matmul(&transpose2d(&a), &b);
         for (x, y) in direct.data().iter().zip(explicit.data()) {
             assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Reference naive i-k-j product with the same ascending-`k`
+    /// accumulation order as the blocked kernels.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data()[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b.data()[kk * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_naive() {
+        // Sizes straddling the 64-wide panels, including non-multiples, so
+        // every partial-block edge case is exercised.
+        for &(m, k, n) in &[
+            (3, 5, 7),
+            (2, 64, 64),
+            (5, 65, 130),
+            (1, 200, 3),
+            (17, 100, 129),
+        ] {
+            let a = Tensor::from_fn(&[m, k], |i| ((i as f32) * 0.61).sin());
+            let b = Tensor::from_fn(&[k, n], |i| ((i as f32) * 0.37).cos());
+            let blocked = matmul(&a, &b);
+            let naive = matmul_naive(&a, &b);
+            assert_eq!(
+                blocked.data(),
+                naive.data(),
+                "matmul ({m}x{k}x{n}) must be bit-identical to the naive order"
+            );
+            let ta = transpose2d(&a);
+            let blocked_ta = matmul_transa(&ta, &b);
+            assert_eq!(
+                blocked_ta.data(),
+                naive.data(),
+                "matmul_transa ({m}x{k}x{n}) must be bit-identical to the naive order"
+            );
         }
     }
 

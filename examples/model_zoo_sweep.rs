@@ -3,19 +3,34 @@
 //! fast defense configs). The full reproduction lives in the `usb-repro`
 //! binary; this example shows the library API behind it.
 //!
+//! The grid fans the victims of a case out over worker threads (defaulting
+//! to the machine's available parallelism). USB's own per-class fan-out
+//! collapses to inline while the grid level is active — nested auto-sized
+//! pools run on the worker that spawned them rather than multiplying
+//! threads. Pin the pool size with the `USB_THREADS` environment variable;
+//! any value produces the identical report:
+//!
 //! ```text
 //! cargo run --release --example model_zoo_sweep
+//! USB_THREADS=1 cargo run --release --example model_zoo_sweep   # sequential
 //! ```
 
 use universal_soldier::eval::grid::{run_table, table5, DefenseSuite};
 use universal_soldier::eval::{format_table, write_csv};
+use universal_soldier::tensor::par;
 
 fn main() {
     let spec = table5();
-    println!("running {} with 2 models/case (fast configs)...", spec.id);
+    println!(
+        "running {} with 2 models/case (fast configs, {} worker threads)...",
+        spec.id,
+        par::worker_threads()
+    );
+    let t0 = std::time::Instant::now();
     let suite = DefenseSuite::fast();
     let report = run_table(&spec, 2, &suite, |line| println!("{line}"));
     print!("\n{}", format_table(&report));
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
     let path = std::path::Path::new("target/repro/example_sweep.csv");
     match write_csv(&report, path) {
         Ok(()) => println!("wrote {}", path.display()),

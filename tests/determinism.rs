@@ -57,3 +57,56 @@ fn victim_training_is_deterministic_for_equal_seeds() {
     assert_eq!(a.clean_accuracy, b.clean_accuracy);
     assert_eq!(a.asr(), b.asr());
 }
+
+#[test]
+fn usb_inspect_is_invariant_to_worker_thread_count() {
+    // The parallel per-class engine derives one rng stream per class from
+    // the inspection seed *before* fanning out, so the verdict must be a
+    // pure function of the seed — never of how classes land on threads.
+    // Every field of every ClassResult has to match bit-for-bit at 1, 2,
+    // and 4 workers.
+    let (data, mut victim) = small_victim();
+
+    let mut run = |workers: usize| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (clean_x, _) = data.clean_subset(32, &mut rng);
+        UsbDetector::fast_with_workers(workers).inspect(&mut victim.model, &clean_x, &mut rng)
+    };
+    let base = run(1);
+    for workers in [2usize, 4] {
+        let outcome = run(workers);
+        assert_eq!(
+            outcome.flagged, base.flagged,
+            "flagged classes changed at {workers} workers"
+        );
+        assert_eq!(
+            outcome.anomaly_indices, base.anomaly_indices,
+            "anomaly indices changed at {workers} workers"
+        );
+        for (a, b) in outcome.per_class.iter().zip(&base.per_class) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(
+                a.l1_norm, b.l1_norm,
+                "class {} norm changed at {workers} workers",
+                a.class
+            );
+            assert_eq!(
+                a.attack_success, b.attack_success,
+                "class {} success changed at {workers} workers",
+                a.class
+            );
+            assert_eq!(
+                a.pattern.data(),
+                b.pattern.data(),
+                "class {} pattern changed at {workers} workers",
+                a.class
+            );
+            assert_eq!(
+                a.mask.data(),
+                b.mask.data(),
+                "class {} mask changed at {workers} workers",
+                a.class
+            );
+        }
+    }
+}

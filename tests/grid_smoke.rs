@@ -32,9 +32,15 @@ fn tiny_spec() -> TableSpec {
 fn mini_table_runs_and_reports() {
     let spec = tiny_spec();
     let suite = DefenseSuite::fast();
-    let mut lines = 0usize;
-    let report = run_table(&spec, 1, &suite, |_| lines += 1);
-    assert!(lines > 0, "progress callback never fired");
+    // The grid may call `progress` from worker threads.
+    let lines = std::sync::atomic::AtomicUsize::new(0);
+    let report = run_table(&spec, 1, &suite, |_| {
+        lines.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert!(
+        lines.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "progress callback never fired"
+    );
     assert_eq!(report.cases.len(), 1);
     let case = &report.cases[0];
     assert_eq!(case.cells.len(), 3, "NC, TABOR, USB");
