@@ -32,8 +32,11 @@ use usb_tensor::Tensor;
 
 /// The input-conditioned trigger generator: a small conv net mapping an
 /// image to a pattern in `[0, 1]`, blended at strength `ε`.
+#[derive(Clone)]
 pub struct IadGenerator {
     net: Sequential,
+    channels: usize,
+    width: usize,
     epsilon: f32,
 }
 
@@ -57,12 +60,27 @@ impl IadGenerator {
             .push(ReLU::new())
             .push(Conv2d::new(width, channels, 3, 1, 1, true, rng))
             .push(Sigmoid::new());
-        IadGenerator { net, epsilon }
+        IadGenerator {
+            net,
+            channels,
+            width,
+            epsilon,
+        }
     }
 
     /// Blend strength `ε`.
     pub fn epsilon(&self) -> f32 {
         self.epsilon
+    }
+
+    /// Image channel count the generator was built for.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Conv width of the generator net.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Generates per-input patterns `[N, C, H, W]` in `[0, 1]`.

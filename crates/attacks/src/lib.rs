@@ -19,6 +19,12 @@
 //! network plus ground truth (clean or backdoored-with-target) that the
 //! evaluation harness scores detections against.
 //!
+//! Victims persist to disk as self-contained bundles ([`persist`]) —
+//! model, trigger, ground truth, and dataset recipe in one checksummed
+//! file — and the [`fixtures`] cache memoizes trained victims under
+//! `target/fixtures/` so tests, benches, and examples retrain only when
+//! their configuration changes. See `PERSISTENCE.md` for the format.
+//!
 //! # Example
 //!
 //! ```rust,no_run
@@ -35,11 +41,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod badnet;
+pub mod fixtures;
 mod iad;
 mod latent;
+pub mod persist;
 mod trigger;
 mod victim;
 

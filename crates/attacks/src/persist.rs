@@ -1,0 +1,459 @@
+//! Victim bundles: one self-contained file per trained victim — model,
+//! ground truth (target / trigger / measured ASR), the dataset recipe it
+//! was trained on, and the training provenance (seed + config hash).
+//!
+//! A bundle is everything an inspection needs: `usb-repro inspect <path>`
+//! regenerates clean data from the stored [`SyntheticSpec`] + data seed
+//! and runs a defense on the loaded model without retraining anything.
+//! Because the model payload is bit-exact (see [`usb_nn::serde`]), the
+//! verdict on a loaded victim is bit-identical to the verdict on the
+//! in-memory one.
+//!
+//! # Bundle layout (format version 1, little-endian)
+//!
+//! ```text
+//! 4   magic b"USBV"
+//! 2   u16 format version (currently 1)
+//! 8   u64 training seed
+//! 8   u64 config hash (caller-defined fingerprint, see usb_attacks::fixtures)
+//!     dataset spec: name str, u32 channels/height/width/classes/train/test,
+//!                   f32 noise, f32 shared_weight, u32 jitter
+//! 8   u64 dataset generation seed
+//!     network blob (usb_nn::serde layout)
+//! 8   f64 clean accuracy
+//! 1   u8 ground-truth tag (0 clean, 1 backdoored)
+//!   if backdoored:
+//!     4   u32 target class
+//!     8   f64 measured ASR
+//!         attack name str ("badnet" | "latent" | "iad")
+//!     1   u8 trigger tag (0 static, 1 dynamic)
+//!       static:  pattern tensor record + mask tensor record
+//!       dynamic: u32 channels, u32 gen width, f32 epsilon,
+//!                u32 state count, per tensor: kind str + tensor record
+//! ```
+//!
+//! Strings and tensor records use the [`usb_tensor::io`] encodings; every
+//! tensor carries its own CRC-32, so payload corruption anywhere in the
+//! bundle surfaces as a clean [`IoError`].
+
+use crate::iad::IadGenerator;
+use crate::trigger::Trigger;
+use crate::victim::{GroundTruth, InjectedTrigger, Victim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+use usb_data::SyntheticSpec;
+use usb_nn::layer::Layer;
+use usb_nn::serde::{read_network, write_network};
+use usb_tensor::io::{
+    expect_magic, expect_version, read_f32, read_f64, read_str, read_tensor, read_u32, read_u64,
+    write_f32, write_f64, write_str, write_tensor, write_u16, write_u32, write_u64, IoError,
+};
+
+/// Magic bytes opening a victim bundle.
+pub const VICTIM_MAGIC: [u8; 4] = *b"USBV";
+
+/// Current victim-bundle format version.
+pub const VICTIM_VERSION: u16 = 1;
+
+/// A victim plus the provenance needed to reproduce or re-inspect it.
+pub struct VictimBundle {
+    /// The trained victim (model + ground truth).
+    pub victim: Victim,
+    /// Seed the training run was derived from.
+    pub train_seed: u64,
+    /// Caller-defined fingerprint of the full training configuration
+    /// (attack, architecture, train config); fixture caching uses it to
+    /// detect stale files. See `usb_attacks::fixtures::fixture_hash`.
+    pub config_hash: u64,
+    /// Recipe of the dataset the victim was trained on.
+    pub data_spec: SyntheticSpec,
+    /// Seed the dataset was generated from — together with `data_spec`
+    /// this regenerates clean inspection data without shipping images.
+    pub data_seed: u64,
+}
+
+fn write_spec(w: &mut impl Write, spec: &SyntheticSpec) -> Result<(), IoError> {
+    write_str(w, &spec.name)?;
+    write_u32(w, spec.channels as u32)?;
+    write_u32(w, spec.height as u32)?;
+    write_u32(w, spec.width as u32)?;
+    write_u32(w, spec.num_classes as u32)?;
+    write_u32(w, spec.train_size as u32)?;
+    write_u32(w, spec.test_size as u32)?;
+    write_f32(w, spec.noise)?;
+    write_f32(w, spec.shared_weight)?;
+    write_u32(w, spec.jitter as u32)
+}
+
+fn read_spec(r: &mut impl Read) -> Result<SyntheticSpec, IoError> {
+    Ok(SyntheticSpec {
+        name: read_str(r)?,
+        channels: read_u32(r)? as usize,
+        height: read_u32(r)? as usize,
+        width: read_u32(r)? as usize,
+        num_classes: read_u32(r)? as usize,
+        train_size: read_u32(r)? as usize,
+        test_size: read_u32(r)? as usize,
+        noise: read_f32(r)?,
+        shared_weight: read_f32(r)?,
+        jitter: read_u32(r)? as usize,
+    })
+}
+
+fn attack_static_name(name: &str) -> Result<&'static str, IoError> {
+    Ok(match name {
+        "badnet" => "badnet",
+        "latent" => "latent",
+        "iad" => "iad",
+        other => {
+            return Err(IoError::format(format!(
+                "unknown attack family {other:?} in victim bundle"
+            )))
+        }
+    })
+}
+
+fn write_generator(w: &mut impl Write, gen: &mut IadGenerator) -> Result<(), IoError> {
+    write_u32(w, gen.channels() as u32)?;
+    write_u32(w, gen.width() as u32)?;
+    write_f32(w, gen.epsilon())?;
+    let mut count: u32 = 0;
+    gen.net_mut().visit_state(&mut |_, _| count += 1);
+    write_u32(w, count)?;
+    let mut result = Ok(());
+    gen.net_mut().visit_state(&mut |kind, tensor| {
+        if result.is_err() {
+            return;
+        }
+        result = write_str(w, kind).and_then(|()| write_tensor(w, tensor));
+    });
+    result
+}
+
+fn read_generator(r: &mut impl Read) -> Result<IadGenerator, IoError> {
+    let channels = read_u32(r)? as usize;
+    let width = read_u32(r)? as usize;
+    let epsilon = read_f32(r)?;
+    if channels == 0 || width == 0 || !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(IoError::format(format!(
+            "IAD generator header is implausible: channels {channels}, width {width}, epsilon {epsilon}"
+        )));
+    }
+    let count = read_u32(r)? as usize;
+    let mut gen = IadGenerator::new(channels, width, epsilon, &mut StdRng::seed_from_u64(0));
+    let mut expected: u32 = 0;
+    gen.net_mut().visit_state(&mut |_, _| expected += 1);
+    if count != expected as usize {
+        return Err(IoError::format(format!(
+            "IAD generator has {count} state tensors, topology expects {expected}"
+        )));
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = read_str(r)?;
+        let tensor = read_tensor(r)?;
+        records.push((kind, tensor));
+    }
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    gen.net_mut().visit_state(&mut |kind, tensor| {
+        if mismatch.is_some() {
+            return;
+        }
+        let (stored_kind, stored) = &records[idx];
+        if stored_kind != kind || stored.shape() != tensor.shape() {
+            mismatch = Some(format!(
+                "IAD generator state tensor {idx}: stored ({stored_kind}, {:?}) vs topology ({kind}, {:?})",
+                stored.shape(),
+                tensor.shape()
+            ));
+        } else {
+            tensor.data_mut().copy_from_slice(stored.data());
+        }
+        idx += 1;
+    });
+    match mismatch {
+        Some(msg) => Err(IoError::format(msg)),
+        None => Ok(gen),
+    }
+}
+
+/// Serializes a victim bundle.
+///
+/// Takes `&mut` because network state visitation shares the mutable
+/// parameter plumbing; nothing is modified.
+pub fn write_victim(w: &mut impl Write, bundle: &mut VictimBundle) -> Result<(), IoError> {
+    w.write_all(&VICTIM_MAGIC)?;
+    write_u16(w, VICTIM_VERSION)?;
+    write_u64(w, bundle.train_seed)?;
+    write_u64(w, bundle.config_hash)?;
+    write_spec(w, &bundle.data_spec)?;
+    write_u64(w, bundle.data_seed)?;
+    write_network(w, &mut bundle.victim.model)?;
+    write_f64(w, bundle.victim.clean_accuracy)?;
+    match &mut bundle.victim.ground_truth {
+        GroundTruth::Clean => w.write_all(&[0u8]).map_err(IoError::from),
+        GroundTruth::Backdoored {
+            target,
+            asr,
+            trigger,
+            attack,
+        } => {
+            w.write_all(&[1u8])?;
+            write_u32(w, *target as u32)?;
+            write_f64(w, *asr)?;
+            write_str(w, attack)?;
+            match trigger {
+                InjectedTrigger::Static(t) => {
+                    w.write_all(&[0u8])?;
+                    write_tensor(w, t.pattern())?;
+                    write_tensor(w, t.mask())
+                }
+                InjectedTrigger::Dynamic(g) => {
+                    w.write_all(&[1u8])?;
+                    write_generator(w, g)
+                }
+            }
+        }
+    }
+}
+
+/// Reads a victim bundle written by [`write_victim`].
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] on bad magic/version, corruption
+/// (checksums), truncation, or any record inconsistent with the topology
+/// it describes. Never panics on malformed input.
+pub fn read_victim(r: &mut impl Read) -> Result<VictimBundle, IoError> {
+    expect_magic(r, &VICTIM_MAGIC, "victim bundle")?;
+    expect_version(r, VICTIM_VERSION, "victim bundle")?;
+    let train_seed = read_u64(r)?;
+    let config_hash = read_u64(r)?;
+    let data_spec = read_spec(r)?;
+    let data_seed = read_u64(r)?;
+    let model = read_network(r)?;
+    let clean_accuracy = read_f64(r)?;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let ground_truth = match tag[0] {
+        0 => GroundTruth::Clean,
+        1 => {
+            let target = read_u32(r)? as usize;
+            let asr = read_f64(r)?;
+            let attack = attack_static_name(&read_str(r)?)?;
+            let mut ttag = [0u8; 1];
+            r.read_exact(&mut ttag)?;
+            let trigger = match ttag[0] {
+                0 => {
+                    let pattern = read_tensor(r)?;
+                    let mask = read_tensor(r)?;
+                    if pattern.ndim() != 3
+                        || mask.ndim() != 2
+                        || pattern.shape()[1..] != *mask.shape()
+                    {
+                        return Err(IoError::format(format!(
+                            "trigger records are inconsistent: pattern {:?}, mask {:?}",
+                            pattern.shape(),
+                            mask.shape()
+                        )));
+                    }
+                    InjectedTrigger::Static(Trigger::new(pattern, mask))
+                }
+                1 => InjectedTrigger::Dynamic(read_generator(r)?),
+                other => {
+                    return Err(IoError::format(format!("unknown trigger tag {other}")));
+                }
+            };
+            GroundTruth::Backdoored {
+                target,
+                asr,
+                trigger,
+                attack,
+            }
+        }
+        other => {
+            return Err(IoError::format(format!("unknown ground-truth tag {other}")));
+        }
+    };
+    Ok(VictimBundle {
+        victim: Victim {
+            model,
+            clean_accuracy,
+            ground_truth,
+        },
+        train_seed,
+        config_hash,
+        data_spec,
+        data_seed,
+    })
+}
+
+/// Saves a bundle to `path` (creating parent directories), writing through
+/// a temporary sibling file and renaming so concurrent readers never see a
+/// half-written bundle.
+pub fn save_victim(path: &Path, bundle: &mut VictimBundle) -> Result<(), IoError> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    // Unique per process *and* per call: parallel test threads can miss the
+    // same fixture simultaneously, and a pid-only name would let their
+    // writes interleave in one temp file before the rename.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        write_victim(&mut f, bundle)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path).map_err(IoError::from)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Loads a bundle from `path`.
+pub fn load_victim(path: &Path) -> Result<VictimBundle, IoError> {
+    let mut f = fs::File::open(path)?;
+    read_victim(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::badnet::BadNet;
+    use crate::victim::{train_clean_victim, Attack};
+    use usb_nn::layer::Mode;
+    use usb_nn::models::{Architecture, ModelKind};
+    use usb_nn::train::TrainConfig;
+    use usb_tensor::Tensor;
+
+    fn tiny_spec() -> SyntheticSpec {
+        SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(60)
+            .with_test_size(20)
+            .with_classes(4)
+    }
+
+    fn roundtrip(bundle: &mut VictimBundle) -> VictimBundle {
+        let mut buf = Vec::new();
+        write_victim(&mut buf, bundle).unwrap();
+        read_victim(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn clean_victim_bundle_roundtrips_bit_exactly() {
+        let spec = tiny_spec();
+        let data = spec.generate(3);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 7);
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 7,
+            config_hash: 0xABCD,
+            data_spec: spec,
+            data_seed: 3,
+        };
+        let mut back = roundtrip(&mut bundle);
+        assert_eq!(back.train_seed, 7);
+        assert_eq!(back.config_hash, 0xABCD);
+        assert_eq!(back.data_spec, bundle.data_spec);
+        assert_eq!(back.data_seed, 3);
+        assert_eq!(back.victim.clean_accuracy, bundle.victim.clean_accuracy);
+        assert!(!back.victim.is_backdoored());
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| ((i as f32) * 0.11).sin());
+        let ya = bundle.victim.model.forward(&x, Mode::Eval);
+        let yb = back.victim.model.forward(&x, Mode::Eval);
+        assert_eq!(ya.data(), yb.data(), "loaded forward must be bit-identical");
+    }
+
+    #[test]
+    fn badnet_bundle_preserves_trigger_and_asr() {
+        let spec = tiny_spec();
+        let data = spec.generate(4);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = BadNet::new(2, 1, 0.2).execute(&data, arch, TrainConfig::fast(), 8);
+        let asr = victim.asr();
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 8,
+            config_hash: 1,
+            data_spec: spec,
+            data_seed: 4,
+        };
+        let back = roundtrip(&mut bundle);
+        assert_eq!(back.victim.target(), Some(1));
+        assert_eq!(back.victim.asr(), asr);
+        let (a, b) = match (&bundle.victim.ground_truth, &back.victim.ground_truth) {
+            (
+                GroundTruth::Backdoored {
+                    trigger: InjectedTrigger::Static(a),
+                    attack: na,
+                    ..
+                },
+                GroundTruth::Backdoored {
+                    trigger: InjectedTrigger::Static(b),
+                    attack: nb,
+                    ..
+                },
+            ) => {
+                assert_eq!(na, nb);
+                (a.clone(), b.clone())
+            }
+            _ => panic!("expected static triggers"),
+        };
+        assert_eq!(a.pattern().data(), b.pattern().data());
+        assert_eq!(a.mask().data(), b.mask().data());
+    }
+
+    #[test]
+    fn dynamic_generator_roundtrips_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gen = IadGenerator::new(3, 4, 0.4, &mut rng);
+        let mut buf = Vec::new();
+        write_generator(&mut buf, &mut gen).unwrap();
+        let mut back = read_generator(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.epsilon(), 0.4);
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i as f32) * 0.07).cos().abs());
+        assert_eq!(gen.generate(&x).data(), back.generate(&x).data());
+    }
+
+    #[test]
+    fn corruption_anywhere_is_a_clean_error() {
+        let spec = tiny_spec();
+        let data = spec.generate(6);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 9);
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 9,
+            config_hash: 2,
+            data_spec: spec,
+            data_seed: 6,
+        };
+        let mut buf = Vec::new();
+        write_victim(&mut buf, &mut bundle).unwrap();
+        // Flip one byte at a spread of positions; every read must fail
+        // cleanly or — only where the byte is outside any checksummed or
+        // structural region — still parse.
+        for pos in (0..buf.len()).step_by(buf.len() / 23) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x55;
+            let _ = read_victim(&mut bad.as_slice()); // must not panic
+        }
+        // Truncations must all fail cleanly.
+        for len in (0..buf.len()).step_by(buf.len() / 17) {
+            match read_victim(&mut &buf[..len]) {
+                Err(IoError::Format(_)) => {}
+                Err(e) => panic!("unexpected error kind at {len}: {e}"),
+                Ok(_) => panic!("truncated bundle of {len} bytes decoded"),
+            }
+        }
+    }
+}

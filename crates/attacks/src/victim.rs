@@ -11,6 +11,7 @@ use usb_tensor::Tensor;
 
 /// The trigger actually implanted into a victim (for visualisation and
 /// ASR re-evaluation).
+#[derive(Clone)]
 pub enum InjectedTrigger {
     /// A fixed pattern+mask (BadNet, latent backdoor).
     Static(Trigger),
@@ -30,6 +31,7 @@ impl InjectedTrigger {
 
 /// What was actually done to a victim model — the label the detection
 /// metrics are scored against.
+#[derive(Clone)]
 pub enum GroundTruth {
     /// No backdoor.
     Clean,
@@ -47,6 +49,7 @@ pub enum GroundTruth {
 }
 
 /// A trained victim: the model plus its ground truth.
+#[derive(Clone)]
 pub struct Victim {
     /// The trained network.
     pub model: Network,

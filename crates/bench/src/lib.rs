@@ -3,7 +3,10 @@
 //! Shared fixtures for the Criterion benchmarks in `benches/`: pre-trained
 //! victims for each table's (dataset, architecture, attack) setting, built
 //! once per process so each benchmark measures the *detection* algorithm
-//! rather than victim training.
+//! rather than victim training. Victims come through the
+//! [`usb_attacks::fixtures`] disk cache (`target/fixtures/`), so across
+//! bench invocations each setting trains exactly once and loads bit-exact
+//! thereafter.
 //!
 //! Benchmarks (one group per paper table/figure):
 //!
@@ -18,6 +21,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Mutex, OnceLock};
+use usb_attacks::fixtures::{cached_victim, FixtureSpec};
 use usb_attacks::{Attack, BadNet, IadAttack, Victim};
 use usb_data::{Dataset, SyntheticSpec};
 use usb_nn::models::{Architecture, ModelKind};
@@ -37,23 +41,33 @@ pub struct Fixture {
 
 impl Fixture {
     fn build(
+        key: &str,
         spec: SyntheticSpec,
         kind: ModelKind,
         width: usize,
-        attack: Option<&dyn Attack>,
+        attack: Option<(&dyn Attack, String)>,
         seed: u64,
     ) -> Self {
-        let data = spec.generate(seed);
         let arch = Architecture::new(
             kind,
             (spec.channels, spec.height, spec.width),
             spec.num_classes,
         )
         .with_width(width);
-        let victim = match attack {
-            Some(a) => a.execute(&data, arch, TrainConfig::new(20), seed),
-            None => usb_attacks::train_clean_victim(&data, arch, TrainConfig::new(20), seed),
-        };
+        let tc = TrainConfig::new(20);
+        let fingerprint = attack
+            .as_ref()
+            .map(|(_, fp)| fp.clone())
+            .unwrap_or_else(|| "clean".to_owned());
+        let fixture = FixtureSpec::new(key, spec, seed, seed).with_config(&[
+            &format!("{arch:?}"),
+            &fingerprint,
+            &format!("{tc:?}"),
+        ]);
+        let (data, victim) = cached_victim(&fixture, |data| match &attack {
+            Some((a, _)) => a.execute(data, arch, tc, seed),
+            None => usb_attacks::train_clean_victim(data, arch, tc, seed),
+        });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9c);
         let (clean_x, _) = data.clean_subset(48, &mut rng);
         Fixture {
@@ -76,11 +90,13 @@ fn cifar_spec() -> SyntheticSpec {
 pub fn cifar_resnet_badnet() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = BadNet::new(2, 0, 0.15);
         Fixture::build(
+            "bench-cifar-resnet-badnet",
             cifar_spec(),
             ModelKind::ResNet18,
             4,
-            Some(&BadNet::new(2, 0, 0.15)),
+            Some((&attack, format!("{attack:?}"))),
             301,
         )
     })
@@ -89,21 +105,32 @@ pub fn cifar_resnet_badnet() -> &'static Fixture {
 /// Clean counterpart of [`cifar_resnet_badnet`] (headline comparison).
 pub fn cifar_resnet_clean() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
-    FIX.get_or_init(|| Fixture::build(cifar_spec(), ModelKind::ResNet18, 4, None, 302))
+    FIX.get_or_init(|| {
+        Fixture::build(
+            "bench-cifar-resnet-clean",
+            cifar_spec(),
+            ModelKind::ResNet18,
+            4,
+            None,
+            302,
+        )
+    })
 }
 
 /// Table 2 / Table 7 setting: EfficientNet-B0 on ImageNet-subset-like data.
 pub fn imagenet_efficientnet_badnet() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = BadNet::new(3, 0, 0.15);
         Fixture::build(
+            "bench-imagenet-effnet-badnet",
             SyntheticSpec::imagenet_subset()
                 .with_size(20)
                 .with_train_size(300)
                 .with_test_size(60),
             ModelKind::EfficientNetB0,
             6,
-            Some(&BadNet::new(3, 0, 0.15)),
+            Some((&attack, format!("{attack:?}"))),
             303,
         )
     })
@@ -113,11 +140,13 @@ pub fn imagenet_efficientnet_badnet() -> &'static Fixture {
 pub fn cifar_vgg_iad() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = IadAttack::new(0);
         Fixture::build(
+            "bench-cifar-vgg-iad",
             cifar_spec(),
             ModelKind::Vgg16,
             6,
-            Some(&IadAttack::new(0)),
+            Some((&attack, format!("{attack:?}"))),
             304,
         )
     })
@@ -127,11 +156,13 @@ pub fn cifar_vgg_iad() -> &'static Fixture {
 pub fn cifar_vgg_badnet() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = BadNet::new(2, 0, 0.15);
         Fixture::build(
+            "bench-cifar-vgg-badnet",
             cifar_spec(),
             ModelKind::Vgg16,
             6,
-            Some(&BadNet::new(2, 0, 0.15)),
+            Some((&attack, format!("{attack:?}"))),
             305,
         )
     })
@@ -141,14 +172,16 @@ pub fn cifar_vgg_badnet() -> &'static Fixture {
 pub fn mnist_resnet_badnet() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = BadNet::new(2, 0, 0.15);
         Fixture::build(
+            "bench-mnist-resnet-badnet",
             SyntheticSpec::mnist()
                 .with_size(12)
                 .with_train_size(300)
                 .with_test_size(60),
             ModelKind::ResNet18,
             4,
-            Some(&BadNet::new(2, 0, 0.15)),
+            Some((&attack, format!("{attack:?}"))),
             306,
         )
     })
@@ -158,7 +191,9 @@ pub fn mnist_resnet_badnet() -> &'static Fixture {
 pub fn gtsrb_resnet_badnet() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
+        let attack = BadNet::new(2, 0, 0.15);
         Fixture::build(
+            "bench-gtsrb-resnet-badnet",
             SyntheticSpec::gtsrb()
                 .with_size(12)
                 .with_classes(16)
@@ -166,7 +201,7 @@ pub fn gtsrb_resnet_badnet() -> &'static Fixture {
                 .with_test_size(64),
             ModelKind::ResNet18,
             4,
-            Some(&BadNet::new(2, 0, 0.15)),
+            Some((&attack, format!("{attack:?}"))),
             307,
         )
     })

@@ -12,6 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io;
 use std::path::{Path, PathBuf};
 use usb_attacks::{train_clean_victim, Attack, BadNet, GroundTruth, InjectedTrigger};
 use usb_core::viz::{ascii_art, save_image, save_pgm};
@@ -36,7 +37,12 @@ fn cifar_resnet_setup() -> (usb_data::Dataset, Architecture) {
 /// mass of (a) NC's random starting pattern, (b) the targeted UAP of a
 /// backdoored model, (c) the targeted UAP of a clean model, and (d) NC's
 /// optimised pattern; dumps all four as images.
-pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, f64)> {
+///
+/// # Errors
+///
+/// Returns the first I/O error from writing an image dump — a figure run
+/// that silently produces no figures is a failed run.
+pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<(String, f64)>> {
     let (data, arch) = cifar_resnet_setup();
     let mut backdoored = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 1);
     let mut clean = train_clean_victim(&data, arch, TrainConfig::new(20), 2);
@@ -70,43 +76,43 @@ pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, f64)
         &random_pattern,
         0.0,
         1.0,
-    )
-    .ok();
+    )?;
     save_image(
         &out_dir.join("fig1_uap_backdoored.ppm"),
         &uap_bd.perturbation,
         -0.5,
         0.5,
-    )
-    .ok();
+    )?;
     save_image(
         &out_dir.join("fig1_uap_clean.ppm"),
         &uap_clean.perturbation,
         -0.5,
         0.5,
-    )
-    .ok();
+    )?;
     save_image(
         &out_dir.join("fig1_nc_optimized.ppm"),
         &nc_result.pattern,
         0.0,
         1.0,
-    )
-    .ok();
+    )?;
     for (name, l1) in &rows {
         progress(&format!("[fig1] {name}: L1 = {l1:.2}"));
     }
-    rows
+    Ok(rows)
 }
 
 /// Figs. 2–4: original trigger vs the three reconstructions, dumped as
 /// images (CIFAR-10-like setting; Fig. 2's ImageNet rows use the Table 2
 /// setting when `imagenet` is true).
+///
+/// # Errors
+///
+/// Returns the first I/O error from writing an image dump.
 pub fn fig_reconstructions(
     out_dir: &Path,
     imagenet: bool,
     mut progress: impl FnMut(&str),
-) -> Vec<(String, f64)> {
+) -> io::Result<Vec<(String, f64)>> {
     let (data, arch) = if imagenet {
         let dataset = SyntheticSpec::imagenet_subset()
             .with_size(20)
@@ -135,9 +141,8 @@ pub fn fig_reconstructions(
             trigger.pattern(),
             0.0,
             1.0,
-        )
-        .ok();
-        save_pgm(&out_dir.join("orig_mask.pgm"), trigger.mask(), 0.0, 1.0).ok();
+        )?;
+        save_pgm(&out_dir.join("orig_mask.pgm"), trigger.mask(), 0.0, 1.0)?;
         rows.push(("original".to_owned(), trigger.mask_l1()));
     }
     let nc = NeuralCleanse::fast();
@@ -151,29 +156,31 @@ pub fn fig_reconstructions(
             &r.pattern,
             0.0,
             1.0,
-        )
-        .ok();
+        )?;
         save_pgm(
             &out_dir.join(format!("reversed_{name}_mask.pgm")),
             &r.mask,
             0.0,
             1.0,
-        )
-        .ok();
+        )?;
         progress(&format!(
             "[fig2-4] {name}: mask L1 {:.2}, success {:.2}",
             r.l1_norm, r.attack_success
         ));
         rows.push((name.to_owned(), r.l1_norm));
     }
-    rows
+    Ok(rows)
 }
 
 /// Fig. 5: USB reverse engineering for all classes of an MNIST-like basic
 /// CNN with the mask-size constraint removed (`L = CE − SSIM`, paper §A.6).
 /// The backdoored class learns the trigger; clean classes learn their own
 /// class features.
-pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<f64> {
+///
+/// # Errors
+///
+/// Returns the first I/O error from writing an image dump.
+pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<f64>> {
     let data = SyntheticSpec::mnist()
         .with_size(12)
         .with_train_size(400)
@@ -197,8 +204,7 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<f64> {
             &carried,
             0.0,
             1.0,
-        )
-        .ok();
+        )?;
     }
     let refine = RefineConfig::standard().without_mask_constraint();
     let mut norms = Vec::new();
@@ -206,7 +212,7 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<f64> {
         let uap = targeted_uap(&mut victim.model, &x, t, UapConfig::default());
         let refined = refine_uap(&mut victim.model, &x, t, &uap.perturbation, refine);
         let v = refined.effective_perturbation();
-        save_image(&out_dir.join(format!("fig5_class{t}.ppm")), &v, 0.0, 1.0).ok();
+        save_image(&out_dir.join(format!("fig5_class{t}.ppm")), &v, 0.0, 1.0)?;
         norms.push(v.l1_norm() as f64);
         progress(&format!(
             "[fig5] class {t}: v' L1 {:.2}{}",
@@ -214,12 +220,19 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<f64> {
             if t == target { "  <- true target" } else { "" }
         ));
     }
-    norms
+    Ok(norms)
 }
 
 /// Fig. 6: reversed triggers for every class by NC, TABOR, and USB, dumped
 /// as a grid of images. Returns (method, class, mask L1) triples.
-pub fn fig6(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, usize, f64)> {
+///
+/// # Errors
+///
+/// Returns the first I/O error from writing an image dump.
+pub fn fig6(
+    out_dir: &Path,
+    mut progress: impl FnMut(&str),
+) -> io::Result<Vec<(String, usize, f64)>> {
     let (data, arch) = cifar_resnet_setup();
     let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 5);
     progress(&format!("[fig6] victim asr {:.2}", victim.asr()));
@@ -238,13 +251,12 @@ pub fn fig6(out_dir: &Path, mut progress: impl FnMut(&str)) -> Vec<(String, usiz
                 &r.pattern,
                 0.0,
                 1.0,
-            )
-            .ok();
+            )?;
             rows.push((name.to_owned(), t, r.l1_norm));
         }
         progress(&format!("[fig6] {name}: all classes reversed"));
     }
-    rows
+    Ok(rows)
 }
 
 /// §4.2 headline: USB per-class norms on one backdoored ResNet-18; the

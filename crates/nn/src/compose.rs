@@ -73,6 +73,12 @@ impl Layer for Sequential {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
 }
 
 /// A residual block `y = main(x) + shortcut(x)`.
@@ -140,6 +146,11 @@ impl Layer for Residual {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        self.main.visit_state(f);
+        self.shortcut.visit_state(f);
     }
 }
 
@@ -254,6 +265,11 @@ impl Layer for SqueezeExcite {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        self.fc1.visit_state(f);
+        self.fc2.visit_state(f);
     }
 }
 

@@ -81,6 +81,26 @@ pub trait Layer: Send + Sync {
     /// forward caches). Implementations are one line on a `Clone` type:
     /// `Box::new(self.clone())`.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Visits every tensor that defines this layer's *persistent state* —
+    /// parameter values plus any non-parameter buffers (e.g. batch-norm
+    /// running statistics) — in a deterministic order, tagging each with
+    /// the owning layer's [`Layer::name`].
+    ///
+    /// This is the traversal the [`crate::serde`] state-dict format is
+    /// built on: two structurally identical models visit the same
+    /// `(kind, shape)` sequence, so state saved from one can be loaded
+    /// into the other. Gradients and forward caches are transient and are
+    /// deliberately *not* visited.
+    ///
+    /// The default implementation visits the parameter values from
+    /// [`Layer::visit_params`]; leaf layers with extra buffers and
+    /// composite layers (which must recurse so sub-layer kinds are
+    /// reported, not their own) override it.
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        let kind = self.name();
+        self.visit_params(&mut |slot| f(kind, slot.value));
+    }
 }
 
 impl Clone for Box<dyn Layer> {

@@ -203,6 +203,15 @@ impl Layer for BatchNorm2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        // Running statistics are state but not parameters: eval-mode
+        // forwards are a function of them, so persistence must carry them.
+        f("batchnorm2d", &mut self.gamma.value);
+        f("batchnorm2d", &mut self.beta.value);
+        f("batchnorm2d", &mut self.running_mean);
+        f("batchnorm2d", &mut self.running_var);
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod compose;
 pub mod layer;
@@ -46,6 +46,7 @@ pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod optim;
+pub mod serde;
 pub mod train;
 
 pub use layer::{Layer, Mode};

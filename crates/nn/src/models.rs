@@ -235,6 +235,11 @@ impl Layer for Network {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        self.features.visit_state(f);
+        self.classifier.visit_state(f);
+    }
 }
 
 // ---------------------------------------------------------------------

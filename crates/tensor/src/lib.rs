@@ -20,6 +20,9 @@
 //! * [`stats`] — median / MAD / anomaly-index statistics used by every
 //!   reverse-engineering defense to flag outlier classes.
 //! * [`init`] — seeded random initialisers (uniform, normal, Kaiming).
+//! * [`io`] — versioned binary (de)serialization of tensors (magic,
+//!   shape, bit-exact `f32` payload, CRC-32) plus the little-endian
+//!   primitives the model/victim persistence layers above are built on.
 //! * [`par`] — std-only scoped-thread worker pool with a deterministic,
 //!   order-preserving [`par::par_map`]; the execution substrate behind the
 //!   per-class, per-model, and per-batch parallel loops higher up the
@@ -41,6 +44,7 @@
 
 pub mod conv;
 pub mod init;
+pub mod io;
 pub mod ops;
 pub mod par;
 pub mod pool;

@@ -37,16 +37,32 @@ fn report(name: &str, outcome: &DetectionOutcome, truth: Option<usize>, seconds:
 }
 
 fn main() {
-    let data = SyntheticSpec::cifar10()
+    let spec = SyntheticSpec::cifar10()
         .with_size(12)
         .with_train_size(400)
-        .with_test_size(100)
-        .generate(11);
+        .with_test_size(100);
     let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
+    let attack = BadNet::new(2, 4, 0.15);
+    let tc = TrainConfig::new(20);
 
-    println!("training one backdoored and one clean victim...");
-    let mut backdoored = BadNet::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 1);
-    let mut clean = train_clean_victim(&data, arch, TrainConfig::new(20), 2);
+    // Victims memoize under target/fixtures/ — the first run trains them,
+    // later runs load bit-exact bundles (see PERSISTENCE.md).
+    println!("fetching one backdoored and one clean victim (cached after the first run)...");
+    let bd_fixture =
+        FixtureSpec::new("example-compare-badnet", spec.clone(), 11, 1).with_config(&[
+            &format!("{arch:?}"),
+            &format!("{attack:?}"),
+            &format!("{tc:?}"),
+        ]);
+    let (data, mut backdoored) =
+        cached_victim(&bd_fixture, |data| attack.execute(data, arch, tc, 1));
+    let clean_fixture = FixtureSpec::new("example-compare-clean", spec, 11, 2).with_config(&[
+        &format!("{arch:?}"),
+        "clean",
+        &format!("{tc:?}"),
+    ]);
+    let (_, mut clean) =
+        cached_victim(&clean_fixture, |data| train_clean_victim(data, arch, tc, 2));
     println!(
         "backdoored: acc {:.2} asr {:.2} | clean: acc {:.2}",
         backdoored.clean_accuracy,

@@ -36,6 +36,46 @@
 //! assert!(outcome.is_backdoored());
 //! println!("flagged target classes: {:?}", outcome.flagged);
 //! ```
+//!
+//! # Save → load → inspect
+//!
+//! Victims persist as self-contained bundles (model + trigger + ground
+//! truth + dataset recipe; byte layout in `PERSISTENCE.md`), so a model
+//! zoo is trained once and re-inspected from disk forever after. A loaded
+//! victim's forwards are bit-exact, so the verdict below is bit-identical
+//! to inspecting the in-memory `victim` (`usb-repro save` / `usb-repro
+//! inspect <path>` is the CLI version of this loop):
+//!
+//! ```rust,no_run
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::path::Path;
+//! use universal_soldier::prelude::*;
+//!
+//! let spec = SyntheticSpec::cifar10().with_size(12);
+//! let data = spec.generate(7);
+//! let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
+//! let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
+//!
+//! // Save: one checksummed file carries everything an inspection needs.
+//! let mut bundle = VictimBundle {
+//!     victim,
+//!     train_seed: 7,
+//!     config_hash: 0,
+//!     data_spec: spec,
+//!     data_seed: 7,
+//! };
+//! save_victim(Path::new("target/zoo/badnet.usbv"), &mut bundle).unwrap();
+//!
+//! // Load (possibly in another process, days later) and inspect — no
+//! // retraining: clean data regenerates from the stored recipe.
+//! let mut loaded = load_victim(Path::new("target/zoo/badnet.usbv")).unwrap();
+//! let data = loaded.data_spec.generate(loaded.data_seed);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let (clean_x, _) = data.clean_subset(48, &mut rng);
+//! let outcome = UsbDetector::new(UsbConfig::standard())
+//!     .inspect(&mut loaded.victim.model, &clean_x, &mut rng);
+//! assert_eq!(outcome.flagged, vec![0]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +90,8 @@ pub use usb_tensor as tensor;
 
 /// Convenience re-exports of the types used by virtually every program.
 pub mod prelude {
+    pub use usb_attacks::fixtures::{cached_victim, FixtureSpec};
+    pub use usb_attacks::persist::{load_victim, save_victim, VictimBundle};
     pub use usb_attacks::{
         train_clean_victim, Attack, BadNet, GroundTruth, IadAttack, InjectedTrigger,
         LatentBackdoor, Trigger, TriggerSpec, Victim,

@@ -7,20 +7,41 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use universal_soldier::prelude::*;
 
-#[test]
-fn all_defenses_rank_badnet_target_lowest() {
-    let data = SyntheticSpec::cifar10()
+fn six_class_spec() -> SyntheticSpec {
+    SyntheticSpec::cifar10()
         .with_size(12)
         .with_train_size(300)
         .with_test_size(60)
         .with_classes(6)
-        .generate(211);
-    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
+}
+
+/// Memoized under `target/fixtures/` — trained once, loaded bit-exactly on
+/// every later run of this suite.
+fn fixture_victim(
+    key: &str,
+    data_seed: u64,
+    train_seed: u64,
+    arch: Architecture,
+    attack: impl Attack + std::fmt::Debug,
+) -> (Dataset, Victim) {
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new(key, six_class_spec(), data_seed, train_seed).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    cached_victim(&fixture, |data| attack.execute(data, arch, tc, train_seed))
+}
+
+#[test]
+fn all_defenses_rank_badnet_target_lowest() {
     // Victim seed chosen for a well-separated norm profile: on some seeds
     // the synthetic class overlap makes a *clean* class's trigger nearly as
     // small as the implanted one, which tests class ranking noise rather
     // than the defenses.
-    let mut victim = BadNet::new(2, 2, 0.15).execute(&data, arch, TrainConfig::new(20), 22);
+    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
+    let (data, mut victim) =
+        fixture_victim("cmp-badnet-resnet", 211, 22, arch, BadNet::new(2, 2, 0.15));
     assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
 
     let mut rng = StdRng::seed_from_u64(3);
@@ -47,14 +68,14 @@ fn all_defenses_rank_badnet_target_lowest() {
 
 #[test]
 fn latent_backdoor_is_visible_to_usb() {
-    let data = SyntheticSpec::cifar10()
-        .with_size(12)
-        .with_train_size(300)
-        .with_test_size(60)
-        .with_classes(6)
-        .generate(212);
     let arch = Architecture::new(ModelKind::Vgg16, (3, 12, 12), 6).with_width(6);
-    let mut victim = LatentBackdoor::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 22);
+    let (data, mut victim) = fixture_victim(
+        "cmp-latent-vgg",
+        212,
+        22,
+        arch,
+        LatentBackdoor::new(2, 4, 0.15),
+    );
     assert!(victim.asr() > 0.7, "latent attack failed: {}", victim.asr());
 
     let mut rng = StdRng::seed_from_u64(4);
@@ -78,14 +99,9 @@ fn usb_is_faster_than_nc_per_class() {
     // Table 7's qualitative claim at unit scale: USB's UAP-seeded search
     // needs less wall-clock than NC's random-start optimisation, using the
     // standard (non-fast) configurations of both.
-    let data = SyntheticSpec::cifar10()
-        .with_size(12)
-        .with_train_size(300)
-        .with_test_size(60)
-        .with_classes(6)
-        .generate(213);
     let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
-    let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 23);
+    let (data, mut victim) =
+        fixture_victim("cmp-timing-resnet", 213, 23, arch, BadNet::new(2, 0, 0.15));
     let mut rng = StdRng::seed_from_u64(5);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
 

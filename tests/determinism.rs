@@ -8,16 +8,31 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use universal_soldier::prelude::*;
 
+fn small_arch() -> Architecture {
+    Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6)
+}
+
+fn small_attack() -> BadNet {
+    BadNet::new(2, 1, 0.15)
+}
+
+/// The shared victim comes through the `target/fixtures/` disk cache:
+/// trained on the first-ever run, loaded bit-exactly afterwards (and
+/// `victim_training_is_deterministic_for_equal_seeds` below proves the
+/// two are indistinguishable).
 fn small_victim() -> (Dataset, Victim) {
-    let data = SyntheticSpec::mnist()
+    let spec = SyntheticSpec::mnist()
         .with_size(12)
         .with_train_size(160)
         .with_test_size(40)
-        .with_classes(4)
-        .generate(55);
-    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
-    let victim = BadNet::new(2, 1, 0.15).execute(&data, arch, TrainConfig::fast(), 9);
-    (data, victim)
+        .with_classes(4);
+    let (arch, attack, tc) = (small_arch(), small_attack(), TrainConfig::fast());
+    let fixture = FixtureSpec::new("determinism-badnet", spec, 55, 9).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    cached_victim(&fixture, |data| attack.execute(data, arch, tc, 9))
 }
 
 #[test]
@@ -52,10 +67,20 @@ fn usb_inspect_is_deterministic_for_equal_seeds() {
 
 #[test]
 fn victim_training_is_deterministic_for_equal_seeds() {
-    let (_, a) = small_victim();
-    let (_, b) = small_victim();
+    // `small_victim` may come from the fixture cache, so train the same
+    // configuration from scratch and require the two to be bit-identical —
+    // this simultaneously checks training determinism and that a cached
+    // (saved + loaded) victim is indistinguishable from a fresh one.
+    let (data, mut a) = small_victim();
+    let mut b = small_attack().execute(&data, small_arch(), TrainConfig::fast(), 9);
     assert_eq!(a.clean_accuracy, b.clean_accuracy);
     assert_eq!(a.asr(), b.asr());
+    let x = data.test_images.clone();
+    assert_eq!(
+        a.model.predict(&x),
+        b.model.predict(&x),
+        "cached and freshly trained victims must predict identically"
+    );
 }
 
 #[test]

@@ -8,22 +8,34 @@ use universal_soldier::prelude::*;
 
 // Ten classes, like every setting in the paper: the MAD outlier test needs
 // enough classes for a stable median.
-fn dataset(seed: u64) -> Dataset {
+fn spec() -> SyntheticSpec {
     SyntheticSpec::cifar10()
         .with_size(12)
         .with_train_size(400)
         .with_test_size(80)
-        .generate(seed)
 }
 
 fn arch() -> Architecture {
     Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4)
 }
 
+/// Victims memoize under `target/fixtures/` (trained once, loaded
+/// bit-exactly afterwards); the config fingerprint retrains them whenever
+/// the attack, architecture, or train config changes.
+fn badnet_victim(key: &str, target: usize, data_seed: u64, train_seed: u64) -> (Dataset, Victim) {
+    let attack = BadNet::new(2, target, 0.15);
+    let (arch, tc) = (arch(), TrainConfig::new(20));
+    let fixture = FixtureSpec::new(key, spec(), data_seed, train_seed).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    cached_victim(&fixture, |data| attack.execute(data, arch, tc, train_seed))
+}
+
 #[test]
 fn usb_detects_badnet_end_to_end() {
-    let data = dataset(201);
-    let mut victim = BadNet::new(2, 3, 0.15).execute(&data, arch(), TrainConfig::new(20), 13);
+    let (data, mut victim) = badnet_victim("e2e-badnet", 3, 201, 13);
     assert!(
         victim.clean_accuracy > 0.8,
         "victim under-trained: {}",
@@ -52,8 +64,13 @@ fn usb_detects_badnet_end_to_end() {
 
 #[test]
 fn usb_does_not_flag_clean_model_end_to_end() {
-    let data = dataset(202);
-    let mut victim = train_clean_victim(&data, arch(), TrainConfig::new(20), 14);
+    let (arch, tc) = (arch(), TrainConfig::new(20));
+    let fixture = FixtureSpec::new("e2e-clean", spec(), 202, 14).with_config(&[
+        &format!("{arch:?}"),
+        "clean",
+        &format!("{tc:?}"),
+    ]);
+    let (data, mut victim) = cached_victim(&fixture, |data| train_clean_victim(data, arch, tc, 14));
     assert!(victim.clean_accuracy > 0.8);
 
     let mut rng = StdRng::seed_from_u64(1);
@@ -75,9 +92,8 @@ fn usb_does_not_flag_clean_model_end_to_end() {
 
 #[test]
 fn backdoored_class_has_smallest_usb_norm() {
-    // The §4.2 headline property (2x2 BadNet, ResNet-18), on a fresh victim.
-    let data = dataset(203);
-    let mut victim = BadNet::new(2, 1, 0.15).execute(&data, arch(), TrainConfig::new(20), 15);
+    // The §4.2 headline property (2x2 BadNet, ResNet-18).
+    let (data, mut victim) = badnet_victim("e2e-headline", 1, 203, 15);
     assert!(victim.asr() > 0.8);
     // Seed 5: this victim's clean class 7 reverses to a smallish trigger
     // (norm ~8-9) whatever the rng; inspection seeds whose class-1 trigger
