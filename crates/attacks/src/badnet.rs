@@ -92,7 +92,7 @@ impl Attack for BadNet {
         let (px, py, trigger) = self.poison_training_set(data, &mut rng);
         let mut model = arch.build(&mut rng);
         let _ = fit(&mut model, &px, &py, tc, &mut rng);
-        let clean_accuracy = evaluate(&mut model, &data.test_images, &data.test_labels);
+        let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_static(
             &mut model,
             &trigger,

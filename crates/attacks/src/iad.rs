@@ -251,7 +251,7 @@ impl Attack for IadAttack {
                 gen_opt.step(generator.net_mut());
             }
         }
-        let clean_accuracy = evaluate(&mut model, &data.test_images, &data.test_labels);
+        let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_dynamic(
             &mut model,
             &mut generator,

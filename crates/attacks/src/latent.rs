@@ -137,7 +137,7 @@ impl Attack for LatentBackdoor {
                 }
             }
         }
-        let clean_accuracy = evaluate(&mut model, &data.test_images, &data.test_labels);
+        let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_static(
             &mut model,
             &trigger,

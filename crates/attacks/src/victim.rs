@@ -109,7 +109,7 @@ pub fn train_clean_victim(
         tc,
         &mut rng,
     );
-    let clean_accuracy = evaluate(&mut model, &data.test_images, &data.test_labels);
+    let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
     Victim {
         model,
         clean_accuracy,

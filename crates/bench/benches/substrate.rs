@@ -11,9 +11,10 @@ use std::hint::black_box;
 use std::time::Duration;
 use usb_core::{deepfool, DeepfoolConfig, UsbDetector};
 use usb_defenses::Defense;
-use usb_tensor::conv::{conv2d_backward, conv2d_forward, ConvSpec};
+use usb_nn::layer::Mode;
+use usb_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_ws, ConvSpec};
 use usb_tensor::ssim::{ssim, ssim_with_grad};
-use usb_tensor::{init, ops, par, Tensor};
+use usb_tensor::{init, ops, par, Tensor, Workspace};
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
     c
@@ -52,6 +53,54 @@ fn bench_ssim(c: &mut Criterion) {
     });
     c.bench_function("substrate/ssim_with_grad_b16", |bench| {
         bench.iter(|| black_box(ssim_with_grad(&x, &y)))
+    });
+}
+
+/// The allocation win of the inference path, measured instead of
+/// asserted: the caching `forward(Mode::Eval)` against `infer` on the
+/// same trained victim, and `infer` with a workspace kept warm across
+/// calls against one recreated cold every call (isolating how much of the
+/// win comes from buffer reuse rather than skipped cache writes).
+fn bench_infer_vs_forward(c: &mut Criterion) {
+    let fixture = usb_bench::cifar_resnet_badnet();
+    let batch: Vec<Tensor> = (0..16).map(|i| fixture.clean_x.index_axis0(i)).collect();
+    let batch = Tensor::stack(&batch);
+    c.bench_function("substrate/forward_eval_b16", |bench| {
+        bench.iter(|| {
+            let mut victim = fixture.victim.lock().unwrap();
+            black_box(victim.model.forward(&batch, Mode::Eval))
+        })
+    });
+    c.bench_function("substrate/infer_warm_ws_b16", |bench| {
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let victim = fixture.victim.lock().unwrap();
+            let logits = victim.model.infer(&batch, &mut ws);
+            let class = black_box(ops::argmax_rows(&logits));
+            ws.recycle(logits); // keep the steady state allocation-free
+            class
+        })
+    });
+    c.bench_function("substrate/infer_cold_ws_b16", |bench| {
+        bench.iter(|| {
+            let victim = fixture.victim.lock().unwrap();
+            let mut ws = Workspace::new();
+            black_box(victim.model.infer(&batch, &mut ws))
+        })
+    });
+    // The same warm/cold comparison on the raw conv kernel, without the
+    // network plumbing on top.
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = init::uniform(&[8, 16, 12, 12], 0.0, 1.0, &mut rng);
+    let w = init::uniform(&[16, 16, 3, 3], -0.2, 0.2, &mut rng);
+    let spec = ConvSpec::new(1, 1);
+    c.bench_function("substrate/conv2d_forward_warm_ws", |bench| {
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let out = conv2d_forward_ws(&x, &w, None, spec, &mut ws);
+            black_box(out.data()[0]);
+            ws.recycle(out);
+        })
     });
 }
 
@@ -123,6 +172,7 @@ fn benches(c: &mut Criterion) {
     bench_conv(c);
     bench_ssim(c);
     bench_par_map(c);
+    bench_infer_vs_forward(c);
     bench_deepfool(c);
 }
 

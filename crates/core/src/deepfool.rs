@@ -12,7 +12,7 @@
 //! `w = ∇(z_t − z_c)`, where `c` is the currently predicted class.
 
 use usb_nn::models::Network;
-use usb_tensor::Tensor;
+use usb_tensor::{ops, Tensor};
 
 /// Hyperparameters of the targeted DeepFool inner loop.
 ///
@@ -60,17 +60,12 @@ pub fn deepfool(model: &mut Network, x: &Tensor, target: usize, config: Deepfool
     let mut xi = x.reshape(&shape4);
     let orig = xi.clone();
     for _ in 0..config.max_iters {
-        let k = model.num_classes();
-        // One backward pass for the logit difference z_t − z_c.
+        // One backward pass for the logit difference z_t − z_c; the
+        // predicted class `c` is the shared [`ops::argmax_row`] both here
+        // and after the pass (first-maximum tie-breaking in both).
         let (logits, grad) = model.input_grad(&xi, |logits| {
             let mut g = Tensor::zeros(logits.shape());
-            let row = logits.data();
-            let mut cur = 0;
-            for j in 1..k {
-                if row[j] > row[cur] {
-                    cur = j;
-                }
-            }
+            let cur = ops::argmax_row(logits.data());
             if cur != target {
                 g.data_mut()[target] = 1.0;
                 g.data_mut()[cur] = -1.0;
@@ -78,12 +73,7 @@ pub fn deepfool(model: &mut Network, x: &Tensor, target: usize, config: Deepfool
             g
         });
         let row = logits.data();
-        let mut cur = 0;
-        for j in 1..k {
-            if row[j] > row[cur] {
-                cur = j;
-            }
-        }
+        let cur = ops::argmax_row(row);
         if cur == target {
             break;
         }
@@ -134,7 +124,7 @@ mod tests {
             let target = (label + 1) % 4;
             let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
             let adv = x.add(&r).clamp(0.0, 1.0);
-            let pred = model.predict(&Tensor::stack(&[adv]))[0];
+            let pred = model.predict_one(&adv);
             total += 1;
             if pred == target {
                 reached += 1;
@@ -152,7 +142,7 @@ mod tests {
         // Find a test image the model classifies correctly.
         for i in 0..10 {
             let x = data.test_images.index_axis0(i);
-            let pred = model.predict(&Tensor::stack(std::slice::from_ref(&x)))[0];
+            let pred = model.predict_one(&x);
             if pred == data.test_labels[i] {
                 let r = deepfool(&mut model, &x, pred, DeepfoolConfig::default());
                 assert_eq!(r.l1_norm(), 0.0, "no perturbation needed");

@@ -90,10 +90,14 @@ impl Default for UsbConfig {
 /// trigger is found, which is the paper's contribution.
 ///
 /// Unlike the baselines, `inspect` runs the classes **in parallel** on
-/// [`UsbConfig::workers`] threads (each worker clones the victim; forward
-/// passes mutate layer caches, so a shared model is impossible). Class `t`
-/// always draws from its own rng stream, so the outcome is a pure function
-/// of `(model, images, seed)` — never of the thread count.
+/// [`UsbConfig::workers`] threads. Forward-only work (per-sample
+/// prediction, success-rate checks, refinement scoring) goes through the
+/// cache-free `Network::infer` path and could share one victim; the
+/// DeepFool and refinement *gradient* steps mutate layer caches, so each
+/// worker still gets its own clone — a cheap one, since clones carry
+/// parameters but no forward caches. Class `t` always draws from its own
+/// rng stream, so the outcome is a pure function of `(model, images,
+/// seed)` — never of the thread count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsbDetector {
     /// Pipeline configuration.

@@ -22,7 +22,7 @@ use usb_nn::loss::softmax_cross_entropy_uniform_target;
 use usb_nn::models::Network;
 use usb_nn::optim::TensorAdam;
 use usb_tensor::ssim::ssim_with_grad;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::Tensor;
 
 /// Hyperparameters of the Alg. 2 optimisation.
 ///
@@ -187,10 +187,11 @@ pub fn refine_uap(
             adam.step(&mut [tm, tp], &[&d_tm, &d_tp]);
         }
     }
-    // Final success over all data points.
+    // Final success over all data points: a pure read of the model, so it
+    // goes through the cache-free inference path.
     let stamped = var.apply(images);
-    let logits = model.forward(&stamped, usb_nn::layer::Mode::Eval);
-    let hits = ops::argmax_rows(&logits)
+    let hits = model
+        .predict(&stamped)
         .iter()
         .filter(|&&p| p == target)
         .count();

@@ -19,9 +19,8 @@
 //! target.
 
 use crate::deepfool::{deepfool, DeepfoolConfig};
-use usb_nn::layer::Mode;
 use usb_nn::models::Network;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{Tensor, Workspace};
 
 /// Hyperparameters for targeted-UAP generation (paper Alg. 1).
 ///
@@ -87,11 +86,23 @@ impl UapResult {
 }
 
 /// Fraction of `images + v` (clamped) classified as `target`.
-pub fn targeted_success_rate(
-    model: &mut Network,
+///
+/// Pure inference: the model is only read (shared `&Network`). Convenience
+/// wrapper over [`targeted_success_rate_in`] with a throwaway
+/// [`Workspace`]; hot loops (the Alg. 1 sweep) hold a workspace and call
+/// the `_in` variant so scratch buffers are reused across calls.
+pub fn targeted_success_rate(model: &Network, images: &Tensor, v: &Tensor, target: usize) -> f64 {
+    targeted_success_rate_in(model, images, v, target, &mut Workspace::new())
+}
+
+/// [`targeted_success_rate`] drawing all model-pass scratch from `ws`,
+/// reused across the evaluation batches.
+pub fn targeted_success_rate_in(
+    model: &Network,
     images: &Tensor,
     v: &Tensor,
     target: usize,
+    ws: &mut Workspace,
 ) -> f64 {
     let n = images.shape()[0];
     if n == 0 {
@@ -104,8 +115,8 @@ pub fn targeted_success_rate(
             .iter()
             .map(|&i| images.index_axis0(i).add(v).clamp(0.0, 1.0))
             .collect();
-        let logits = model.forward(&Tensor::stack(&stamped), Mode::Eval);
-        hits += ops::argmax_rows(&logits)
+        hits += model
+            .predict_in(&Tensor::stack(&stamped), ws)
             .iter()
             .filter(|&&p| p == target)
             .count();
@@ -134,12 +145,16 @@ pub fn targeted_uap(
     let mut v = Tensor::zeros(&images.shape()[1..]);
     let mut passes = 0usize;
     let mut deepfool_calls = 0usize;
-    let mut success = targeted_success_rate(model, images, &v, target);
+    // One workspace outlives the whole sweep: the per-sample prediction
+    // below is the hottest forward-only loop of Alg. 1 and shares its
+    // scratch buffers with the success-rate checks across every pass.
+    let mut ws = Workspace::new();
+    let mut success = targeted_success_rate_in(model, images, &v, target, &mut ws);
     while success < config.error_rate && passes < config.max_passes {
         for i in 0..n {
             let xi = images.index_axis0(i);
             let perturbed = xi.add(&v).clamp(0.0, 1.0);
-            let pred = model.predict(&Tensor::stack(std::slice::from_ref(&perturbed)))[0];
+            let pred = model.predict_one_in(&perturbed, &mut ws);
             if pred != target {
                 let dv = deepfool(model, &perturbed, target, config.deepfool);
                 deepfool_calls += 1;
@@ -150,7 +165,7 @@ pub fn targeted_uap(
             }
         }
         passes += 1;
-        success = targeted_success_rate(model, images, &v, target);
+        success = targeted_success_rate_in(model, images, &v, target, &mut ws);
     }
     UapResult {
         perturbation: v,

@@ -149,10 +149,11 @@ pub(crate) fn optimise_trigger(
             }
         }
     }
-    // Final success rate over all clean data.
+    // Final success rate over all clean data: a pure read of the model, so
+    // it goes through the cache-free inference path.
     let stamped = var.apply(images);
-    let logits = model.forward(&stamped, usb_nn::layer::Mode::Eval);
-    let hits = ops::argmax_rows(&logits)
+    let hits = model
+        .predict(&stamped)
         .iter()
         .filter(|&&p| p == target)
         .count();

@@ -28,7 +28,7 @@ use usb_data::SyntheticSpec;
 use usb_defenses::Defense;
 use usb_eval::figures;
 use usb_eval::grid::{self, DefenseSuite};
-use usb_eval::timing::{format_timing, run_timing};
+use usb_eval::timing::{format_timing, run_timing, timing_json};
 use usb_eval::{format_table, write_csv};
 use usb_nn::models::{Architecture, ModelKind};
 use usb_nn::train::TrainConfig;
@@ -37,6 +37,7 @@ struct Options {
     experiment: String,
     models: usize,
     fast: bool,
+    json: bool,
     out: PathBuf,
     path: Option<PathBuf>,
     seed: u64,
@@ -49,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         experiment,
         models: 5,
         fast: false,
+        json: false,
         out: figures::default_out_dir(),
         path: None,
         seed: 7,
@@ -71,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
                 options.models = v.parse().map_err(|_| format!("bad --models value {v}"))?;
             }
             "--fast" => options.fast = true,
+            "--json" => options.json = true,
             "--out" => {
                 let v = args.next().ok_or("--out needs a value")?;
                 options.out = PathBuf::from(v);
@@ -88,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: usb-repro <table1..table7|fig1..fig6|headline|transfer|all> \
      [--models N] [--fast] [--out DIR]\n       \
+     usb-repro timing [--json] [--models N] [--fast] [--out DIR]\n       \
      usb-repro save [--out PATH] [--fast] [--seed N]\n       \
      usb-repro inspect <PATH> [--fast] [--seed N]"
         .to_owned()
@@ -241,9 +245,22 @@ fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), Stri
             write_csv(&report, &csv).map_err(|e| format!("writing {}: {e}", csv.display()))?;
             println!("wrote {}", csv.display());
         }
-        "table7" => {
-            let report = run_timing(options.models.min(3), suite, progress);
+        // `timing` is the machine-facing alias of table7: same harness,
+        // plus `--json` writes the BENCH.json perf-trajectory document.
+        "table7" | "timing" => {
+            let models = options.models.min(3);
+            let report = run_timing(models, suite, progress);
             print!("{}", format_timing(&report));
+            if options.json {
+                let config = if options.fast { "fast" } else { "standard" };
+                let json = timing_json(&report, config, models);
+                std::fs::create_dir_all(&options.out)
+                    .map_err(|e| format!("creating {}: {e}", options.out.display()))?;
+                let path = options.out.join("BENCH.json");
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
         }
         "fig1" => {
             let rows = figures::fig1(&options.out, progress).map_err(|e| format!("fig1: {e}"))?;

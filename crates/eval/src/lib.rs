@@ -16,7 +16,7 @@
 //! paper-vs-measured comparison.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod figures;
 pub mod grid;

@@ -153,6 +153,56 @@ pub fn run_timing(
     }
 }
 
+/// Serialises a [`TimingReport`] as the machine-readable `BENCH.json`
+/// document that tracks the perf trajectory across PRs (CI archives one
+/// per run).
+///
+/// The format is hand-rolled JSON (no serde in this workspace): a flat
+/// object with the run metadata — config label, model count, the worker
+/// count an inspection would resolve to on this machine — and one entry
+/// per defense with per-class seconds, totals, and USB's Alg. 1 / Alg. 2
+/// stage split. Numbers are seconds with microsecond precision.
+pub fn timing_json(report: &TimingReport, config: &str, models: usize) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn secs(v: &[f64]) -> String {
+        let items: Vec<String> = v.iter().map(|s| format!("{s:.6}")).collect();
+        format!("[{}]", items.join(","))
+    }
+    let mut rows = Vec::new();
+    for row in &report.rows {
+        let stages: Vec<String> = row
+            .stages
+            .iter()
+            .map(|st| {
+                format!(
+                    r#"{{"stage":"{}","per_class_seconds":{},"total":{:.6}}}"#,
+                    esc(st.stage),
+                    secs(&st.per_class_seconds),
+                    st.total()
+                )
+            })
+            .collect();
+        rows.push(format!(
+            r#"{{"method":"{}","per_class_seconds":{},"total":{:.6},"stages":[{}]}}"#,
+            esc(row.method),
+            secs(&row.per_class_seconds),
+            row.total(),
+            stages.join(",")
+        ));
+    }
+    format!(
+        "{{\"schema\":\"usb-bench/1\",\"experiment\":\"timing\",\"label\":\"{}\",\
+         \"config\":\"{}\",\"models\":{},\"workers\":{},\"rows\":[{}]}}\n",
+        esc(&report.label),
+        esc(config),
+        models,
+        usb_tensor::par::worker_threads(),
+        rows.join(",")
+    )
+}
+
 /// Formats a [`TimingReport`] like the paper's Table 7 (time per class),
 /// with indented per-stage rows under defenses that expose them.
 pub fn format_timing(report: &TimingReport) -> String {
@@ -218,6 +268,39 @@ mod tests {
         assert!(s.contains("·uap"), "stage rows rendered");
         assert!(s.contains("·refine"));
         assert!(s.contains("0.70"), "stage totals rendered");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let report = TimingReport {
+            label: "x (1 models)".to_owned(),
+            rows: vec![TimingRow {
+                method: "USB",
+                per_class_seconds: vec![0.5, 0.25],
+                stages: vec![StageRow {
+                    stage: "uap",
+                    per_class_seconds: vec![0.4, 0.1],
+                }],
+            }],
+        };
+        let json = timing_json(&report, "fast", 1);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains(r#""schema":"usb-bench/1""#));
+        assert!(json.contains(r#""method":"USB""#));
+        assert!(json.contains(r#""per_class_seconds":[0.500000,0.250000]"#));
+        assert!(json.contains(r#""total":0.750000"#));
+        assert!(json.contains(r#""stage":"uap""#));
+        assert!(json.contains(r#""config":"fast""#));
+        assert!(json.contains(r#""workers":"#));
+        // Balanced braces/brackets (a cheap well-formedness proxy without a
+        // JSON parser in the workspace).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
     }
 
     #[test]

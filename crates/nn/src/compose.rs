@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, ParamSlot};
 use crate::layers::{Linear, ReLU, Sigmoid};
 use rand::Rng;
-use usb_tensor::{pool, Tensor};
+use usb_tensor::{pool, Tensor, Workspace};
 
 /// An ordered stack of layers applied one after another.
 ///
@@ -50,6 +50,34 @@ impl Layer for Sequential {
             cur = layer.forward(&cur, mode);
         }
         cur
+    }
+
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.input_backward(&cur);
+        }
+        cur
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        // Each intermediate activation goes back into the workspace as soon
+        // as the next layer has consumed it, so a warm workspace runs the
+        // whole stack without touching the allocator.
+        let mut cur: Option<Tensor> = None;
+        for layer in &self.layers {
+            let next = layer.infer(cur.as_ref().unwrap_or(x), ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| {
+            // Empty stack: the identity, as in `forward`.
+            let mut out = ws.take_dirty(x.len());
+            out.copy_from_slice(x.data());
+            Tensor::from_vec(out, x.shape())
+        })
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -135,6 +163,44 @@ impl Layer for Residual {
         g_main.add(&g_skip)
     }
 
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_main = self.main.input_backward(grad_out);
+        let g_skip = if self.shortcut.is_empty() {
+            grad_out.clone()
+        } else {
+            self.shortcut.input_backward(grad_out)
+        };
+        g_main.add(&g_skip)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut main = self.main.infer(x, ws);
+        // Accumulate the skip branch into the main buffer: elementwise
+        // `a + b` exactly as `forward`'s `main.add(&skip)`.
+        if self.shortcut.is_empty() {
+            assert_eq!(
+                main.shape(),
+                x.shape(),
+                "Residual: branch shapes {:?} vs {:?} — use a projection shortcut",
+                main.shape(),
+                x.shape()
+            );
+            main.add_assign(x);
+        } else {
+            let skip = self.shortcut.infer(x, ws);
+            assert_eq!(
+                main.shape(),
+                skip.shape(),
+                "Residual: branch shapes {:?} vs {:?} — use a projection shortcut",
+                main.shape(),
+                skip.shape()
+            );
+            main.add_assign(&skip);
+            ws.recycle(skip);
+        }
+        main
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         self.main.visit_params(f);
         self.shortcut.visit_params(f);
@@ -158,7 +224,6 @@ impl Layer for Residual {
 /// `y = x · sigmoid(W₂ relu(W₁ GAP(x)))`, broadcast over the spatial dims.
 ///
 /// Used inside EfficientNet's MBConv blocks.
-#[derive(Clone)]
 pub struct SqueezeExcite {
     fc1: Linear,
     relu: ReLU,
@@ -171,6 +236,20 @@ pub struct SqueezeExcite {
 struct SeCache {
     input: Tensor, // [N, C, H, W]
     gate: Tensor,  // [N, C]
+}
+
+impl Clone for SqueezeExcite {
+    /// Clones the two dense layers (whose own clones drop their caches);
+    /// the block-level cache starts empty (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        SqueezeExcite {
+            fc1: self.fc1.clone(),
+            relu: ReLU::new(),
+            fc2: self.fc2.clone(),
+            sigmoid: Sigmoid::new(),
+            cache: None,
+        }
+    }
 }
 
 impl SqueezeExcite {
@@ -252,6 +331,68 @@ impl Layer for SqueezeExcite {
         let d_squeeze = pool::global_avg_pool_backward(&d, h, w);
         gi.add_assign(&d_squeeze);
         gi
+    }
+
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Same two gradient paths as `backward`; the gate path descends
+        // through the sub-layers' own input_backward so the dense layers
+        // skip their weight gradients.
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("SqueezeExcite::backward before forward");
+        let x = &cache.input;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let plane = h * w;
+        let mut gi = Tensor::zeros(x.shape());
+        let mut d_gate = Tensor::zeros(&[n, c]);
+        for i in 0..n {
+            for ch in 0..c {
+                let g = cache.gate.data()[i * c + ch];
+                let base = (i * c + ch) * plane;
+                let mut acc = 0.0f32;
+                for j in 0..plane {
+                    let go = grad_out.data()[base + j];
+                    gi.data_mut()[base + j] = go * g;
+                    acc += go * x.data()[base + j];
+                }
+                d_gate.data_mut()[i * c + ch] = acc;
+            }
+        }
+        let d = self.sigmoid.input_backward(&d_gate);
+        let d = self.fc2.input_backward(&d);
+        let d = self.relu.input_backward(&d);
+        let d = self.fc1.input_backward(&d); // [N, C]
+        let d_squeeze = pool::global_avg_pool_backward(&d, h, w);
+        gi.add_assign(&d_squeeze);
+        gi
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.ndim(), 4, "SqueezeExcite: input must be [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let squeezed = pool::global_avg_pool_forward_ws(x, ws); // [N, C]
+        let z1 = self.fc1.infer(&squeezed, ws);
+        ws.recycle(squeezed);
+        let z2 = self.relu.infer(&z1, ws);
+        ws.recycle(z1);
+        let z3 = self.fc2.infer(&z2, ws);
+        ws.recycle(z2);
+        let gate = self.sigmoid.infer(&z3, ws); // [N, C]
+        ws.recycle(z3);
+        let mut y = ws.take_dirty(x.len());
+        let plane = h * w;
+        for i in 0..n {
+            for ch in 0..c {
+                let g = gate.data()[i * c + ch];
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    y[base + j] = x.data()[base + j] * g;
+                }
+            }
+        }
+        ws.recycle(gate);
+        Tensor::from_vec(y, x.shape())
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {

@@ -1,7 +1,7 @@
 //! The [`Layer`] trait: forward caching, backward gradients, parameter
-//! visitation.
+//! visitation, and the cache-free [`Layer::infer`] path.
 
-use usb_tensor::Tensor;
+use usb_tensor::{Tensor, Workspace};
 
 /// Whether a forward pass runs in training mode (batch statistics, caches
 /// for backward) or evaluation mode (running statistics).
@@ -58,6 +58,50 @@ pub trait Layer: Send + Sync {
     /// gradient whose shape does not match the last output.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// The `dL/d input` of [`Layer::backward`] **without** accumulating
+    /// parameter gradients.
+    ///
+    /// Input-space optimisation (DeepFool, trigger refinement, NC/TABOR)
+    /// only ever wants the input gradient; the parameter gradients the
+    /// plain `backward` also produces are discarded immediately. Skipping
+    /// them drops entire kernels on the hot path — a convolution layer
+    /// avoids the im2col of its cached input *and* the weight GEMM. The
+    /// returned input gradient is **bit-identical** to `backward`'s (same
+    /// kernels, same order); only the parameter-gradient side effect is
+    /// gone.
+    ///
+    /// The default forwards to [`Layer::backward`] (correct for parameter
+    /// free layers); layers with parameters and composites override it.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Layer::backward`]: panics if called before any
+    /// `forward`.
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward(grad_out)
+    }
+
+    /// Inference-only forward pass: the **bit-identical** logits of
+    /// `forward(x, Mode::Eval)` without any of its side effects.
+    ///
+    /// # Contract
+    ///
+    /// * Same values as an eval-mode [`Layer::forward`], bit for bit —
+    ///   implementations go through the same kernels, never a reimplemented
+    ///   approximation.
+    /// * Takes `&self`: no input cloning into `cached_input`, no backward
+    ///   caches, no running-statistics updates. A model can therefore be
+    ///   **shared by reference across threads** for forward-only work
+    ///   (each thread brings its own [`Workspace`]).
+    /// * All scratch (im2col columns, matmul outputs, intermediate
+    ///   activations) is drawn from `ws`; after a first warming call at a
+    ///   given input geometry, repeat calls allocate nothing. Callers that
+    ///   no longer need the returned tensor can hand it back via
+    ///   [`Workspace::recycle`].
+    /// * `backward` after `infer` is **not** supported — gradients need the
+    ///   caches only `forward` populates.
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor;
+
     /// Visits every `(parameter, gradient)` pair owned by this layer (and
     /// recursively by sub-layers), in a deterministic order.
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>));
@@ -77,9 +121,14 @@ pub trait Layer: Send + Sync {
         n
     }
 
-    /// Clones this layer behind a fresh box (including parameters and any
-    /// forward caches). Implementations are one line on a `Clone` type:
-    /// `Box::new(self.clone())`.
+    /// Clones this layer behind a fresh box. Clones carry all *persistent*
+    /// state — parameters, gradients, running statistics — but start with
+    /// **empty forward caches and scratch workspaces**: caches only matter
+    /// for a `backward` that immediately follows the same object's
+    /// `forward`, so copying them into a clone is pure memory overhead
+    /// (this is what keeps per-worker victim clones in the parallel
+    /// inspection engine cheap). Implementations are one line on a `Clone`
+    /// type: `Box::new(self.clone())`.
     fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Visits every tensor that defines this layer's *persistent state* —
@@ -155,6 +204,9 @@ mod tests {
         }
         fn backward(&mut self, grad_out: &Tensor) -> Tensor {
             grad_out.scale(self.w.value.data()[0])
+        }
+        fn infer(&self, x: &Tensor, _ws: &mut Workspace) -> Tensor {
+            x.scale(self.w.value.data()[0])
         }
         fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
             f(self.w.slot());

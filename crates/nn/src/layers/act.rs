@@ -1,12 +1,31 @@
 //! Activation layers: ReLU, Sigmoid, SiLU (swish).
 
 use crate::layer::{Layer, Mode, ParamSlot};
-use usb_tensor::Tensor;
+use usb_tensor::{Tensor, Workspace};
+
+/// Elementwise map into a workspace buffer: the allocation-free counterpart
+/// of [`Tensor::map`], applying the *same* scalar function so the results
+/// are bit-identical to the forward path.
+fn map_into(x: &Tensor, ws: &mut Workspace, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = ws.take_dirty(x.len());
+    for (o, &v) in out.iter_mut().zip(x.data()) {
+        *o = f(v);
+    }
+    Tensor::from_vec(out, x.shape())
+}
 
 /// Rectified linear unit `max(0, x)`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct ReLU {
     cached_input: Option<Tensor>,
+}
+
+impl Clone for ReLU {
+    /// Stateless apart from the transient forward cache, which a clone
+    /// starts without (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        ReLU::default()
+    }
 }
 
 impl ReLU {
@@ -30,6 +49,10 @@ impl Layer for ReLU {
         grad_out.zip_map(x, |g, xv| if xv > 0.0 { g } else { 0.0 })
     }
 
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        map_into(x, ws, |v| v.max(0.0))
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
 
     fn name(&self) -> &'static str {
@@ -42,9 +65,17 @@ impl Layer for ReLU {
 }
 
 /// Logistic sigmoid `1/(1+e^{-x})`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Sigmoid {
     cached_output: Option<Tensor>,
+}
+
+impl Clone for Sigmoid {
+    /// Stateless apart from the transient forward cache, which a clone
+    /// starts without (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        Sigmoid::default()
+    }
 }
 
 impl Sigmoid {
@@ -79,6 +110,10 @@ impl Layer for Sigmoid {
         grad_out.zip_map(y, |g, s| g * s * (1.0 - s))
     }
 
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        map_into(x, ws, sigmoid_scalar)
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
 
     fn name(&self) -> &'static str {
@@ -92,9 +127,17 @@ impl Layer for Sigmoid {
 
 /// SiLU / swish activation `x · sigmoid(x)`, the nonlinearity used by
 /// EfficientNet.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct SiLU {
     cached_input: Option<Tensor>,
+}
+
+impl Clone for SiLU {
+    /// Stateless apart from the transient forward cache, which a clone
+    /// starts without (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        SiLU::default()
+    }
 }
 
 impl SiLU {
@@ -119,6 +162,10 @@ impl Layer for SiLU {
             let s = sigmoid_scalar(v);
             g * (s + v * s * (1.0 - s))
         })
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        map_into(x, ws, |v| v * sigmoid_scalar(v))
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}

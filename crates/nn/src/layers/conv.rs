@@ -3,19 +3,37 @@
 use crate::layer::{Layer, Mode, Param, ParamSlot};
 use rand::Rng;
 use usb_tensor::conv::{
-    conv2d_backward, conv2d_forward, depthwise_backward, depthwise_forward, ConvSpec,
+    conv2d_backward_ws, conv2d_forward_ws, conv2d_input_backward_ws, depthwise_backward,
+    depthwise_forward_ws, depthwise_input_backward, ConvSpec,
 };
-use usb_tensor::{init, Tensor};
+use usb_tensor::{init, Tensor, Workspace};
 
 /// A 2-D convolution `[N, IC, H, W] -> [N, OC, OH, OW]`.
 ///
 /// Weights are Kaiming-uniform initialised with fan-in `IC·KH·KW`.
-#[derive(Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
     spec: ConvSpec,
     cached_input: Option<Tensor>,
+    // Layer-owned scratch for the *training* path: forward/backward reuse
+    // their im2col columns across steps. (`Workspace: Clone` yields an
+    // empty arena, so cloning a model never duplicates dead buffers.)
+    ws: Workspace,
+}
+
+impl Clone for Conv2d {
+    /// Clones parameters and geometry; the transient forward cache and
+    /// scratch arena start empty (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            spec: self.spec,
+            cached_input: None,
+            ws: Workspace::new(),
+        }
+    }
 }
 
 impl Conv2d {
@@ -46,6 +64,7 @@ impl Conv2d {
             bias,
             spec: ConvSpec::new(stride, pad),
             cached_input: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -63,11 +82,12 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(x.clone());
-        conv2d_forward(
+        conv2d_forward_ws(
             x,
             &self.weight.value,
             self.bias.as_ref().map(|b| &b.value),
             self.spec,
+            &mut self.ws,
         )
     }
 
@@ -76,12 +96,40 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .expect("Conv2d::backward before forward");
-        let (gi, gw, gb) = conv2d_backward(x, &self.weight.value, grad_out, self.spec);
+        let (gi, gw, gb) =
+            conv2d_backward_ws(x, &self.weight.value, grad_out, self.spec, &mut self.ws);
         self.weight.grad.add_assign(&gw);
         if let Some(b) = self.bias.as_mut() {
             b.grad.add_assign(&gb);
         }
         gi
+    }
+
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // dL/dx depends only on the weight; skipping dL/dW also skips the
+        // im2col of the cached input — the dominant transient of the full
+        // backward pass.
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
+        assert_eq!(
+            grad_out.shape()[0],
+            x.shape()[0],
+            "Conv2d: grad_out batch dim mismatch"
+        );
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        conv2d_input_backward_ws(&self.weight.value, grad_out, h, w, self.spec, &mut self.ws)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        conv2d_forward_ws(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+            ws,
+        )
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
@@ -103,12 +151,26 @@ impl Layer for Conv2d {
 /// A depthwise 2-D convolution: each channel convolved with its own kernel.
 ///
 /// Used by the EfficientNet-B0 MBConv blocks.
-#[derive(Clone)]
 pub struct DepthwiseConv2d {
     weight: Param,
     bias: Option<Param>,
     spec: ConvSpec,
     cached_input: Option<Tensor>,
+    ws: Workspace,
+}
+
+impl Clone for DepthwiseConv2d {
+    /// Clones parameters and geometry; the transient forward cache and
+    /// scratch arena start empty (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        DepthwiseConv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            spec: self.spec,
+            cached_input: None,
+            ws: Workspace::new(),
+        }
+    }
 }
 
 impl DepthwiseConv2d {
@@ -134,6 +196,7 @@ impl DepthwiseConv2d {
             bias,
             spec: ConvSpec::new(stride, pad),
             cached_input: None,
+            ws: Workspace::new(),
         }
     }
 }
@@ -141,11 +204,36 @@ impl DepthwiseConv2d {
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(x.clone());
-        depthwise_forward(
+        depthwise_forward_ws(
             x,
             &self.weight.value,
             self.bias.as_ref().map(|b| &b.value),
             self.spec,
+            &mut self.ws,
+        )
+    }
+
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("DepthwiseConv2d::backward before forward");
+        assert_eq!(
+            grad_out.shape()[0],
+            x.shape()[0],
+            "DepthwiseConv2d: grad_out batch dim mismatch"
+        );
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        depthwise_input_backward(&self.weight.value, grad_out, h, w, self.spec)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        depthwise_forward_ws(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+            ws,
         )
     }
 

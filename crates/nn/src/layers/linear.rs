@@ -2,14 +2,25 @@
 
 use crate::layer::{Layer, Mode, Param, ParamSlot};
 use rand::Rng;
-use usb_tensor::{init, ops, Tensor};
+use usb_tensor::{init, ops, Tensor, Workspace};
 
 /// A dense layer `y = x Wᵀ + b` mapping `[N, in] -> [N, out]`.
-#[derive(Clone)]
 pub struct Linear {
     weight: Param, // [out, in]
     bias: Param,   // [out]
     cached_input: Option<Tensor>,
+}
+
+impl Clone for Linear {
+    /// Clones parameters; the transient forward cache starts empty (see
+    /// [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            cached_input: None,
+        }
+    }
 }
 
 impl Linear {
@@ -85,6 +96,50 @@ impl Layer for Linear {
         ops::matmul(grad_out, &self.weight.value)
     }
 
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // dL/dx = g W — the dL/dW and dL/db terms of `backward` are
+        // skipped, not needed for input-space optimisation.
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        assert_eq!(
+            grad_out.shape()[0],
+            x.shape()[0],
+            "Linear: grad_out batch dim mismatch"
+        );
+        ops::matmul(grad_out, &self.weight.value)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear: input must be [N, in]");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features(),
+            "Linear: expected {} input features, got {}",
+            self.in_features(),
+            x.shape()[1]
+        );
+        let (n, out) = (x.shape()[0], self.out_features());
+        let mut y = ws.take_dirty(n * out);
+        // Same GEMM kernel and bias loop as `forward`, so bit-identical.
+        ops::matmul_transb_into(
+            x.data(),
+            self.weight.value.data(),
+            n,
+            self.in_features(),
+            out,
+            &mut y,
+        );
+        let bd = self.bias.value.data();
+        for i in 0..n {
+            for (v, &b) in y[i * out..(i + 1) * out].iter_mut().zip(bd) {
+                *v += b;
+            }
+        }
+        Tensor::from_vec(y, &[n, out])
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         f(self.weight.slot());
         f(self.bias.slot());
@@ -127,6 +182,16 @@ impl Layer for Flatten {
             .as_ref()
             .expect("Flatten::backward before forward");
         grad_out.reshape(shape)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert!(x.ndim() >= 2, "Flatten: need at least rank-2 input");
+        let n = x.shape()[0];
+        // A reshape is a copy in this tensor library; drawing the copy from
+        // the workspace keeps the inference path allocation-free.
+        let mut out = ws.take_dirty(x.len());
+        out.copy_from_slice(x.data());
+        Tensor::from_vec(out, &[n, x.len() / n])
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}

@@ -1,7 +1,7 @@
 //! Batch normalisation over `[N, C, H, W]` activations.
 
 use crate::layer::{Layer, Mode, Param, ParamSlot};
-use usb_tensor::Tensor;
+use usb_tensor::{Tensor, Workspace};
 
 /// 2-D batch normalisation with learned affine parameters and running
 /// statistics.
@@ -11,7 +11,6 @@ use usb_tensor::Tensor;
 /// affine transform built from the running statistics. `backward` works in
 /// both modes — defenses differentiate through eval-mode models, where the
 /// layer is an elementwise affine map.
-#[derive(Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -29,6 +28,22 @@ struct BnCache {
     xhat: Tensor,
     inv_std: Vec<f32>, // per channel
     shape: Vec<usize>,
+}
+
+impl Clone for BatchNorm2d {
+    /// Clones parameters and running statistics; the transient backward
+    /// cache starts empty (see [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        BatchNorm2d {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            momentum: self.momentum,
+            eps: self.eps,
+            cached: None,
+        }
+    }
 }
 
 impl BatchNorm2d {
@@ -189,6 +204,94 @@ impl Layer for BatchNorm2d {
             }
         }
         gi
+    }
+
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
+        assert_eq!(
+            grad_out.shape(),
+            &cache.shape[..],
+            "BatchNorm2d: grad shape mismatch"
+        );
+        let (n, c, plane) = (
+            cache.shape[0],
+            cache.shape[1],
+            cache.shape[2] * cache.shape[3],
+        );
+        let m = (n * plane) as f32;
+        let mut gi = Tensor::zeros(grad_out.shape());
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let istd = cache.inv_std[ch];
+            match cache.mode {
+                Mode::Eval => {
+                    // dx = g·istd·dy needs no batch sums at all: skip the
+                    // dgamma/dbeta accumulation entirely.
+                    let k = g * istd;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for j in 0..plane {
+                            gi.data_mut()[base + j] = k * grad_out.data()[base + j];
+                        }
+                    }
+                }
+                Mode::Train => {
+                    // Train-mode dx needs Σdy and Σ(dy·x̂): compute them as
+                    // locals — same loop order as `backward`, so the input
+                    // gradient is bit-identical — without accumulating
+                    // into the parameter-gradient slots.
+                    let mut dgamma = 0.0f32;
+                    let mut dbeta = 0.0f32;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for j in 0..plane {
+                            let go = grad_out.data()[base + j];
+                            dgamma += go * cache.xhat.data()[base + j];
+                            dbeta += go;
+                        }
+                    }
+                    let k = g * istd / m;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for j in 0..plane {
+                            let dy = grad_out.data()[base + j];
+                            let xh = cache.xhat.data()[base + j];
+                            gi.data_mut()[base + j] = k * (m * dy - dbeta - xh * dgamma);
+                        }
+                    }
+                }
+            }
+        }
+        gi
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d: input must be [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.channel_count(), "BatchNorm2d: channel mismatch");
+        let plane = h * w;
+        let mut out = ws.take_dirty(x.len());
+        let xd = x.data();
+        for ch in 0..c {
+            // Same per-element arithmetic as the eval branch of `forward`
+            // (`xh = (x − mean)·istd; y = g·xh + b`), so bit-identical.
+            let mean = self.running_mean.data()[ch];
+            let var = self.running_var.data()[ch];
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let xh = (xd[base + j] - mean) * istd;
+                    out[base + j] = g * xh + b;
+                }
+            }
+        }
+        Tensor::from_vec(out, x.shape())
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {

@@ -1,7 +1,7 @@
 //! Pooling layers wrapping the kernels in [`usb_tensor::pool`].
 
 use crate::layer::{Layer, Mode, ParamSlot};
-use usb_tensor::{pool, Tensor};
+use usb_tensor::{pool, Tensor, Workspace};
 
 /// Average pooling over `k x k` windows with the given stride.
 #[derive(Clone)]
@@ -38,6 +38,10 @@ impl Layer for AvgPool2d {
         pool::avg_pool2d_backward(grad_out, h, w, self.k, self.stride)
     }
 
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        pool::avg_pool2d_forward_ws(x, self.k, self.stride, ws)
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
 
     fn name(&self) -> &'static str {
@@ -50,11 +54,22 @@ impl Layer for AvgPool2d {
 }
 
 /// Max pooling over `k x k` windows with the given stride.
-#[derive(Clone)]
 pub struct MaxPool2d {
     k: usize,
     stride: usize,
     cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl Clone for MaxPool2d {
+    /// Clones the geometry; the transient argmax cache starts empty (see
+    /// [`Layer::clone_box`]).
+    fn clone(&self) -> Self {
+        MaxPool2d {
+            k: self.k,
+            stride: self.stride,
+            cached: None,
+        }
+    }
 }
 
 impl MaxPool2d {
@@ -86,6 +101,12 @@ impl Layer for MaxPool2d {
             .as_ref()
             .expect("MaxPool2d::backward before forward");
         pool::max_pool2d_backward(grad_out, arg, shape)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        // Same window scan as `forward`, minus the argmax routing table
+        // only the backward pass needs.
+        pool::max_pool2d_infer(x, self.k, self.stride, ws)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
@@ -123,6 +144,10 @@ impl Layer for GlobalAvgPool {
             .cached_hw
             .expect("GlobalAvgPool::backward before forward");
         pool::global_avg_pool_backward(grad_out, h, w)
+    }
+
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        pool::global_avg_pool_forward_ws(x, ws)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}

@@ -18,7 +18,7 @@ use crate::layers::{
     ReLU, SiLU,
 };
 use rand::Rng;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{ops, Tensor, Workspace};
 
 /// Which of the paper's architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,10 +124,12 @@ impl Architecture {
 /// ([`Network::penultimate`]) and lets defenses backpropagate all the way to
 /// the *input* (see [`Layer::backward`] on the composite).
 ///
-/// Networks are `Clone`: the parallel inspection engine clones the victim
-/// once per worker thread so each candidate class optimises against its own
-/// copy (forward passes mutate layer caches, so sharing one model across
-/// threads is not possible).
+/// Networks are `Clone`: stages that backpropagate (DeepFool, trigger
+/// refinement) mutate layer caches, so the parallel inspection engine
+/// clones the victim once per worker thread for them. Forward-only work
+/// does **not** need a clone: [`Network::infer`] and the `predict` family
+/// take `&self`, so one victim can be shared by reference across threads,
+/// each worker bringing its own [`Workspace`].
 #[derive(Clone)]
 pub struct Network {
     /// Everything up to (and including) the penultimate representation.
@@ -182,6 +184,14 @@ impl Network {
         self.features.backward(&g_feat)
     }
 
+    /// Backward pass computing only `dL/dinput` — parameter gradients are
+    /// skipped, not accumulated (see [`Layer::input_backward`]). The input
+    /// gradient is bit-identical to [`Network::backward`]'s.
+    pub fn input_backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g_feat = self.classifier.input_backward(grad_logits);
+        self.features.input_backward(&g_feat)
+    }
+
     /// Zeroes all accumulated parameter gradients.
     pub fn zero_grad(&mut self) {
         self.features.zero_grad();
@@ -193,17 +203,81 @@ impl Network {
         self.features.param_count() + self.classifier.param_count()
     }
 
-    /// Predicted class per batch row (eval mode).
-    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
-        let logits = self.forward(x, Mode::Eval);
-        ops::argmax_rows(&logits)
+    /// Inference-only logits for a batch `[N, C, H, W]`: bit-identical to
+    /// `forward(x, Mode::Eval)` with none of its side effects (no cache
+    /// writes, no allocation once `ws` is warm). See [`Layer::infer`] for
+    /// the full contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the architecture.
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (c, h, w) = self.arch.input;
+        assert_eq!(
+            &x.shape()[1..],
+            &[c, h, w],
+            "Network: expected input [N,{c},{h},{w}], got {:?}",
+            x.shape()
+        );
+        let feats = self.features.infer(x, ws);
+        let logits = self.classifier.infer(&feats, ws);
+        ws.recycle(feats);
+        logits
+    }
+
+    /// Predicted class per batch row (eval mode, cache-free).
+    ///
+    /// Convenience wrapper over [`Network::predict_in`] with a throwaway
+    /// [`Workspace`]; hot loops should hold a workspace and call
+    /// `predict_in` so scratch buffers are reused across calls.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.predict_in(x, &mut Workspace::new())
+    }
+
+    /// Predicted class per batch row, drawing scratch from `ws`.
+    pub fn predict_in(&self, x: &Tensor, ws: &mut Workspace) -> Vec<usize> {
+        let logits = self.infer(x, ws);
+        let preds = ops::argmax_rows(&logits);
+        ws.recycle(logits);
+        preds
+    }
+
+    /// Predicted class of a **single** image `[C, H, W]` — the replacement
+    /// for the awkward `predict(&Tensor::stack(slice::from_ref(&x)))[0]`
+    /// batch-of-one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-3 or its shape mismatches the
+    /// architecture.
+    pub fn predict_one(&self, x: &Tensor) -> usize {
+        self.predict_one_in(x, &mut Workspace::new())
+    }
+
+    /// [`Network::predict_one`] drawing scratch from `ws` (the per-sample
+    /// prediction loop of the UAP sweep runs through this).
+    pub fn predict_one_in(&self, x: &Tensor, ws: &mut Workspace) -> usize {
+        assert_eq!(x.ndim(), 3, "predict_one: x must be [C,H,W]");
+        let mut batch = ws.take_dirty(x.len());
+        batch.copy_from_slice(x.data());
+        let shape4: Vec<usize> = std::iter::once(1)
+            .chain(x.shape().iter().copied())
+            .collect();
+        let batch = Tensor::from_vec(batch, &shape4);
+        let logits = self.infer(&batch, ws);
+        let pred = ops::argmax_row(logits.data());
+        ws.recycle(batch);
+        ws.recycle(logits);
+        pred
     }
 
     /// Gradient of an arbitrary logit-space loss with respect to the input.
     ///
-    /// Runs an eval-mode forward, feeds `grad_of(logits)` backwards, returns
-    /// `dL/dx`, and leaves parameter gradients zeroed (they are a side
-    /// effect the input-space defenses never want).
+    /// Runs an eval-mode forward, feeds `grad_of(logits)` backwards through
+    /// [`Network::input_backward`] — parameter gradients are never computed
+    /// on this path, they are a side effect the input-space defenses never
+    /// want — and returns `dL/dx`. Parameter gradients are left zeroed, as
+    /// they always were.
     pub fn input_grad(
         &mut self,
         x: &Tensor,
@@ -211,7 +285,10 @@ impl Network {
     ) -> (Tensor, Tensor) {
         let logits = self.forward(x, Mode::Eval);
         let g = grad_of(&logits);
-        let gi = self.backward(&g);
+        let gi = self.input_backward(&g);
+        // input_backward accumulates nothing, but `input_grad` has always
+        // guaranteed zeroed parameter gradients on return even if the
+        // caller left stale ones behind — keep that contract.
         self.zero_grad();
         (logits, gi)
     }
@@ -223,6 +300,12 @@ impl Layer for Network {
     }
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         Network::backward(self, grad_out)
+    }
+    fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        Network::input_backward(self, grad_out)
+    }
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        Network::infer(self, x, ws)
     }
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         self.features.visit_params(f);

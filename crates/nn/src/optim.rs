@@ -245,6 +245,9 @@ mod tests {
             self.w.grad.data_mut()[0] += grad_out.data()[0] * self.x;
             grad_out.clone()
         }
+        fn infer(&self, _x: &Tensor, _ws: &mut usb_tensor::Workspace) -> Tensor {
+            Tensor::from_vec(vec![self.w.value.data()[0] * self.x], &[1])
+        }
         fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
             f(self.w.slot());
         }

@@ -9,7 +9,7 @@ use crate::models::Network;
 use crate::optim::Sgd;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use usb_tensor::{ops, par, Tensor};
+use usb_tensor::{ops, par, Tensor, Workspace};
 
 /// Hyperparameters for supervised training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,12 +157,26 @@ pub fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Te
 /// batches of 64.
 ///
 /// Batches run in parallel on the [`usb_tensor::par`] worker pool (thread
-/// count from `USB_THREADS` / available parallelism): evaluation is a pure
-/// eval-mode forward, so each worker predicts on its own clone of the
-/// network — one clone per *stripe* of batches, not per batch — and the
-/// integer hit counts are summed, so the result is identical at any
-/// thread count.
-pub fn evaluate(net: &mut Network, images: &Tensor, labels: &[usize]) -> f64 {
+/// count from `USB_THREADS` / available parallelism). Evaluation is pure
+/// inference, so every worker predicts on the **same shared network** via
+/// the cache-free [`Network::predict_in`] path — no model clones at all;
+/// each worker only brings its own [`Workspace`] of scratch buffers. The
+/// integer hit counts are summed, so the result is identical at any thread
+/// count.
+pub fn evaluate(net: &Network, images: &Tensor, labels: &[usize]) -> f64 {
+    evaluate_with_workers(net, images, labels, par::resolve_workers(0))
+}
+
+/// [`evaluate`] at an explicit worker count instead of the ambient
+/// `USB_THREADS` / available-parallelism resolution — the entry point for
+/// anything that pins its own thread budget (and for asserting the
+/// thread-count invariance without mutating process environment).
+pub fn evaluate_with_workers(
+    net: &Network,
+    images: &Tensor,
+    labels: &[usize],
+    workers: usize,
+) -> f64 {
     let n = images.shape()[0];
     assert_eq!(labels.len(), n, "evaluate: label count mismatch");
     if n == 0 {
@@ -170,26 +184,24 @@ pub fn evaluate(net: &mut Network, images: &Tensor, labels: &[usize]) -> f64 {
     }
     let indices: Vec<usize> = (0..n).collect();
     let chunks: Vec<&[usize]> = indices.chunks(64).collect();
-    let score = |net: &mut Network, chunk: &[usize]| -> usize {
+    let score = |ws: &mut Workspace, chunk: &[usize]| -> usize {
         let (bx, by) = gather_batch(images, labels, chunk);
-        let preds = net.predict(&bx);
+        let preds = net.predict_in(&bx, ws);
         preds.iter().zip(&by).filter(|(p, l)| p == l).count()
     };
-    let workers = par::resolve_workers(0).min(chunks.len());
+    let workers = workers.max(1).min(chunks.len());
     let hits: usize = if workers <= 1 {
-        // Single worker: predict on the caller's model, no clones.
-        chunks.iter().map(|chunk| score(net, chunk)).sum()
+        let mut ws = Workspace::new();
+        chunks.iter().map(|chunk| score(&mut ws, chunk)).sum()
     } else {
-        // One contiguous stripe of batches per worker, one model clone per
-        // stripe.
+        // One contiguous stripe of batches (and one workspace) per worker.
         let stripe = chunks.len().div_ceil(workers);
         let stripes: Vec<&[&[usize]]> = chunks.chunks(stripe).collect();
-        let shared: &Network = net;
         par::par_map(workers, &stripes, |_, stripe| {
-            let mut worker_net = shared.clone();
+            let mut ws = Workspace::new();
             stripe
                 .iter()
-                .map(|chunk| score(&mut worker_net, chunk))
+                .map(|chunk| score(&mut ws, chunk))
                 .sum::<usize>()
         })
         .into_iter()
@@ -234,9 +246,9 @@ mod tests {
         let (images, labels) = toy_dataset(64, &mut rng);
         let arch = Architecture::new(ModelKind::BasicCnn, (1, 8, 8), 2).with_width(4);
         let mut net = arch.build(&mut rng);
-        let before = evaluate(&mut net, &images, &labels);
+        let before = evaluate(&net, &images, &labels);
         let stats = fit(&mut net, &images, &labels, TrainConfig::fast(), &mut rng);
-        let after = evaluate(&mut net, &images, &labels);
+        let after = evaluate(&net, &images, &labels);
         assert!(after > 0.9, "accuracy {before} -> {after}, stats {stats:?}");
         assert!(
             stats.last().unwrap().loss < stats.first().unwrap().loss + 1e-6,
@@ -259,8 +271,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (images, labels) = toy_dataset(32, &mut rng);
         let arch = Architecture::new(ModelKind::BasicCnn, (1, 8, 8), 2).with_width(4);
-        let mut net = arch.build(&mut rng);
-        let acc = evaluate(&mut net, &images, &labels);
+        let net = arch.build(&mut rng);
+        let acc = evaluate(&net, &images, &labels);
         assert!((0.0..=1.0).contains(&acc));
     }
 

@@ -11,7 +11,7 @@
 //! because the defenses in this workspace optimise over the *input space*
 //! (triggers, masks, universal perturbations).
 
-use crate::{ops, Tensor};
+use crate::{ops, Tensor, Workspace};
 
 /// Geometry of a convolution: strides and symmetric zero padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,9 +68,41 @@ pub fn im2col(img: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     let rows = c * kh * kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
-    let data = img.data();
+    im2col_into(img.data(), c, h, w, kh, kw, spec, &mut out);
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Slice-level [`im2col`] kernel: unfolds one `[C, H, W]` image (given as a
+/// flat slice) into `out` (overwritten, including the zero padding taps, so
+/// dirty [`Workspace`] buffers can be handed in). Single implementation
+/// behind both call paths — results are bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the geometry.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+pub fn im2col_into(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    out: &mut [f32],
+) {
+    assert_eq!(img.len(), c * h * w, "im2col_into: image length mismatch");
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cols = oh * ow;
+    assert_eq!(
+        out.len(),
+        c * kh * kw * cols,
+        "im2col_into: out length mismatch"
+    );
+    out.fill(0.0);
     for ch in 0..c {
-        let img_ch = &data[ch * h * w..(ch + 1) * h * w];
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ch * kh + ky) * kw + kx;
@@ -92,7 +124,6 @@ pub fn im2col(img: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Adjoint of [`im2col`]: folds a `[C*KH*KW, OH*OW]` column matrix back into
@@ -118,14 +149,45 @@ pub fn col2im(
         "col2im: column matrix shape mismatch"
     );
     let mut out = vec![0.0f32; c * h * w];
-    let data = cols_mat.data();
+    col2im_into(cols_mat.data(), c, h, w, kh, kw, spec, &mut out);
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Slice-level [`col2im`] kernel folding a column matrix into `out`
+/// (overwritten before the overlapping contributions are summed, so dirty
+/// [`Workspace`] buffers can be handed in). Single implementation behind
+/// both call paths — results are bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the geometry.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+pub fn col2im_into(
+    cols_mat: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    out: &mut [f32],
+) {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
     let cols = oh * ow;
+    assert_eq!(
+        cols_mat.len(),
+        c * kh * kw * cols,
+        "col2im_into: column matrix length mismatch"
+    );
+    assert_eq!(out.len(), c * h * w, "col2im_into: out length mismatch");
+    out.fill(0.0);
     for ch in 0..c {
         let img_ch = &mut out[ch * h * w..(ch + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ch * kh + ky) * kw + kx;
-                let src_row = &data[row * cols..(row + 1) * cols];
+                let src_row = &cols_mat[row * cols..(row + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -142,7 +204,109 @@ pub fn col2im(
             }
         }
     }
-    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// The `dL/d input` half of [`conv2d_backward`] alone: for input-space
+/// optimisation (DeepFool, trigger refinement) the parameter gradients are
+/// computed and immediately discarded, so this kernel skips them — no
+/// im2col of the cached input, no weight/bias GEMM — and folds
+/// `Wᵀ @ grad_out` straight back into image space. The returned gradient
+/// is **bit-identical** to the first element of the [`conv2d_backward`]
+/// tuple (same `matmul_transa_into` + [`col2im_into`] calls in the same
+/// per-image order); `h`/`w` are the spatial dims of the forward input.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_input_backward_ws(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> Tensor {
+    let (oc, ic, kh, kw) = dims4(weight);
+    let (n, goc, oh, ow) = dims4(grad_out);
+    assert_eq!(goc, oc, "conv2d_input_backward: channel mismatch");
+    assert_eq!(
+        (oh, ow),
+        (spec.out_size(h, kh), spec.out_size(w, kw)),
+        "conv2d_input_backward: grad_out spatial dims mismatch"
+    );
+    let rows = ic * kh * kw;
+    let cols = oh * ow;
+    let wd = weight.data(); // [OC, IC·KH·KW] row-major, no reshape copy
+    let god = grad_out.data();
+    let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
+    let mut grad_cols = ws.take_dirty(rows * cols);
+    for i in 0..n {
+        let go = &god[i * oc * cols..(i + 1) * oc * cols];
+        ops::matmul_transa_into(wd, go, rows, oc, cols, &mut grad_cols);
+        let gi = &mut grad_input.data_mut()[i * ic * h * w..(i + 1) * ic * h * w];
+        col2im_into(&grad_cols, ic, h, w, kh, kw, spec, gi);
+    }
+    ws.put(grad_cols);
+    grad_input
+}
+
+/// The `dL/d input` half of [`depthwise_backward`] alone (see
+/// [`conv2d_input_backward_ws`] for why): same window scan minus the
+/// weight/bias accumulation, so the returned gradient is bit-identical to
+/// the first element of the [`depthwise_backward`] tuple.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn depthwise_input_backward(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+) -> Tensor {
+    let (c, one, kh, kw) = dims4(weight);
+    assert_eq!(one, 1, "depthwise: weight second dim must be 1");
+    let (n, gc, oh, ow) = dims4(grad_out);
+    assert_eq!(gc, c, "depthwise_input_backward: channel mismatch");
+    assert_eq!(
+        (oh, ow),
+        (spec.out_size(h, kh), spec.out_size(w, kw)),
+        "depthwise_input_backward: grad_out spatial dims mismatch"
+    );
+    let wd = weight.data();
+    let god = grad_out.data();
+    let mut grad_input = vec![0.0f32; n * c * h * w];
+    for i in 0..n {
+        for ch in 0..c {
+            let ker = &wd[ch * kh * kw..(ch + 1) * kh * kw];
+            let go = &god[(i * c + ch) * oh * ow..(i * c + ch + 1) * oh * ow];
+            let gi = &mut grad_input[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let pix = iy as usize * w + ix as usize;
+                            gi[pix] += g * ker[ky * kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(grad_input, &[n, c, h, w])
 }
 
 /// Dense convolution forward pass.
@@ -159,6 +323,30 @@ pub fn conv2d_forward(
     bias: Option<&Tensor>,
     spec: ConvSpec,
 ) -> Tensor {
+    conv2d_forward_ws(input, weight, bias, spec, &mut Workspace::new())
+}
+
+/// [`conv2d_forward`] drawing every scratch buffer — the im2col columns and
+/// the output itself — from `ws` instead of the allocator.
+///
+/// This is the single dense-conv forward implementation
+/// ([`conv2d_forward`] wraps it with a throwaway workspace), so the two
+/// entry points are bit-identical by construction. After the first call at
+/// a given geometry, repeat calls with the same (warm) workspace perform no
+/// heap allocation inside the kernel; the returned output tensor is built
+/// from a workspace buffer, so callers that hand it back via
+/// [`Workspace::recycle`] keep the steady state allocation-free.
+///
+/// # Panics
+///
+/// Panics on any rank or channel-count mismatch.
+pub fn conv2d_forward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(input.ndim(), 4, "conv2d: input must be [N,IC,H,W]");
     assert_eq!(weight.ndim(), 4, "conv2d: weight must be [OC,IC,KH,KW]");
     let (n, ic, h, w) = dims4(input);
@@ -167,27 +355,35 @@ pub fn conv2d_forward(
         ic, wic,
         "conv2d: input channels {ic} != weight channels {wic}"
     );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), oc, "conv2d: bias length mismatch");
+    }
     let oh = spec.out_size(h, kh);
     let ow = spec.out_size(w, kw);
-    let w_mat = weight.reshape(&[oc, ic * kh * kw]);
-    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let rows = ic * kh * kw;
+    let cols = oh * ow;
+    let id = input.data();
+    // weight is [OC, IC, KH, KW] row-major == the [OC, IC·KH·KW] GEMM
+    // matrix; no reshape copy needed.
+    let wd = weight.data();
+    let mut cols_buf = ws.take_dirty(rows * cols);
+    let mut out = ws.take_dirty(n * oc * oh * ow);
     for i in 0..n {
-        let img = input.index_axis0(i);
-        let cols_mat = im2col(&img, kh, kw, spec);
-        let mut o = ops::matmul(&w_mat, &cols_mat); // [OC, OH*OW]
+        let img = &id[i * ic * h * w..(i + 1) * ic * h * w];
+        im2col_into(img, ic, h, w, kh, kw, spec, &mut cols_buf);
+        let o = &mut out[i * oc * cols..(i + 1) * oc * cols];
+        ops::matmul_into(wd, &cols_buf, oc, rows, cols, o);
         if let Some(b) = bias {
-            assert_eq!(b.len(), oc, "conv2d: bias length mismatch");
-            let od = o.data_mut();
             for ch in 0..oc {
                 let bv = b.data()[ch];
-                for v in &mut od[ch * oh * ow..(ch + 1) * oh * ow] {
+                for v in &mut o[ch * cols..(ch + 1) * cols] {
                     *v += bv;
                 }
             }
         }
-        out.set_axis0(i, &o.reshape(&[oc, oh, ow]));
     }
-    out
+    ws.put(cols_buf);
+    Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
 /// Gradients of a dense convolution.
@@ -205,6 +401,28 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> (Tensor, Tensor, Tensor) {
+    conv2d_backward_ws(input, weight, grad_out, spec, &mut Workspace::new())
+}
+
+/// [`conv2d_backward`] drawing its im2col / GEMM scratch buffers from `ws`.
+///
+/// Single implementation behind both entry points ([`conv2d_backward`]
+/// wraps it with a throwaway workspace): the per-image accumulation order
+/// is unchanged, so gradients are bit-identical by construction. The
+/// training path holds a layer-owned workspace across steps so the im2col
+/// columns — the dominant transient of the backward pass — are allocated
+/// once per geometry instead of once per call.
+///
+/// # Panics
+///
+/// Panics on any rank or shape mismatch.
+pub fn conv2d_backward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Tensor) {
     let (n, ic, h, w) = dims4(input);
     let (oc, _, kh, kw) = dims4(weight);
     let oh = spec.out_size(h, kh);
@@ -214,26 +432,39 @@ pub fn conv2d_backward(
         &[n, oc, oh, ow],
         "conv2d_backward: grad_out shape mismatch"
     );
-    let w_mat = weight.reshape(&[oc, ic * kh * kw]);
+    let rows = ic * kh * kw;
+    let cols = oh * ow;
+    let id = input.data();
+    let wd = weight.data(); // [OC, IC·KH·KW] row-major, no reshape copy
+    let god = grad_out.data();
     let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
-    let mut grad_w_mat = Tensor::zeros(&[oc, ic * kh * kw]);
+    let mut grad_w_mat = Tensor::zeros(&[oc, rows]);
     let mut grad_bias = Tensor::zeros(&[oc]);
+    let mut cols_buf = ws.take_dirty(rows * cols);
+    let mut gw_buf = ws.take_dirty(oc * rows);
+    let mut grad_cols = ws.take_dirty(rows * cols);
     for i in 0..n {
-        let img = input.index_axis0(i);
-        let cols_mat = im2col(&img, kh, kw, spec);
-        let go = grad_out.index_axis0(i).reshape(&[oc, oh * ow]);
+        let img = &id[i * ic * h * w..(i + 1) * ic * h * w];
+        im2col_into(img, ic, h, w, kh, kw, spec, &mut cols_buf);
+        let go = &god[i * oc * cols..(i + 1) * oc * cols];
         // dL/dW += grad_out_i @ cols^T
-        grad_w_mat.add_assign(&ops::matmul_transb(&go, &cols_mat));
+        ops::matmul_transb_into(go, &cols_buf, oc, cols, rows, &mut gw_buf);
+        for (acc, &g) in grad_w_mat.data_mut().iter_mut().zip(&gw_buf) {
+            *acc += g;
+        }
         // dL/dbias += row sums
         for ch in 0..oc {
-            let s: f32 = go.data()[ch * oh * ow..(ch + 1) * oh * ow].iter().sum();
+            let s: f32 = go[ch * cols..(ch + 1) * cols].iter().sum();
             grad_bias.data_mut()[ch] += s;
         }
         // dL/dcols = W^T @ grad_out_i, then fold back.
-        let grad_cols = ops::matmul_transa(&w_mat, &go);
-        let gi = col2im(&grad_cols, ic, h, w, kh, kw, spec);
-        grad_input.set_axis0(i, &gi);
+        ops::matmul_transa_into(wd, go, rows, oc, cols, &mut grad_cols);
+        let gi = &mut grad_input.data_mut()[i * ic * h * w..(i + 1) * ic * h * w];
+        col2im_into(&grad_cols, ic, h, w, kh, kw, spec, gi);
     }
+    ws.put(cols_buf);
+    ws.put(gw_buf);
+    ws.put(grad_cols);
     (grad_input, grad_w_mat.reshape(weight.shape()), grad_bias)
 }
 
@@ -252,6 +483,26 @@ pub fn depthwise_forward(
     bias: Option<&Tensor>,
     spec: ConvSpec,
 ) -> Tensor {
+    depthwise_forward_ws(input, weight, bias, spec, &mut Workspace::new())
+}
+
+/// [`depthwise_forward`] drawing the output buffer from `ws`.
+///
+/// Single implementation behind both entry points — bit-identical by
+/// construction. The per-pixel kernel fully overwrites the output, so a
+/// dirty workspace buffer is fine; recycling the returned tensor keeps
+/// steady-state inference allocation-free.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn depthwise_forward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(input.ndim(), 4, "depthwise: input must be [N,C,H,W]");
     assert_eq!(weight.ndim(), 4, "depthwise: weight must be [C,1,KH,KW]");
     let (n, c, h, w) = dims4(input);
@@ -260,7 +511,7 @@ pub fn depthwise_forward(
     assert_eq!(one, 1, "depthwise: weight second dim must be 1");
     let oh = spec.out_size(h, kh);
     let ow = spec.out_size(w, kw);
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out = ws.take_dirty(n * c * oh * ow);
     let id = input.data();
     let wd = weight.data();
     for i in 0..n {

@@ -27,6 +27,10 @@
 //!   order-preserving [`par::par_map`]; the execution substrate behind the
 //!   per-class, per-model, and per-batch parallel loops higher up the
 //!   stack.
+//! * [`scratch`] — the [`Workspace`] arena of reusable scratch buffers
+//!   behind the allocation-free inference path: the `_ws` kernel variants
+//!   here and `Layer::infer` in `usb-nn` draw their im2col / matmul / pool
+//!   buffers from it instead of the allocator.
 //!
 //! # Example
 //!
@@ -48,8 +52,10 @@ pub mod io;
 pub mod ops;
 pub mod par;
 pub mod pool;
+pub mod scratch;
 pub mod ssim;
 pub mod stats;
 mod tensor;
 
+pub use scratch::Workspace;
 pub use tensor::{ShapeError, Tensor};

@@ -50,20 +50,39 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    matmul_into(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice-level [`matmul`] kernel writing `a @ b` into `out` (overwritten,
+/// so scratch buffers from [`crate::Workspace`] can be handed in dirty).
+///
+/// `a` is `[m, k]` row-major, `b` is `[k, n]` row-major, `out` is `[m, n]`.
+/// This *is* the [`matmul`] kernel — the tensor entry point wraps it — so
+/// the accumulation order (ascending `k` per output element) and therefore
+/// the results are bit-identical between the allocating and workspace-backed
+/// call paths.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_into: out length mismatch");
+    out.fill(0.0);
     for jb in (0..n).step_by(BLOCK_COLS) {
         let je = (jb + BLOCK_COLS).min(n);
         for kb in (0..k).step_by(BLOCK_K) {
             let ke = (kb + BLOCK_K).min(k);
             for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
+                let arow = &a[i * k..(i + 1) * k];
                 let orow = &mut out[i * n + jb..i * n + je];
                 for (kk, &av) in arow[kb..ke].iter().enumerate() {
                     if av == 0.0 {
                         continue;
                     }
-                    let brow = &bd[(kb + kk) * n + jb..(kb + kk) * n + je];
+                    let brow = &b[(kb + kk) * n + jb..(kb + kk) * n + je];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
                         *o += av * bv;
                     }
@@ -71,7 +90,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// `a @ b^T` for 2-D tensors `[m, k] x [n, k] -> [m, n]` without
@@ -87,12 +105,28 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_transb: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    matmul_transb_into(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice-level [`matmul_transb`] kernel writing `a @ bᵀ` into `out`
+/// (overwritten; dirty [`crate::Workspace`] buffers are fine).
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, `out` is `[m, n]`. As with
+/// [`matmul_into`], this is the single implementation behind both call
+/// paths, so results are bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_transb_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_transb_into: lhs length mismatch");
+    assert_eq!(b.len(), n * k, "matmul_transb_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_transb_into: out length mismatch");
     for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
+        let arow = &a[i * k..(i + 1) * k];
         for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0;
             for (&av, &bv) in arow.iter().zip(brow) {
                 acc += av * bv;
@@ -100,7 +134,6 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
             out[i * n + j] = acc;
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// `a^T @ b` for 2-D tensors `[k, m] x [k, n] -> [m, n]` without
@@ -123,13 +156,30 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_transa: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    matmul_transa_into(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice-level [`matmul_transa`] kernel writing `aᵀ @ b` into `out`
+/// (overwritten; dirty [`crate::Workspace`] buffers are fine).
+///
+/// `a` is `[k, m]`, `b` is `[k, n]`, `out` is `[m, n]`. Single
+/// implementation behind both call paths — results are bit-identical by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_transa_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "matmul_transa_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul_transa_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_transa_into: out length mismatch");
+    out.fill(0.0);
     for jb in (0..n).step_by(BLOCK_COLS) {
         let je = (jb + BLOCK_COLS).min(n);
         for kk in 0..k {
-            let arow = &ad[kk * m..(kk + 1) * m];
-            let brow = &bd[kk * n + jb..kk * n + je];
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n + jb..kk * n + je];
             for (i, &av) in arow.iter().enumerate() {
                 if av == 0.0 {
                     continue;
@@ -141,7 +191,6 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Transpose of a 2-D tensor.
@@ -200,16 +249,27 @@ pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
     assert!(k > 0, "argmax_rows: zero classes");
     let mut preds = Vec::with_capacity(n);
     for i in 0..n {
-        let row = &logits.data()[i * k..(i + 1) * k];
-        let mut best = 0;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
-            }
-        }
-        preds.push(best);
+        preds.push(argmax_row(&logits.data()[i * k..(i + 1) * k]));
     }
     preds
+}
+
+/// Index of the largest element of one logits row; ties resolve to the
+/// first (lowest-index) maximum, matching [`argmax_rows`] — which is built
+/// on this helper, as is the predicted-class lookup inside DeepFool.
+///
+/// # Panics
+///
+/// Panics if `row` is empty.
+pub fn argmax_row(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax_row: empty row");
+    let mut best = 0;
+    for (j, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = j;
+        }
+    }
+    best
 }
 
 /// Fraction of rows whose argmax equals the paired label.

@@ -1,6 +1,8 @@
-//! Spatial pooling (average, max, global-average) with backward passes.
+//! Spatial pooling (average, max, global-average) with backward passes,
+//! plus `_ws` / `_infer` variants that draw their output buffers from a
+//! [`Workspace`] for the allocation-free inference path.
 
-use crate::Tensor;
+use crate::{Tensor, Workspace};
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(t.ndim(), 4, "expected rank-4 tensor, got {:?}", t.shape());
@@ -16,13 +18,30 @@ fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
 ///
 /// Panics if the window does not fit or `stride == 0`.
 pub fn avg_pool2d_forward(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    avg_pool2d_forward_ws(input, k, stride, &mut Workspace::new())
+}
+
+/// [`avg_pool2d_forward`] drawing the output buffer from `ws` — the single
+/// implementation behind both entry points, so results are bit-identical
+/// by construction. The kernel fully overwrites the output, so dirty
+/// workspace buffers are fine.
+///
+/// # Panics
+///
+/// Panics if the window does not fit or `stride == 0`.
+pub fn avg_pool2d_forward_ws(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     assert!(stride > 0, "avg_pool2d: stride must be positive");
     let (n, c, h, w) = dims4(input);
     assert!(k <= h && k <= w, "avg_pool2d: window {k} larger than input");
     let oh = (h - k) / stride + 1;
     let ow = (w - k) / stride + 1;
     let inv = 1.0 / (k * k) as f32;
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out = ws.take_dirty(n * c * oh * ow);
     let id = input.data();
     for plane in 0..n * c {
         let img = &id[plane * h * w..(plane + 1) * h * w];
@@ -118,6 +137,43 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, stride: usize) -> (Tensor, V
     (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
 }
 
+/// Inference-only max pooling: the pooled values of
+/// [`max_pool2d_forward`] — identical window scan, identical results —
+/// without materialising the argmax routing table (which only the backward
+/// pass needs) and with the output buffer drawn from `ws`.
+///
+/// # Panics
+///
+/// Panics if the window does not fit or `stride == 0`.
+pub fn max_pool2d_infer(input: &Tensor, k: usize, stride: usize, ws: &mut Workspace) -> Tensor {
+    assert!(stride > 0, "max_pool2d: stride must be positive");
+    let (n, c, h, w) = dims4(input);
+    assert!(k <= h && k <= w, "max_pool2d: window {k} larger than input");
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = ws.take_dirty(n * c * oh * ow);
+    let id = input.data();
+    for plane in 0..n * c {
+        let img = &id[plane * h * w..(plane + 1) * h * w];
+        let base = plane * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let idx = (oy * stride + ky) * w + ox * stride + kx;
+                        if img[idx] > best {
+                            best = img[idx];
+                        }
+                    }
+                }
+                out[base + oy * ow + ox] = best;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
 /// Backward pass of [`max_pool2d_forward`]: routes each output gradient to
 /// the stored argmax position.
 ///
@@ -144,9 +200,20 @@ pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[u
 ///
 /// Panics if `input` is not rank-4.
 pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    global_avg_pool_forward_ws(input, &mut Workspace::new())
+}
+
+/// [`global_avg_pool_forward`] drawing the output buffer from `ws` — the
+/// single implementation behind both entry points, bit-identical by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4.
+pub fn global_avg_pool_forward_ws(input: &Tensor, ws: &mut Workspace) -> Tensor {
     let (n, c, h, w) = dims4(input);
     let inv = 1.0 / (h * w) as f32;
-    let mut out = vec![0.0f32; n * c];
+    let mut out = ws.take_dirty(n * c);
     for (plane, o) in out.iter_mut().enumerate() {
         *o = input.data()[plane * h * w..(plane + 1) * h * w]
             .iter()

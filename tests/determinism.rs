@@ -71,8 +71,8 @@ fn victim_training_is_deterministic_for_equal_seeds() {
     // configuration from scratch and require the two to be bit-identical —
     // this simultaneously checks training determinism and that a cached
     // (saved + loaded) victim is indistinguishable from a fresh one.
-    let (data, mut a) = small_victim();
-    let mut b = small_attack().execute(&data, small_arch(), TrainConfig::fast(), 9);
+    let (data, a) = small_victim();
+    let b = small_attack().execute(&data, small_arch(), TrainConfig::fast(), 9);
     assert_eq!(a.clean_accuracy, b.clean_accuracy);
     assert_eq!(a.asr(), b.asr());
     let x = data.test_images.clone();

@@ -1,0 +1,224 @@
+//! The contract of the allocation-free inference path: `Network::infer`
+//! (and everything built on it — `predict`, `predict_one`, `evaluate`)
+//! returns **bit-identical** results to an eval-mode `forward`, for every
+//! victim architecture, with any workspace history.
+//!
+//! Bit-exactness is what lets the detection pipeline route all its
+//! forward-only passes through `infer` without retuning a single seed:
+//! same bits in, same verdicts out.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use universal_soldier::nn::layer::{Layer, Mode};
+use universal_soldier::nn::models::{Architecture, ModelKind, Network};
+use universal_soldier::nn::train::{evaluate, evaluate_with_workers};
+use universal_soldier::tensor::{Tensor, Workspace};
+
+/// One small instance of each of the paper's four architectures, hitting
+/// every layer kind: conv, depthwise conv, linear, flatten, batch-norm,
+/// ReLU/SiLU/sigmoid, avg/max/global pooling, residual blocks with and
+/// without projection shortcuts, and squeeze-excite gating.
+fn zoo() -> Vec<(ModelKind, Network)> {
+    let kinds = [
+        (ModelKind::BasicCnn, (1, 12, 12), 4, 4),
+        (ModelKind::ResNet18, (3, 8, 8), 4, 2),
+        (ModelKind::Vgg16, (3, 8, 8), 4, 2),
+        (ModelKind::EfficientNetB0, (3, 8, 8), 4, 2),
+    ];
+    kinds
+        .iter()
+        .map(|&(kind, input, classes, width)| {
+            let mut rng = StdRng::seed_from_u64(0xB17_E8AC7 ^ kind as u64);
+            (
+                kind,
+                Architecture::new(kind, input, classes)
+                    .with_width(width)
+                    .build(&mut rng),
+            )
+        })
+        .collect()
+}
+
+fn batch_for(net: &Network, n: usize, vals: &[f32]) -> Tensor {
+    let (c, h, w) = net.input_shape();
+    Tensor::from_fn(&[n, c, h, w], |i| vals[i % vals.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `infer` == `forward(Mode::Eval)` bit for bit, on all four victim
+    /// architectures, for cold and warm workspaces alike — and a second
+    /// warm-workspace call reproduces the first exactly (no state bleeds
+    /// from one inference into the next).
+    #[test]
+    fn infer_matches_eval_forward_bitwise(
+        vals in proptest::collection::vec(0.0f32..1.0, 32),
+        n in 1usize..3,
+    ) {
+        for (kind, mut net) in zoo() {
+            let x = batch_for(&net, n, &vals);
+            let reference = net.forward(&x, Mode::Eval);
+            let mut ws = Workspace::new();
+            let cold = net.infer(&x, &mut ws);
+            prop_assert!(
+                cold.data() == reference.data(),
+                "{:?}: cold infer deviates from forward(Eval)", kind
+            );
+            prop_assert_eq!(cold.shape(), reference.shape());
+            let warm = net.infer(&x, &mut ws);
+            prop_assert!(
+                warm.data() == reference.data(),
+                "{:?}: warm-workspace infer deviates", kind
+            );
+        }
+    }
+
+    /// The workspace handed to `infer` may carry buffers of arbitrary
+    /// earlier shapes filled with arbitrary garbage — results must not
+    /// change (the zero-fill contract of `Workspace::take`).
+    #[test]
+    fn dirty_foreign_workspace_never_leaks_into_results(
+        vals in proptest::collection::vec(0.0f32..1.0, 32),
+        junk_shapes in proptest::collection::vec(1usize..2000, 0..6),
+        junk_fill in -1.0e6f32..1.0e6,
+    ) {
+        for (kind, mut net) in zoo() {
+            let x = batch_for(&net, 1, &vals);
+            let reference = net.forward(&x, Mode::Eval);
+            let mut ws = Workspace::new();
+            for &len in &junk_shapes {
+                let mut t = ws.take_tensor(&[len]);
+                t.fill(junk_fill);
+                ws.recycle(t);
+            }
+            let got = net.infer(&x, &mut ws);
+            prop_assert!(
+                got.data() == reference.data(),
+                "{:?}: dirty workspace changed the logits", kind
+            );
+        }
+    }
+
+    /// A `Workspace` reused across differently-shaped checkouts always
+    /// hands out fully zero-filled buffers, regardless of request order,
+    /// sizes, or what callers wrote into previous checkouts.
+    #[test]
+    fn workspace_reuse_across_shapes_is_always_zeroed(
+        lens in proptest::collection::vec(0usize..512, 1..20),
+        fill in -1.0e9f32..1.0e9,
+    ) {
+        let mut ws = Workspace::new();
+        for &len in &lens {
+            let buf = ws.take(len);
+            prop_assert_eq!(buf.len(), len);
+            prop_assert!(
+                buf.iter().all(|&v| v == 0.0),
+                "stale data survived a checkout of {} elements", len
+            );
+            let mut t = Tensor::from_vec(buf, &[len]);
+            t.fill(fill); // dirty it before returning
+            ws.recycle(t);
+        }
+    }
+}
+
+#[test]
+fn predict_one_matches_batched_predict() {
+    for (kind, net) in zoo() {
+        let x = batch_for(&net, 3, &[0.3, 0.8, 0.1, 0.6, 0.9]);
+        let batched = net.predict(&x);
+        let mut ws = Workspace::new();
+        for (i, &expected) in batched.iter().enumerate() {
+            let one = x.index_axis0(i);
+            assert_eq!(
+                net.predict_one(&one),
+                expected,
+                "{kind:?}: predict_one deviates from predict row {i}"
+            );
+            assert_eq!(
+                net.predict_one_in(&one, &mut ws),
+                expected,
+                "{kind:?}: predict_one_in deviates from predict row {i}"
+            );
+        }
+    }
+}
+
+/// `evaluate` shares one network across worker threads through the infer
+/// path; its accuracy must be a pure function of the model and data — the
+/// same at any thread count, and equal to a manual sequential count.
+#[test]
+fn shared_model_evaluate_is_thread_count_invariant() {
+    for (kind, mut net) in zoo() {
+        let x = batch_for(&net, 150, &[0.2, 0.7, 0.4, 0.95, 0.05, 0.5]);
+        let labels: Vec<usize> = (0..150).map(|i| i % net.num_classes()).collect();
+        let manual = {
+            let logits = net.forward(&x, Mode::Eval);
+            let preds = universal_soldier::tensor::ops::argmax_rows(&logits);
+            preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / 150.0
+        };
+        let ambient = evaluate(&net, &x, &labels);
+        assert_eq!(
+            ambient, manual,
+            "{kind:?}: evaluate at the ambient worker count deviates from the sequential count"
+        );
+        for workers in [1, 2, 4] {
+            let acc = evaluate_with_workers(&net, &x, &labels, workers);
+            assert_eq!(
+                acc, manual,
+                "{kind:?}: evaluate at {workers} workers deviates from the sequential count"
+            );
+        }
+    }
+}
+
+/// `input_backward` — the parameter-gradient-free backward the
+/// input-space defenses run on — must return the same `dL/dx` as the full
+/// `backward`, bit for bit, in both modes, while leaving parameter
+/// gradients untouched.
+#[test]
+fn input_backward_matches_backward_bitwise() {
+    for mode in [Mode::Eval, Mode::Train] {
+        for (kind, mut net) in zoo() {
+            let x = batch_for(&net, 2, &[0.15, 0.45, 0.85, 0.35]);
+            let logits = net.forward(&x, mode);
+            let g = Tensor::from_fn(logits.shape(), |i| ((i as f32) * 0.37).sin());
+            let reference = net.backward(&g);
+            net.zero_grad();
+            // Fresh forward so both backwards run off identical caches.
+            let _ = net.forward(&x, mode);
+            let gi = net.input_backward(&g);
+            assert_eq!(
+                gi.data(),
+                reference.data(),
+                "{kind:?} ({mode:?}): input_backward deviates from backward"
+            );
+            let mut max_param_grad = 0.0f32;
+            net.visit_params(&mut |s| max_param_grad = max_param_grad.max(s.grad.linf_norm()));
+            assert_eq!(
+                max_param_grad, 0.0,
+                "{kind:?} ({mode:?}): input_backward touched parameter gradients"
+            );
+        }
+    }
+}
+
+/// Cloning a network drops transient forward caches (cheap per-worker
+/// clones) but must preserve the mathematical function exactly.
+#[test]
+fn clones_drop_caches_but_preserve_the_function() {
+    for (kind, mut net) in zoo() {
+        let x = batch_for(&net, 2, &[0.25, 0.5, 0.75]);
+        // Populate forward caches, then clone.
+        let reference = net.forward(&x, Mode::Eval);
+        let clone = net.clone();
+        let mut ws = Workspace::new();
+        assert_eq!(
+            clone.infer(&x, &mut ws).data(),
+            reference.data(),
+            "{kind:?}: clone computes a different function"
+        );
+    }
+}
