@@ -14,9 +14,9 @@ fn fig1(c: &mut Criterion) {
     let clean = usb_bench::cifar_resnet_clean();
     c.bench_function("fig1/uap_backdoored_target", |bench| {
         bench.iter(|| {
-            let mut victim = backdoored.victim.lock().unwrap();
+            let victim = backdoored.victim.lock().unwrap();
             black_box(targeted_uap(
-                &mut victim.model,
+                &victim.model,
                 &backdoored.clean_x,
                 0,
                 UapConfig::fast(),
@@ -25,9 +25,9 @@ fn fig1(c: &mut Criterion) {
     });
     c.bench_function("fig1/uap_clean_model", |bench| {
         bench.iter(|| {
-            let mut victim = clean.victim.lock().unwrap();
+            let victim = clean.victim.lock().unwrap();
             black_box(targeted_uap(
-                &mut victim.model,
+                &victim.model,
                 &clean.clean_x,
                 0,
                 UapConfig::fast(),
@@ -41,14 +41,14 @@ fn fig1(c: &mut Criterion) {
 fn fig_reconstruction(c: &mut Criterion) {
     let fixture = usb_bench::cifar_resnet_badnet();
     let uap = {
-        let mut victim = fixture.victim.lock().unwrap();
-        targeted_uap(&mut victim.model, &fixture.clean_x, 0, UapConfig::fast())
+        let victim = fixture.victim.lock().unwrap();
+        targeted_uap(&victim.model, &fixture.clean_x, 0, UapConfig::fast())
     };
     c.bench_function("fig2_3_4_6/refine_uap", |bench| {
         bench.iter(|| {
-            let mut victim = fixture.victim.lock().unwrap();
+            let victim = fixture.victim.lock().unwrap();
             black_box(refine_uap(
-                &mut victim.model,
+                &victim.model,
                 &fixture.clean_x,
                 0,
                 &uap.perturbation,
@@ -62,14 +62,14 @@ fn fig_reconstruction(c: &mut Criterion) {
 fn fig5(c: &mut Criterion) {
     let fixture = usb_bench::mnist_resnet_badnet();
     let uap = {
-        let mut victim = fixture.victim.lock().unwrap();
-        targeted_uap(&mut victim.model, &fixture.clean_x, 0, UapConfig::fast())
+        let victim = fixture.victim.lock().unwrap();
+        targeted_uap(&victim.model, &fixture.clean_x, 0, UapConfig::fast())
     };
     c.bench_function("fig5/refine_unconstrained", |bench| {
         bench.iter(|| {
-            let mut victim = fixture.victim.lock().unwrap();
+            let victim = fixture.victim.lock().unwrap();
             black_box(refine_uap(
-                &mut victim.model,
+                &victim.model,
                 &fixture.clean_x,
                 0,
                 &uap.perturbation,
@@ -85,9 +85,9 @@ fn headline(c: &mut Criterion) {
     let fixture = usb_bench::cifar_resnet_badnet();
     c.bench_function("headline/uap_nontarget_class", |bench| {
         bench.iter(|| {
-            let mut victim = fixture.victim.lock().unwrap();
+            let victim = fixture.victim.lock().unwrap();
             black_box(targeted_uap(
-                &mut victim.model,
+                &victim.model,
                 &fixture.clean_x,
                 5,
                 UapConfig::fast(),
@@ -101,14 +101,14 @@ fn transfer(c: &mut Criterion) {
     let source = usb_bench::cifar_resnet_badnet();
     let dest = usb_bench::cifar_resnet_clean();
     let uap = {
-        let mut victim = source.victim.lock().unwrap();
-        targeted_uap(&mut victim.model, &source.clean_x, 0, UapConfig::fast())
+        let victim = source.victim.lock().unwrap();
+        targeted_uap(&victim.model, &source.clean_x, 0, UapConfig::fast())
     };
     c.bench_function("transfer/refine_on_other_model", |bench| {
         bench.iter(|| {
-            let mut victim = dest.victim.lock().unwrap();
+            let victim = dest.victim.lock().unwrap();
             black_box(transfer_uap(
-                &mut victim.model,
+                &victim.model,
                 &dest.clean_x,
                 0,
                 &uap.perturbation,

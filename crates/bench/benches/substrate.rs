@@ -109,13 +109,8 @@ fn bench_deepfool(c: &mut Criterion) {
     let x = fixture.clean_x.index_axis0(0);
     c.bench_function("substrate/deepfool_single_image", |bench| {
         bench.iter(|| {
-            let mut victim = fixture.victim.lock().unwrap();
-            black_box(deepfool(
-                &mut victim.model,
-                &x,
-                1,
-                DeepfoolConfig::default(),
-            ))
+            let victim = fixture.victim.lock().unwrap();
+            black_box(deepfool(&victim.model, &x, 1, DeepfoolConfig::default()))
         })
     });
 }
@@ -153,10 +148,10 @@ fn bench_detector_scaling(c: &mut Criterion) {
             &format!("substrate/usb_inspect_workers{workers}"),
             |bench| {
                 bench.iter(|| {
-                    let mut victim = fixture.victim.lock().unwrap();
+                    let victim = fixture.victim.lock().unwrap();
                     let mut rng = StdRng::seed_from_u64(7);
                     black_box(UsbDetector::fast_with_workers(workers).inspect(
-                        &mut victim.model,
+                        &victim.model,
                         &fixture.clean_x,
                         &mut rng,
                     ))

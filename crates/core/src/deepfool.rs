@@ -12,7 +12,7 @@
 //! `w = ∇(z_t − z_c)`, where `c` is the currently predicted class.
 
 use usb_nn::models::Network;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{ops, Tape, Tensor, Workspace};
 
 /// Hyperparameters of the targeted DeepFool inner loop.
 ///
@@ -45,10 +45,42 @@ impl Default for DeepfoolConfig {
 /// `target` unless the iteration budget ran out (callers check). The
 /// perturbation is `0` when `x` already classifies as `target`.
 ///
+/// The model is only **read**: gradients go through the tape-backed
+/// [`Network::input_grad_in`] route, so one `&Network` serves every
+/// caller. Convenience wrapper over [`deepfool_in`] with a throwaway
+/// [`Tape`]/[`Workspace`]; hot loops (the Alg. 1 sweep) hold both and call
+/// the `_in` variant so buffers are reused across iterations.
+///
 /// # Panics
 ///
 /// Panics if `x` is not rank-3 or `target` is out of range.
-pub fn deepfool(model: &mut Network, x: &Tensor, target: usize, config: DeepfoolConfig) -> Tensor {
+pub fn deepfool(model: &Network, x: &Tensor, target: usize, config: DeepfoolConfig) -> Tensor {
+    deepfool_in(
+        model,
+        x,
+        target,
+        config,
+        &mut Tape::new(),
+        &mut Workspace::new(),
+    )
+}
+
+/// [`deepfool`] drawing all gradient state from `tape` and all arithmetic
+/// scratch from `ws`, both reused across the iteration loop (and across
+/// calls — after one warm-up step the loop allocates only the tiny
+/// logit-seed tensors).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-3 or `target` is out of range.
+pub fn deepfool_in(
+    model: &Network,
+    x: &Tensor,
+    target: usize,
+    config: DeepfoolConfig,
+    tape: &mut Tape,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(x.ndim(), 3, "deepfool: x must be [C,H,W]");
     assert!(
         target < model.num_classes(),
@@ -63,27 +95,40 @@ pub fn deepfool(model: &mut Network, x: &Tensor, target: usize, config: Deepfool
         // One backward pass for the logit difference z_t − z_c; the
         // predicted class `c` is the shared [`ops::argmax_row`] both here
         // and after the pass (first-maximum tie-breaking in both).
-        let (logits, grad) = model.input_grad(&xi, |logits| {
-            let mut g = Tensor::zeros(logits.shape());
-            let cur = ops::argmax_row(logits.data());
-            if cur != target {
-                g.data_mut()[target] = 1.0;
-                g.data_mut()[cur] = -1.0;
-            }
-            g
-        });
-        let row = logits.data();
-        let cur = ops::argmax_row(row);
+        let (logits, grad) = model.input_grad_in(
+            &xi,
+            |logits| {
+                let mut g = Tensor::zeros(logits.shape());
+                let cur = ops::argmax_row(logits.data());
+                if cur != target {
+                    g.data_mut()[target] = 1.0;
+                    g.data_mut()[cur] = -1.0;
+                }
+                g
+            },
+            tape,
+            ws,
+        );
+        let cur = ops::argmax_row(logits.data());
+        // > 0 while not yet at target.
+        let f_diff = logits.data()[cur] - logits.data()[target];
+        // Both tensors are workspace-backed; hand them back on *every*
+        // exit from the iteration — the common `cur == target` break is
+        // the hot path of the Alg. 1 sweep, and dropping the buffers
+        // there would make each call re-allocate them.
+        ws.recycle(logits);
         if cur == target {
+            ws.recycle(grad);
             break;
         }
-        let f_diff = row[cur] - row[target]; // > 0 while not yet at target
         let w_norm_sq = grad.data().iter().map(|g| g * g).sum::<f32>();
         if w_norm_sq <= 1e-12 {
+            ws.recycle(grad);
             break; // flat landscape; nothing to exploit
         }
         let step = (f_diff + 1e-4) / w_norm_sq * (1.0 + config.overshoot);
         xi.axpy(step, &grad);
+        ws.recycle(grad);
         if config.clamp_pixels {
             xi = xi.clamp(0.0, 1.0);
         }
@@ -115,14 +160,14 @@ mod tests {
 
     #[test]
     fn deepfool_reaches_target_class() {
-        let (data, mut model) = trained_victim();
+        let (data, model) = trained_victim();
         let mut reached = 0;
         let mut total = 0;
         for i in 0..8 {
             let x = data.test_images.index_axis0(i);
             let label = data.test_labels[i];
             let target = (label + 1) % 4;
-            let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+            let r = deepfool(&model, &x, target, DeepfoolConfig::default());
             let adv = x.add(&r).clamp(0.0, 1.0);
             let pred = model.predict_one(&adv);
             total += 1;
@@ -138,13 +183,13 @@ mod tests {
 
     #[test]
     fn zero_perturbation_when_already_target() {
-        let (data, mut model) = trained_victim();
+        let (data, model) = trained_victim();
         // Find a test image the model classifies correctly.
         for i in 0..10 {
             let x = data.test_images.index_axis0(i);
             let pred = model.predict_one(&x);
             if pred == data.test_labels[i] {
-                let r = deepfool(&mut model, &x, pred, DeepfoolConfig::default());
+                let r = deepfool(&model, &x, pred, DeepfoolConfig::default());
                 assert_eq!(r.l1_norm(), 0.0, "no perturbation needed");
                 return;
             }
@@ -154,10 +199,10 @@ mod tests {
 
     #[test]
     fn perturbation_is_small_relative_to_image() {
-        let (data, mut model) = trained_victim();
+        let (data, model) = trained_victim();
         let x = data.test_images.index_axis0(0);
         let target = (data.test_labels[0] + 1) % 4;
-        let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        let r = deepfool(&model, &x, target, DeepfoolConfig::default());
         // An adversarial perturbation should be much smaller than the image.
         assert!(
             r.l2_norm() < x.l2_norm(),
@@ -169,10 +214,10 @@ mod tests {
 
     #[test]
     fn respects_pixel_clamp() {
-        let (data, mut model) = trained_victim();
+        let (data, model) = trained_victim();
         let x = data.test_images.index_axis0(1);
         let target = (data.test_labels[1] + 2) % 4;
-        let r = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        let r = deepfool(&model, &x, target, DeepfoolConfig::default());
         let adv = x.add(&r);
         assert!(adv.min() >= -1e-5 && adv.max() <= 1.0 + 1e-5);
     }
@@ -180,18 +225,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_bad_target() {
-        let (_data, mut model) = trained_victim();
+        let (_data, model) = trained_victim();
         let x = Tensor::zeros(&[1, 12, 12]);
-        let _ = deepfool(&mut model, &x, 99, DeepfoolConfig::default());
+        let _ = deepfool(&model, &x, 99, DeepfoolConfig::default());
     }
 
     #[test]
     fn deterministic() {
-        let (data, mut model) = trained_victim();
+        let (data, model) = trained_victim();
         let x = data.test_images.index_axis0(2);
         let target = (data.test_labels[2] + 1) % 4;
-        let a = deepfool(&mut model, &x, target, DeepfoolConfig::default());
-        let b = deepfool(&mut model, &x, target, DeepfoolConfig::default());
+        let a = deepfool(&model, &x, target, DeepfoolConfig::default());
+        let b = deepfool(&model, &x, target, DeepfoolConfig::default());
         assert_eq!(a.data(), b.data());
         let _ = StdRng::seed_from_u64(0); // rng unused: API is deterministic
     }

@@ -1,13 +1,15 @@
 //! The USB detector: Alg. 1 + Alg. 2 per class, plugged into the shared
 //! MAD outlier test.
 //!
-//! The per-class scan is embarrassingly parallel — each candidate class
-//! reverse-engineers its trigger against its own copy of the victim — so
-//! [`UsbDetector`] overrides [`Defense::inspect`] to fan the classes out
-//! over [`usb_tensor::par`] worker threads. Verdicts are **bit-identical
-//! at any thread count**: each class receives its own `StdRng` stream,
-//! derived from the caller's rng in class order before any worker starts,
-//! so no class's randomness depends on scheduling.
+//! The per-class scan is embarrassingly parallel, and the victim is only
+//! ever **read** — forward passes go through the cache-free inference
+//! path, gradients through the caller-owned tape — so [`UsbDetector`]
+//! overrides [`Defense::inspect`] to fan the classes out over
+//! [`usb_tensor::par`] worker threads **sharing one `&Network`**: zero
+//! model clones, one tape and workspace per worker. Verdicts are
+//! **bit-identical at any thread count**: each class receives its own
+//! `StdRng` stream, derived from the caller's rng in class order before
+//! any worker starts, so no class's randomness depends on scheduling.
 
 use crate::refine::{refine_uap, RefineConfig};
 use crate::uap::{targeted_uap, UapConfig};
@@ -90,14 +92,14 @@ impl Default for UsbConfig {
 /// trigger is found, which is the paper's contribution.
 ///
 /// Unlike the baselines, `inspect` runs the classes **in parallel** on
-/// [`UsbConfig::workers`] threads. Forward-only work (per-sample
-/// prediction, success-rate checks, refinement scoring) goes through the
-/// cache-free `Network::infer` path and could share one victim; the
-/// DeepFool and refinement *gradient* steps mutate layer caches, so each
-/// worker still gets its own clone — a cheap one, since clones carry
-/// parameters but no forward caches. Class `t` always draws from its own
-/// rng stream, so the outcome is a pure function of `(model, images,
-/// seed)` — never of the thread count.
+/// [`UsbConfig::workers`] threads, all sharing one `&Network`: forward
+/// passes go through the cache-free `Network::infer` path, and the
+/// DeepFool / refinement gradient steps through the tape-backed
+/// `Network::input_grad_in` route, so no worker ever writes to the model
+/// and **no victim clones are made** (each worker brings its own tape and
+/// workspace instead — kilobytes, not a full parameter copy). Class `t`
+/// always draws from its own rng stream, so the outcome is a pure
+/// function of `(model, images, seed)` — never of the thread count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsbDetector {
     /// Pipeline configuration.
@@ -130,7 +132,7 @@ impl UsbDetector {
     /// algorithm stages (used by the Table 7 timing harness).
     pub fn reverse_class_timed(
         &self,
-        model: &mut Network,
+        model: &Network,
         images: &Tensor,
         target: usize,
         rng: &mut StdRng,
@@ -188,7 +190,7 @@ impl Defense for UsbDetector {
     /// determinism given the rng), then Alg. 2 over all of it.
     fn reverse_class(
         &self,
-        model: &mut Network,
+        model: &Network,
         images: &Tensor,
         target: usize,
         rng: &mut StdRng,
@@ -197,20 +199,19 @@ impl Defense for UsbDetector {
     }
 
     /// Parallel per-class scan: fans the classes out over the configured
-    /// worker pool, one victim clone and one derived rng stream per class.
+    /// worker pool, **sharing one `&Network`** — zero model clones — with
+    /// one derived rng stream per class.
     ///
     /// The class seeds are drawn from `rng` in class order *before* any
     /// worker starts, and [`par::par_map`] returns results in class order,
     /// so the outcome is bit-identical to a sequential scan with the same
     /// derived streams — at 1 thread or 64.
-    fn inspect(&self, model: &mut Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
+    fn inspect(&self, model: &Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
         let k = model.num_classes();
         let seeds: Vec<u64> = (0..k).map(|_| rng.gen()).collect();
-        let shared: &Network = model;
         let per_class: Vec<ClassResult> = par::par_map(self.config.workers, &seeds, |t, &seed| {
-            let mut worker_model = shared.clone();
             let mut class_rng = StdRng::seed_from_u64(seed);
-            self.reverse_class(&mut worker_model, images, t, &mut class_rng)
+            self.reverse_class(model, images, t, &mut class_rng)
         });
         DetectionOutcome::from_class_results(self.static_name(), per_class, self.min_success())
     }
@@ -238,12 +239,12 @@ mod tests {
     fn usb_detects_badnet_and_finds_target() {
         let data = dataset(111);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 10).with_width(4);
-        let mut victim = BadNet::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
+        let victim = BadNet::new(2, 4, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
         assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
         let mut rng = StdRng::seed_from_u64(3);
         let (x, _) = data.clean_subset(48, &mut rng);
         let usb = UsbDetector::fast();
-        let outcome = usb.inspect(&mut victim.model, &x, &mut rng);
+        let outcome = usb.inspect(&victim.model, &x, &mut rng);
         assert!(
             outcome.is_backdoored(),
             "USB missed the backdoor; norms {:?}",
@@ -266,12 +267,12 @@ mod tests {
     fn usb_passes_clean_model() {
         let data = dataset(112);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 10).with_width(4);
-        let mut victim = train_clean_victim(&data, arch, TrainConfig::new(20), 8);
+        let victim = train_clean_victim(&data, arch, TrainConfig::new(20), 8);
         assert!(victim.clean_accuracy > 0.8);
         let mut rng = StdRng::seed_from_u64(4);
         let (x, _) = data.clean_subset(48, &mut rng);
         let usb = UsbDetector::fast();
-        let outcome = usb.inspect(&mut victim.model, &x, &mut rng);
+        let outcome = usb.inspect(&victim.model, &x, &mut rng);
         assert!(
             !outcome.is_backdoored(),
             "false positive on clean model: {:?} (norms {:?})",

@@ -23,9 +23,12 @@
 //!
 //! Inspection runs the per-class scans **in parallel** on the
 //! [`usb_tensor::par`] worker pool ([`UsbConfig::workers`], or the
-//! `USB_THREADS` environment variable): each class gets its own clone of
-//! the victim and its own rng stream derived from the inspection seed, so
-//! verdicts are bit-identical at any thread count.
+//! `USB_THREADS` environment variable), every worker sharing **one
+//! `&Network`** — the model is only ever read (forward passes through the
+//! cache-free inference path, gradients through the caller-owned
+//! `usb_tensor::tape::Tape`), so inspection spawns zero model clones.
+//! Each class draws from its own rng stream derived from the inspection
+//! seed, so verdicts are bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -40,11 +43,11 @@
 //!
 //! let data = SyntheticSpec::cifar10().with_size(16).generate(3);
 //! # let arch = Architecture::new(ModelKind::ResNet18, (3, 16, 16), 10).with_width(4);
-//! # let mut victim = BadNet::new(2, 0, 0.1).execute(&data, arch, TrainConfig::fast(), 3);
+//! # let victim = BadNet::new(2, 0, 0.1).execute(&data, arch, TrainConfig::fast(), 3);
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let (clean_x, _) = data.clean_subset(48, &mut rng);
 //! let usb = UsbDetector::new(UsbConfig::fast());
-//! let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+//! let outcome = usb.inspect(&victim.model, &clean_x, &mut rng);
 //! println!("backdoored: {}, classes {:?}", outcome.is_backdoored(), outcome.flagged);
 //! ```
 
@@ -58,7 +61,7 @@ mod transfer;
 mod uap;
 pub mod viz;
 
-pub use deepfool::{deepfool, DeepfoolConfig};
+pub use deepfool::{deepfool, deepfool_in, DeepfoolConfig};
 pub use detector::{StageSeconds, UsbConfig, UsbDetector};
 pub use refine::{refine_uap, RefineConfig, RefinedTrigger};
 pub use transfer::{transfer_uap, TransferOutcome};

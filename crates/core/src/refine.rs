@@ -22,7 +22,7 @@ use usb_nn::loss::softmax_cross_entropy_uniform_target;
 use usb_nn::models::Network;
 use usb_nn::optim::TensorAdam;
 use usb_tensor::ssim::ssim_with_grad;
-use usb_tensor::Tensor;
+use usb_tensor::{Tape, Tensor, Workspace};
 
 /// Hyperparameters of the Alg. 2 optimisation.
 ///
@@ -144,11 +144,16 @@ pub fn init_from_uap(v: &Tensor) -> (Tensor, Tensor) {
 /// Runs Alg. 2: refine the UAP `v` into a `trigger × mask` pair for
 /// `target` using the clean data `images`.
 ///
+/// The model is only **read**: the per-step CE gradient goes through the
+/// tape-backed [`Network::input_grad_in`] route and the final scoring
+/// through the cache-free inference path, so concurrent per-class
+/// refinements can share one `&Network`.
+///
 /// # Panics
 ///
 /// Panics if `images` is empty or shapes disagree.
 pub fn refine_uap(
-    model: &mut Network,
+    model: &Network,
     images: &Tensor,
     target: usize,
     v: &Tensor,
@@ -162,6 +167,9 @@ pub fn refine_uap(
     let bs = config.batch_size.min(n);
     let mut cursor = 0usize;
     let mut final_ssim = 0.0f32;
+    // One tape and workspace reused across all optimisation steps.
+    let mut tape = Tape::new();
+    let mut ws = Workspace::new();
     for _ in 0..config.steps {
         // Take a batch of data from X in order (Alg. 2 line 3).
         let idx: Vec<usize> = (0..bs).map(|i| (cursor + i) % n).collect();
@@ -170,14 +178,21 @@ pub fn refine_uap(
         let batch = Tensor::stack(&items);
         let stamped = var.apply(&batch);
         // CE term.
-        let (_, d_ce) = model.input_grad(&stamped, |logits| {
-            let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
-            dlogits
-        });
+        let (logits, d_ce) = model.input_grad_in(
+            &stamped,
+            |logits| {
+                let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
+                dlogits
+            },
+            &mut tape,
+            &mut ws,
+        );
+        ws.recycle(logits);
         // −SSIM term (reward similarity): gradient of −w·SSIM(x', x) wrt x'.
         let (ssim_val, d_ssim) = ssim_with_grad(&stamped, &batch);
         final_ssim = ssim_val;
         let d_stamped = d_ce.add(&d_ssim.scale(-config.ssim_weight));
+        ws.recycle(d_ce);
         let (mut d_tm, d_tp) = var.backward(&batch, &d_stamped);
         if config.mask_l1_weight > 0.0 {
             d_tm.add_assign(&var.mask_l1_grad(config.mask_l1_weight));
@@ -242,13 +257,13 @@ mod tests {
             .with_classes(6)
             .generate(101);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
-        let mut victim = BadNet::new(2, 1, 0.15).execute(&data, arch, TrainConfig::new(20), 5);
+        let victim = BadNet::new(2, 1, 0.15).execute(&data, arch, TrainConfig::new(20), 5);
         assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
         let mut rng = StdRng::seed_from_u64(2);
         let (x, _) = data.clean_subset(32, &mut rng);
-        let uap = targeted_uap(&mut victim.model, &x, 1, UapConfig::fast());
+        let uap = targeted_uap(&victim.model, &x, 1, UapConfig::fast());
         let refined = refine_uap(
-            &mut victim.model,
+            &victim.model,
             &x,
             1,
             &uap.perturbation,

@@ -20,13 +20,13 @@ pub struct TransferOutcome {
 }
 
 /// Refines a UAP generated elsewhere against `dest` (Alg. 2 only — no new
-/// Alg. 1 run).
+/// Alg. 1 run). The destination model is only read.
 ///
 /// # Panics
 ///
 /// Panics if shapes disagree or `images` is empty.
 pub fn transfer_uap(
-    dest: &mut Network,
+    dest: &Network,
     images: &Tensor,
     target: usize,
     uap: &Tensor,
@@ -63,13 +63,13 @@ mod tests {
             .generate(121);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
         let attack = BadNet::new(2, 2, 0.15);
-        let mut a = attack.execute(&data, arch, TrainConfig::new(20), 11);
-        let mut b = attack.execute(&data, arch, TrainConfig::new(20), 12);
+        let a = attack.execute(&data, arch, TrainConfig::new(20), 11);
+        let b = attack.execute(&data, arch, TrainConfig::new(20), 12);
         assert!(a.asr() > 0.8 && b.asr() > 0.8, "attacks failed");
         let mut rng = StdRng::seed_from_u64(5);
         let (x, _) = data.clean_subset(32, &mut rng);
-        let uap = targeted_uap(&mut a.model, &x, 2, UapConfig::fast());
-        let out = transfer_uap(&mut b.model, &x, 2, &uap.perturbation, RefineConfig::fast());
+        let uap = targeted_uap(&a.model, &x, 2, UapConfig::fast());
+        let out = transfer_uap(&b.model, &x, 2, &uap.perturbation, RefineConfig::fast());
         assert!(
             out.refined.success_rate > 0.6,
             "transferred refinement failed: {}",

@@ -18,9 +18,9 @@
 //! because poisoning built a shortcut from every class region to the
 //! target.
 
-use crate::deepfool::{deepfool, DeepfoolConfig};
+use crate::deepfool::{deepfool_in, DeepfoolConfig};
 use usb_nn::models::Network;
-use usb_tensor::{Tensor, Workspace};
+use usb_tensor::{Tape, Tensor, Workspace};
 
 /// Hyperparameters for targeted-UAP generation (paper Alg. 1).
 ///
@@ -97,6 +97,12 @@ pub fn targeted_success_rate(model: &Network, images: &Tensor, v: &Tensor, targe
 
 /// [`targeted_success_rate`] drawing all model-pass scratch from `ws`,
 /// reused across the evaluation batches.
+///
+/// The range `0..n` is chunked directly (no index vector) and each chunk
+/// is stamped straight into one workspace-backed batch buffer — per
+/// element `(x + v).clamp(0, 1)`, the same arithmetic the old
+/// per-image `add`/`clamp` tensor chain performed, so predictions are
+/// bit-identical while the loop re-stacks nothing.
 pub fn targeted_success_rate_in(
     model: &Network,
     images: &Tensor,
@@ -104,22 +110,36 @@ pub fn targeted_success_rate_in(
     target: usize,
     ws: &mut Workspace,
 ) -> f64 {
+    const CHUNK: usize = 64;
     let n = images.shape()[0];
     if n == 0 {
         return 0.0;
     }
+    let item = images.len() / n;
+    assert_eq!(v.len(), item, "targeted_success_rate: v shape mismatch");
+    let vd = v.data();
     let mut hits = 0usize;
-    let idx: Vec<usize> = (0..n).collect();
-    for chunk in idx.chunks(64) {
-        let stamped: Vec<Tensor> = chunk
-            .iter()
-            .map(|&i| images.index_axis0(i).add(v).clamp(0.0, 1.0))
-            .collect();
+    let mut start = 0usize;
+    while start < n {
+        let len = CHUNK.min(n - start);
+        let mut batch = ws.take_dirty(len * item);
+        for bi in 0..len {
+            let src = &images.data()[(start + bi) * item..(start + bi + 1) * item];
+            let dst = &mut batch[bi * item..(bi + 1) * item];
+            for ((o, &x), &p) in dst.iter_mut().zip(src).zip(vd) {
+                *o = (x + p).clamp(0.0, 1.0);
+            }
+        }
+        let mut shape = vec![len];
+        shape.extend_from_slice(&images.shape()[1..]);
+        let batch = Tensor::from_vec(batch, &shape);
         hits += model
-            .predict_in(&Tensor::stack(&stamped), ws)
+            .predict_in(&batch, ws)
             .iter()
             .filter(|&&p| p == target)
             .count();
+        ws.recycle(batch);
+        start += len;
     }
     hits as f64 / n as f64
 }
@@ -127,11 +147,16 @@ pub fn targeted_success_rate_in(
 /// Generates a targeted UAP for `target` from the clean data points
 /// `images` (`[N, C, H, W]`, the paper's `X` — a few hundred samples).
 ///
+/// The model is only **read** — forward passes go through the cache-free
+/// inference path and DeepFool gradients through the caller-invisible
+/// gradient tape — so concurrent per-class UAP generations can share one
+/// `&Network`.
+///
 /// # Panics
 ///
 /// Panics if `images` is empty or `target` is out of range.
 pub fn targeted_uap(
-    model: &mut Network,
+    model: &Network,
     images: &Tensor,
     target: usize,
     config: UapConfig,
@@ -145,10 +170,12 @@ pub fn targeted_uap(
     let mut v = Tensor::zeros(&images.shape()[1..]);
     let mut passes = 0usize;
     let mut deepfool_calls = 0usize;
-    // One workspace outlives the whole sweep: the per-sample prediction
-    // below is the hottest forward-only loop of Alg. 1 and shares its
-    // scratch buffers with the success-rate checks across every pass.
+    // One workspace and one gradient tape outlive the whole sweep: the
+    // per-sample prediction below is the hottest forward-only loop of
+    // Alg. 1, the DeepFool steps are its gradient loop, and both reuse
+    // these buffers across every pass.
     let mut ws = Workspace::new();
+    let mut tape = Tape::new();
     let mut success = targeted_success_rate_in(model, images, &v, target, &mut ws);
     while success < config.error_rate && passes < config.max_passes {
         for i in 0..n {
@@ -156,7 +183,14 @@ pub fn targeted_uap(
             let perturbed = xi.add(&v).clamp(0.0, 1.0);
             let pred = model.predict_one_in(&perturbed, &mut ws);
             if pred != target {
-                let dv = deepfool(model, &perturbed, target, config.deepfool);
+                let dv = deepfool_in(
+                    model,
+                    &perturbed,
+                    target,
+                    config.deepfool,
+                    &mut tape,
+                    &mut ws,
+                );
                 deepfool_calls += 1;
                 v.add_assign(&dv);
                 // Project onto the L∞ ball of radius δ (the "update under
@@ -194,10 +228,10 @@ mod tests {
             .with_classes(4)
             .generate(81);
         let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
-        let mut victim = train_clean_victim(&data, arch, TrainConfig::fast(), 2);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 2);
         let mut rng = StdRng::seed_from_u64(0);
         let (x, _) = data.clean_subset(24, &mut rng);
-        let result = targeted_uap(&mut victim.model, &x, 1, UapConfig::default());
+        let result = targeted_uap(&victim.model, &x, 1, UapConfig::default());
         assert!(
             result.success_rate >= 0.6,
             "UAP failed to reach θ: {}",
@@ -218,12 +252,12 @@ mod tests {
             .with_classes(6)
             .generate(91);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
-        let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 4);
+        let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 4);
         assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
         let mut rng = StdRng::seed_from_u64(1);
         let (x, _) = data.clean_subset(24, &mut rng);
-        let to_backdoor = targeted_uap(&mut victim.model, &x, 0, UapConfig::fast());
-        let to_clean = targeted_uap(&mut victim.model, &x, 3, UapConfig::fast());
+        let to_backdoor = targeted_uap(&victim.model, &x, 0, UapConfig::fast());
+        let to_clean = targeted_uap(&victim.model, &x, 3, UapConfig::fast());
         assert!(
             to_backdoor.l1_norm() < to_clean.l1_norm(),
             "backdoor UAP {:.1} should be smaller than clean UAP {:.1}",
@@ -242,8 +276,8 @@ mod tests {
             .with_classes(4)
             .generate(1);
         let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
-        let mut victim = train_clean_victim(&data, arch, TrainConfig::fast(), 1);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 1);
         let empty = Tensor::zeros(&[0, 1, 12, 12]);
-        let _ = targeted_uap(&mut victim.model, &empty, 0, UapConfig::fast());
+        let _ = targeted_uap(&victim.model, &empty, 0, UapConfig::fast());
     }
 }

@@ -29,10 +29,10 @@
 //!
 //! let data = SyntheticSpec::mnist().with_size(16).generate(1);
 //! # let arch = Architecture::new(ModelKind::BasicCnn, (1, 16, 16), 10).with_width(8);
-//! # let mut victim = BadNet::new(2, 0, 0.1).execute(&data, arch, TrainConfig::fast(), 1);
+//! # let victim = BadNet::new(2, 0, 0.1).execute(&data, arch, TrainConfig::fast(), 1);
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let (clean_x, _) = data.clean_subset(64, &mut rng);
-//! let outcome = NeuralCleanse::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+//! let outcome = NeuralCleanse::fast().inspect(&victim.model, &clean_x, &mut rng);
 //! println!("flagged classes: {:?}", outcome.flagged);
 //! ```
 

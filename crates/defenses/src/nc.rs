@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use usb_nn::loss::softmax_cross_entropy_uniform_target;
 use usb_nn::models::Network;
 use usb_nn::optim::TensorAdam;
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{ops, Tape, Tensor, Workspace};
 
 /// Hyperparameters for Neural Cleanse.
 ///
@@ -99,9 +99,11 @@ impl NeuralCleanse {
 
 /// One mask/pattern optimisation shared by NC and TABOR: per step, apply
 /// the trigger to a batch, backprop `CE + λ‖m‖₁ (+ extra regularisers)`,
-/// Adam-update, adapt λ.
+/// Adam-update, adapt λ. The model is only read (gradients through the
+/// tape-backed route), so concurrent per-class optimisations can share
+/// one `&Network`.
 pub(crate) fn optimise_trigger(
-    model: &mut Network,
+    model: &Network,
     images: &Tensor,
     target: usize,
     config: &NcConfig,
@@ -115,6 +117,9 @@ pub(crate) fn optimise_trigger(
     let mut lambda = config.init_lambda;
     let mut cursor = 0usize;
     let mut recent_success;
+    // One tape and workspace reused across all optimisation steps.
+    let mut tape = Tape::new();
+    let mut ws = Workspace::new();
     for step in 0..config.steps {
         // Take a batch of data from X in order (paper Alg. 2 line 3).
         let idx: Vec<usize> = (0..bs).map(|i| (cursor + i) % n).collect();
@@ -122,16 +127,24 @@ pub(crate) fn optimise_trigger(
         let items: Vec<Tensor> = idx.iter().map(|&i| images.index_axis0(i)).collect();
         let batch = Tensor::stack(&items);
         let stamped = var.apply(&batch);
-        let (logits, d_stamped) = model.input_grad(&stamped, |logits| {
-            let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
-            dlogits
-        });
+        let (logits, d_stamped) = model.input_grad_in(
+            &stamped,
+            |logits| {
+                let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
+                dlogits
+            },
+            &mut tape,
+            &mut ws,
+        );
         let hits = ops::argmax_rows(&logits)
             .iter()
             .filter(|&&p| p == target)
             .count();
         recent_success = hits as f64 / bs as f64;
         let (mut d_tm, mut d_tp) = var.backward(&batch, &d_stamped);
+        // Workspace-backed tensors go back for the next step's reuse.
+        ws.recycle(logits);
+        ws.recycle(d_stamped);
         d_tm.add_assign(&var.mask_l1_grad(lambda));
         let (reg_tm, reg_tp) = extra_reg(&var);
         d_tm.add_assign(&reg_tm);
@@ -171,7 +184,7 @@ impl Defense for NeuralCleanse {
 
     fn reverse_class(
         &self,
-        model: &mut Network,
+        model: &Network,
         images: &Tensor,
         target: usize,
         rng: &mut StdRng,
@@ -209,13 +222,13 @@ mod tests {
             .with_classes(4)
             .generate(51);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 4).with_width(4);
-        let mut victim = BadNet::new(2, 1, 0.15).execute(&data, arch, TrainConfig::new(20), 6);
+        let victim = BadNet::new(2, 1, 0.15).execute(&data, arch, TrainConfig::new(20), 6);
         assert!(victim.asr() > 0.8, "attack failed, asr {}", victim.asr());
         let mut rng = StdRng::seed_from_u64(0);
         let (clean_x, _) = data.clean_subset(48, &mut rng);
         let nc = NeuralCleanse::fast();
-        let backdoored = nc.reverse_class(&mut victim.model, &clean_x, 1, &mut rng);
-        let clean = nc.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+        let backdoored = nc.reverse_class(&victim.model, &clean_x, 1, &mut rng);
+        let clean = nc.reverse_class(&victim.model, &clean_x, 0, &mut rng);
         assert!(
             backdoored.l1_norm < clean.l1_norm,
             "backdoored class mask ({:.2}) should be smaller than clean ({:.2})",

@@ -99,7 +99,7 @@ impl Defense for Tabor {
 
     fn reverse_class(
         &self,
-        model: &mut Network,
+        model: &Network,
         images: &Tensor,
         target: usize,
         rng: &mut StdRng,
@@ -175,13 +175,13 @@ mod tests {
             .with_classes(4)
             .generate(61);
         let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 4).with_width(4);
-        let mut victim = BadNet::new(2, 3, 0.15).execute(&data, arch, TrainConfig::new(20), 8);
+        let victim = BadNet::new(2, 3, 0.15).execute(&data, arch, TrainConfig::new(20), 8);
         assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
         let mut rng = StdRng::seed_from_u64(1);
         let (clean_x, _) = data.clean_subset(48, &mut rng);
         let tabor = Tabor::fast();
-        let backdoored = tabor.reverse_class(&mut victim.model, &clean_x, 3, &mut rng);
-        let clean = tabor.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+        let backdoored = tabor.reverse_class(&victim.model, &clean_x, 3, &mut rng);
+        let clean = tabor.reverse_class(&victim.model, &clean_x, 0, &mut rng);
         assert!(
             backdoored.l1_norm < clean.l1_norm,
             "backdoored mask {:.2} should beat clean {:.2}",

@@ -170,6 +170,12 @@ pub fn score_outcome(outcome: &DetectionOutcome, truth: Option<usize>) -> ModelV
 /// `inspect` must reverse-engineer a candidate trigger *per class* and run
 /// the shared outlier test; implementations provide
 /// [`Defense::reverse_class`] and inherit the default `inspect`.
+///
+/// The model is passed by shared reference everywhere: defenses *read*
+/// the victim (forward passes through the cache-free inference path,
+/// gradients through the tape-backed `Network::input_grad_in` route) and
+/// never mutate it, which is what lets parallel engines fan one model out
+/// across worker threads without cloning.
 pub trait Defense {
     /// Name as used in the paper's tables ("NC", "TABOR", "USB").
     fn name(&self) -> &'static str;
@@ -177,7 +183,7 @@ pub trait Defense {
     /// Reverse-engineers a trigger that sends `images` to `target`.
     fn reverse_class(
         &self,
-        model: &mut Network,
+        model: &Network,
         images: &Tensor,
         target: usize,
         rng: &mut StdRng,
@@ -191,7 +197,7 @@ pub trait Defense {
 
     /// Runs [`Defense::reverse_class`] for every class and applies the MAD
     /// outlier test.
-    fn inspect(&self, model: &mut Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
+    fn inspect(&self, model: &Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
         let k = model.num_classes();
         let per_class: Vec<ClassResult> = (0..k)
             .map(|t| self.reverse_class(model, images, t, rng))

@@ -28,7 +28,9 @@ use usb_data::SyntheticSpec;
 use usb_defenses::Defense;
 use usb_eval::figures;
 use usb_eval::grid::{self, DefenseSuite};
-use usb_eval::timing::{format_timing, run_timing, timing_json};
+use usb_eval::timing::{
+    compare_bench_totals, format_timing, parse_bench_totals, report_totals, run_timing, timing_json,
+};
 use usb_eval::{format_table, write_csv};
 use usb_nn::models::{Architecture, ModelKind};
 use usb_nn::train::TrainConfig;
@@ -41,6 +43,7 @@ struct Options {
     out: PathBuf,
     path: Option<PathBuf>,
     seed: u64,
+    compare: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -54,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         out: figures::default_out_dir(),
         path: None,
         seed: 7,
+        compare: None,
     };
     match options.experiment.as_str() {
         "inspect" => {
@@ -82,6 +86,10 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 options.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
             }
+            "--compare" => {
+                let v = args.next().ok_or("--compare needs a baseline path")?;
+                options.compare = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -91,7 +99,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: usb-repro <table1..table7|fig1..fig6|headline|transfer|all> \
      [--models N] [--fast] [--out DIR]\n       \
-     usb-repro timing [--json] [--models N] [--fast] [--out DIR]\n       \
+     usb-repro timing [--json] [--compare BASELINE.json] [--models N] [--fast] [--out DIR]\n       \
      usb-repro save [--out PATH] [--fast] [--seed N]\n       \
      usb-repro inspect <PATH> [--fast] [--seed N]"
         .to_owned()
@@ -168,7 +176,7 @@ fn run_save(options: &Options) -> Result<(), String> {
 
 fn run_inspect(options: &Options) -> Result<(), String> {
     let path = options.path.as_ref().expect("inspect always sets a path");
-    let mut bundle = load_victim(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    let bundle = load_victim(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
     println!(
         "loaded victim: {} / {:?} / {} classes, clean accuracy {:.2}, asr {:.2}",
         bundle.data_spec.name,
@@ -187,7 +195,7 @@ fn run_inspect(options: &Options) -> Result<(), String> {
     } else {
         UsbDetector::new(UsbConfig::standard())
     };
-    let outcome = usb.inspect(&mut bundle.victim.model, &clean_x, &mut rng);
+    let outcome = usb.inspect(&bundle.victim.model, &clean_x, &mut rng);
     println!("per-class reversed-trigger L1 norms:");
     for c in &outcome.per_class {
         println!(
@@ -246,7 +254,9 @@ fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), Stri
             println!("wrote {}", csv.display());
         }
         // `timing` is the machine-facing alias of table7: same harness,
-        // plus `--json` writes the BENCH.json perf-trajectory document.
+        // plus `--json` writes the BENCH.json perf-trajectory document and
+        // `--compare <baseline>` gates per-stage regressions against a
+        // committed baseline (exits non-zero past 25%).
         "table7" | "timing" => {
             let models = options.models.min(3);
             let report = run_timing(models, suite, progress);
@@ -260,6 +270,32 @@ fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), Stri
                 std::fs::write(&path, json)
                     .map_err(|e| format!("writing {}: {e}", path.display()))?;
                 println!("wrote {}", path.display());
+            }
+            if let Some(baseline_path) = &options.compare {
+                /// Regressions beyond this fraction of the baseline fail
+                /// the run (generous: CI machines vary, and the gate is
+                /// after real slowdowns, not scheduler noise).
+                const TOLERANCE: f64 = 0.25;
+                let baseline_json = std::fs::read_to_string(baseline_path)
+                    .map_err(|e| format!("reading baseline {}: {e}", baseline_path.display()))?;
+                let baseline = parse_bench_totals(&baseline_json)
+                    .map_err(|e| format!("parsing baseline {}: {e}", baseline_path.display()))?;
+                let regressions =
+                    compare_bench_totals(&report_totals(&report), &baseline, TOLERANCE);
+                if regressions.is_empty() {
+                    println!(
+                        "timing within {:.0}% of baseline {}",
+                        TOLERANCE * 100.0,
+                        baseline_path.display()
+                    );
+                } else {
+                    return Err(format!(
+                        "per-stage timing regressed past {:.0}% of baseline {}:\n  {}",
+                        TOLERANCE * 100.0,
+                        baseline_path.display(),
+                        regressions.join("\n  ")
+                    ));
+                }
             }
         }
         "fig1" => {

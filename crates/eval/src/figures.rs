@@ -44,8 +44,8 @@ fn cifar_resnet_setup() -> (usb_data::Dataset, Architecture) {
 /// that silently produces no figures is a failed run.
 pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<(String, f64)>> {
     let (data, arch) = cifar_resnet_setup();
-    let mut backdoored = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 1);
-    let mut clean = train_clean_victim(&data, arch, TrainConfig::new(20), 2);
+    let backdoored = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 1);
+    let clean = train_clean_victim(&data, arch, TrainConfig::new(20), 2);
     progress(&format!(
         "[fig1] victims: backdoored asr {:.2}, clean acc {:.2}",
         backdoored.asr(),
@@ -57,11 +57,11 @@ pub fn fig1(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<(S
     let random_var = TriggerVar::random(3, 12, 12, &mut rng);
     let random_pattern = random_var.pattern();
     // (b) / (c) targeted UAPs.
-    let uap_bd = targeted_uap(&mut backdoored.model, &x, 0, UapConfig::default());
-    let uap_clean = targeted_uap(&mut clean.model, &x, 0, UapConfig::default());
+    let uap_bd = targeted_uap(&backdoored.model, &x, 0, UapConfig::default());
+    let uap_clean = targeted_uap(&clean.model, &x, 0, UapConfig::default());
     // (d) NC-optimised pattern on the backdoored model.
     let nc = NeuralCleanse::fast();
-    let nc_result = nc.reverse_class(&mut backdoored.model, &x, 0, &mut rng);
+    let nc_result = nc.reverse_class(&backdoored.model, &x, 0, &mut rng);
     let rows = vec![
         ("random_start".to_owned(), random_pattern.l1_norm() as f64),
         ("uap_backdoored".to_owned(), uap_bd.l1_norm()),
@@ -125,7 +125,7 @@ pub fn fig_reconstructions(
     } else {
         cifar_resnet_setup()
     };
-    let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 3);
+    let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 3);
     progress(&format!("[fig2-4] victim asr {:.2}", victim.asr()));
     let mut rng = StdRng::seed_from_u64(1);
     let (x, _) = data.clean_subset(32, &mut rng);
@@ -150,7 +150,7 @@ pub fn fig_reconstructions(
     let usb = UsbDetector::fast();
     let defenses: [(&str, &dyn Defense); 3] = [("nc", &nc), ("tabor", &tabor), ("usb", &usb)];
     for (name, defense) in defenses {
-        let r = defense.reverse_class(&mut victim.model, &x, 0, &mut rng);
+        let r = defense.reverse_class(&victim.model, &x, 0, &mut rng);
         save_image(
             &out_dir.join(format!("reversed_{name}_pattern.ppm")),
             &r.pattern,
@@ -188,7 +188,7 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<f6
         .generate(779);
     let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 10).with_width(16);
     let target = 1; // the paper's Fig. 5 uses class 1
-    let mut victim = BadNet::new(3, target, 0.15).execute(&data, arch, TrainConfig::new(30), 4);
+    let victim = BadNet::new(3, target, 0.15).execute(&data, arch, TrainConfig::new(30), 4);
     progress(&format!("[fig5] victim asr {:.2}", victim.asr()));
     let mut rng = StdRng::seed_from_u64(2);
     let (x, _) = data.clean_subset(48, &mut rng);
@@ -209,8 +209,8 @@ pub fn fig5(out_dir: &Path, mut progress: impl FnMut(&str)) -> io::Result<Vec<f6
     let refine = RefineConfig::standard().without_mask_constraint();
     let mut norms = Vec::new();
     for t in 0..10 {
-        let uap = targeted_uap(&mut victim.model, &x, t, UapConfig::default());
-        let refined = refine_uap(&mut victim.model, &x, t, &uap.perturbation, refine);
+        let uap = targeted_uap(&victim.model, &x, t, UapConfig::default());
+        let refined = refine_uap(&victim.model, &x, t, &uap.perturbation, refine);
         let v = refined.effective_perturbation();
         save_image(&out_dir.join(format!("fig5_class{t}.ppm")), &v, 0.0, 1.0)?;
         norms.push(v.l1_norm() as f64);
@@ -234,7 +234,7 @@ pub fn fig6(
     mut progress: impl FnMut(&str),
 ) -> io::Result<Vec<(String, usize, f64)>> {
     let (data, arch) = cifar_resnet_setup();
-    let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 5);
+    let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 5);
     progress(&format!("[fig6] victim asr {:.2}", victim.asr()));
     let mut rng = StdRng::seed_from_u64(3);
     let (x, _) = data.clean_subset(32, &mut rng);
@@ -245,7 +245,7 @@ pub fn fig6(
     let mut rows = Vec::new();
     for (name, defense) in defenses {
         for t in 0..data.spec.num_classes {
-            let r = defense.reverse_class(&mut victim.model, &x, t, &mut rng);
+            let r = defense.reverse_class(&victim.model, &x, t, &mut rng);
             save_image(
                 &out_dir.join(format!("fig6_{name}_class{t}.ppm")),
                 &r.pattern,
@@ -264,12 +264,12 @@ pub fn fig6(
 /// paper reports 4.49 vs 53.76). Returns `(target_norm, others_mean)`.
 pub fn headline(mut progress: impl FnMut(&str)) -> (f64, f64) {
     let (data, arch) = cifar_resnet_setup();
-    let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 6);
+    let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 6);
     progress(&format!("[headline] victim asr {:.2}", victim.asr()));
     let mut rng = StdRng::seed_from_u64(4);
     let (x, _) = data.clean_subset(48, &mut rng);
     let usb = UsbDetector::new(UsbConfig::standard());
-    let outcome = usb.inspect(&mut victim.model, &x, &mut rng);
+    let outcome = usb.inspect(&victim.model, &x, &mut rng);
     let target_norm = outcome.per_class[0].l1_norm;
     let others: Vec<f64> = outcome.per_class[1..].iter().map(|c| c.l1_norm).collect();
     let others_mean = others.iter().sum::<f64>() / others.len() as f64;
@@ -291,8 +291,8 @@ pub fn headline(mut progress: impl FnMut(&str)) -> (f64, f64) {
 pub fn transfer(mut progress: impl FnMut(&str)) -> (f64, f64, f64) {
     let (data, arch) = cifar_resnet_setup();
     let attack = BadNet::new(2, 0, 0.15);
-    let mut a = attack.execute(&data, arch, TrainConfig::new(20), 7);
-    let mut b = attack.execute(&data, arch, TrainConfig::new(20), 8);
+    let a = attack.execute(&data, arch, TrainConfig::new(20), 7);
+    let b = attack.execute(&data, arch, TrainConfig::new(20), 8);
     progress(&format!(
         "[transfer] victims: A asr {:.2}, B asr {:.2}",
         a.asr(),
@@ -302,9 +302,9 @@ pub fn transfer(mut progress: impl FnMut(&str)) -> (f64, f64, f64) {
     let (x, _) = data.clean_subset(32, &mut rng);
     // Full pipeline on B.
     let t0 = std::time::Instant::now();
-    let uap_b = targeted_uap(&mut b.model, &x, 0, UapConfig::default());
+    let uap_b = targeted_uap(&b.model, &x, 0, UapConfig::default());
     let _ = refine_uap(
-        &mut b.model,
+        &b.model,
         &x,
         0,
         &uap_b.perturbation,
@@ -312,10 +312,10 @@ pub fn transfer(mut progress: impl FnMut(&str)) -> (f64, f64, f64) {
     );
     let full = t0.elapsed().as_secs_f64();
     // Transfer: UAP from A, refinement only on B.
-    let uap_a = targeted_uap(&mut a.model, &x, 0, UapConfig::default());
+    let uap_a = targeted_uap(&a.model, &x, 0, UapConfig::default());
     let t0 = std::time::Instant::now();
     let out = transfer_uap(
-        &mut b.model,
+        &b.model,
         &x,
         0,
         &uap_a.perturbation,

@@ -206,7 +206,7 @@ fn run_model(
     suite: &DefenseSuite,
     progress: &(impl Fn(&str) + Sync),
 ) -> ModelRun {
-    let mut victim = train_victim(spec, case, seed);
+    let victim = train_victim(spec, case, seed);
     progress(&format!(
         "[{}] case '{}' model {}/{}: acc {:.2} asr {:.2}",
         spec.id,
@@ -224,7 +224,7 @@ fn run_model(
     let mut per_defense = Vec::with_capacity(defenses.len());
     for defense in defenses {
         let t0 = std::time::Instant::now();
-        let outcome = defense.inspect(&mut victim.model, &clean_x, &mut rng);
+        let outcome = defense.inspect(&victim.model, &clean_x, &mut rng);
         let dt = t0.elapsed().as_secs_f64();
         let verdict = score_outcome(&outcome, truth);
         per_defense.push((dt, outcome.reported_l1(), verdict));

@@ -104,7 +104,7 @@ pub fn run_timing(
     ];
     for m in 0..models {
         let seed = 9000 + m as u64;
-        let mut victim = train_victim(&spec, &case, seed);
+        let victim = train_victim(&spec, &case, seed);
         progress(&format!(
             "[table7] model {}/{}: acc {:.2} asr {:.2}",
             m + 1,
@@ -119,7 +119,7 @@ pub fn run_timing(
         for (di, defense) in baselines.iter().enumerate() {
             for t in 0..k {
                 let t0 = std::time::Instant::now();
-                let _ = defense.reverse_class(&mut victim.model, &clean_x, t, &mut rng);
+                let _ = defense.reverse_class(&victim.model, &clean_x, t, &mut rng);
                 rows[di].per_class_seconds[t] += t0.elapsed().as_secs_f64() / models as f64;
             }
             progress(&format!(
@@ -132,10 +132,9 @@ pub fn run_timing(
         // Alg. 1 (UAP) from Alg. 2 (refinement).
         for t in 0..k {
             let t0 = std::time::Instant::now();
-            let (_, stages) =
-                suite
-                    .usb
-                    .reverse_class_timed(&mut victim.model, &clean_x, t, &mut rng);
+            let (_, stages) = suite
+                .usb
+                .reverse_class_timed(&victim.model, &clean_x, t, &mut rng);
             rows[2].per_class_seconds[t] += t0.elapsed().as_secs_f64() / models as f64;
             rows[2].stages[0].per_class_seconds[t] += stages.uap / models as f64;
             rows[2].stages[1].per_class_seconds[t] += stages.refine / models as f64;
@@ -201,6 +200,228 @@ pub fn timing_json(report: &TimingReport, config: &str, models: usize) -> String
         usb_tensor::par::worker_threads(),
         rows.join(",")
     )
+}
+
+/// Per-method totals extracted from a `BENCH.json` document: the unit the
+/// regression gate compares — one total per defense plus one per named
+/// stage (USB's Alg. 1 / Alg. 2 split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchTotals {
+    /// Defense name ("NC", "TABOR", "USB").
+    pub method: String,
+    /// Total seconds across classes.
+    pub total: f64,
+    /// `(stage name, total seconds)` per exposed stage.
+    pub stages: Vec<(String, f64)>,
+}
+
+/// Extracts [`BenchTotals`] from a [`TimingReport`] (the in-memory side of
+/// the comparison — what the current run produced).
+pub fn report_totals(report: &TimingReport) -> Vec<BenchTotals> {
+    report
+        .rows
+        .iter()
+        .map(|row| BenchTotals {
+            method: row.method.to_owned(),
+            total: row.total(),
+            stages: row
+                .stages
+                .iter()
+                .map(|st| (st.stage.to_owned(), st.total()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Parses the per-method / per-stage totals back out of a `BENCH.json`
+/// document produced by [`timing_json`] (the baseline side of the
+/// comparison).
+///
+/// This is a scanner for the fixed field order `timing_json` emits — not a
+/// general JSON parser (the workspace has none); it rejects documents
+/// whose schema line is missing so a foreign file fails loudly instead of
+/// comparing garbage.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_bench_totals(json: &str) -> Result<Vec<BenchTotals>, String> {
+    if !json.contains(r#""schema":"usb-bench/1""#) {
+        return Err("not a usb-bench/1 document (schema field missing)".to_owned());
+    }
+    /// The number following the first occurrence of `key` in `s`.
+    fn number_after(s: &str, key: &str) -> Option<f64> {
+        let start = s.find(key)? + key.len();
+        let rest = &s[start..];
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+    // Split the document into per-method segments.
+    const METHOD: &str = r#"{"method":""#;
+    const STAGE: &str = r#"{"stage":""#;
+    let mut starts = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = json[from..].find(METHOD) {
+        starts.push(from + p);
+        from += p + METHOD.len();
+    }
+    if starts.is_empty() {
+        return Err("no method rows found".to_owned());
+    }
+    let mut out = Vec::new();
+    for (i, &start) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(json.len());
+        let seg = &json[start + METHOD.len()..end];
+        let name_end = seg.find('"').ok_or("unterminated method name")?;
+        let method = seg[..name_end].to_owned();
+        // The row's own total precedes the "stages" array; searching only
+        // up to it keeps stage totals from shadowing the row total.
+        let stages_pos = seg
+            .find(r#""stages":"#)
+            .ok_or_else(|| format!("row {method}: stages field missing"))?;
+        let total = number_after(&seg[..stages_pos], r#""total":"#)
+            .ok_or_else(|| format!("row {method}: bad or missing total"))?;
+        let mut stages = Vec::new();
+        let mut sc = &seg[stages_pos..];
+        while let Some(spos) = sc.find(STAGE) {
+            let s = &sc[spos + STAGE.len()..];
+            let send = s.find('"').ok_or("unterminated stage name")?;
+            let stage = s[..send].to_owned();
+            // The first "total" after the stage name belongs to it (the
+            // per_class_seconds array between them holds no keys).
+            let total_pos = s
+                .find(r#""total":"#)
+                .ok_or_else(|| format!("stage {stage}: total field missing"))?;
+            let stotal = number_after(&s[total_pos..], r#""total":"#)
+                .ok_or_else(|| format!("stage {stage}: bad total"))?;
+            stages.push((stage, stotal));
+            sc = &s[total_pos..];
+        }
+        out.push(BenchTotals {
+            method,
+            total,
+            stages,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares a current run against a baseline, returning one human-readable
+/// line per **regression**: a method or stage whose total exceeds the
+/// (speed-normalised) baseline by more than `tolerance` (e.g. `0.25` =
+/// 25%). Methods or stages absent from the baseline are ignored (new
+/// stages are not regressions); improvements are never reported.
+///
+/// # Machine-speed normalisation
+///
+/// Absolute seconds are not comparable across machines — CI runners vary
+/// by far more than 25% run-to-run, and the baseline is committed from a
+/// developer box. Each entry is therefore gated against its baseline
+/// scaled by a **leave-one-out** speed estimate: the ratio of current to
+/// baseline grand totals over the *other* shared methods, so a
+/// regression in the method under test cannot inflate its own allowance.
+/// With a single shared method there is no "other" to estimate machine
+/// speed from: the un-normalisable method total is skipped (a documented
+/// blind spot, not a silent vacuous pass) and its stages are gated on
+/// their *share of the method total* instead, which is
+/// machine-independent by construction. A *uniform* slowdown — what a
+/// slower machine looks like —
+/// cancels exactly; a regression concentrated in one method or stage
+/// shifts that entry relative to its peers and survives the scaling. The
+/// deliberate blind spot: a change that slows every method by the same
+/// factor is indistinguishable from a slow runner without reference
+/// hardware, and this gate does not claim to catch it.
+pub fn compare_bench_totals(
+    current: &[BenchTotals],
+    baseline: &[BenchTotals],
+    tolerance: f64,
+) -> Vec<String> {
+    // Grand totals over the shared methods only, so a method added or
+    // removed since the baseline cannot skew the speed estimate.
+    let mut cur_sum = 0.0f64;
+    let mut base_sum = 0.0f64;
+    for cur in current {
+        if let Some(base) = baseline.iter().find(|b| b.method == cur.method) {
+            cur_sum += cur.total;
+            base_sum += base.total;
+        }
+    }
+    if base_sum <= 0.0 {
+        return Vec::new(); // no overlap with the baseline: nothing to gate
+    }
+    let mut regressions = Vec::new();
+    fn check(
+        out: &mut Vec<String>,
+        tolerance: f64,
+        label: String,
+        now: f64,
+        then_raw: f64,
+        scale: f64,
+    ) {
+        let then = then_raw * scale;
+        // Sub-10ms baselines are noise at wall-clock resolution.
+        if then > 0.01 && now > then * (1.0 + tolerance) {
+            out.push(format!(
+                "{label}: {now:.3}s vs speed-normalised baseline {then:.3}s \
+                 (+{:.0}%, tolerance {:.0}%, machine scale {scale:.2}x)",
+                (now / then - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.method == cur.method) else {
+            continue;
+        };
+        // Leave-one-out: estimate machine speed from the *other* methods.
+        let (rest_cur, rest_base) = (cur_sum - cur.total, base_sum - base.total);
+        if rest_base > 0.0 {
+            let scale = rest_cur / rest_base;
+            check(
+                &mut regressions,
+                tolerance,
+                cur.method.clone(),
+                cur.total,
+                base.total,
+                scale,
+            );
+            for (stage, now) in &cur.stages {
+                if let Some((_, then)) = base.stages.iter().find(|(s, _)| s == stage) {
+                    check(
+                        &mut regressions,
+                        tolerance,
+                        format!("{}/{stage}", cur.method),
+                        *now,
+                        *then,
+                        scale,
+                    );
+                }
+            }
+        } else if cur.total > 0.0 && base.total > 0.0 {
+            // Sole shared method: the global ratio would make the method
+            // gate vacuous (normalised baseline == current total), so skip
+            // the total and gate each stage's *share of the method*
+            // instead — machine-independent by construction.
+            for (stage, now) in &cur.stages {
+                if let Some((_, then)) = base.stages.iter().find(|(s, _)| s == stage) {
+                    let now_share = now / cur.total;
+                    let then_share = then / base.total;
+                    if *then > 0.01 && now_share > then_share * (1.0 + tolerance) {
+                        regressions.push(format!(
+                            "{}/{stage}: {:.1}% of method vs baseline {:.1}% \
+                             (+{:.0}%, tolerance {:.0}%; sole method — share gate)",
+                            cur.method,
+                            now_share * 100.0,
+                            then_share * 100.0,
+                            (now_share / then_share - 1.0) * 100.0,
+                            tolerance * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    regressions
 }
 
 /// Formats a [`TimingReport`] like the paper's Table 7 (time per class),
@@ -310,5 +531,121 @@ mod tests {
             per_class_seconds: vec![0.25, 0.5, 0.25],
         };
         assert!((row.total() - 1.0).abs() < 1e-12);
+    }
+
+    fn sample_report() -> TimingReport {
+        TimingReport {
+            label: "x (1 models)".to_owned(),
+            rows: vec![
+                TimingRow {
+                    method: "NC",
+                    per_class_seconds: vec![1.0, 2.0],
+                    stages: Vec::new(),
+                },
+                TimingRow {
+                    method: "USB",
+                    per_class_seconds: vec![0.5, 0.25],
+                    stages: vec![
+                        StageRow {
+                            stage: "uap",
+                            per_class_seconds: vec![0.4, 0.1],
+                        },
+                        StageRow {
+                            stage: "refine",
+                            per_class_seconds: vec![0.1, 0.15],
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bench_totals_roundtrip_through_json() {
+        let report = sample_report();
+        let json = timing_json(&report, "fast", 1);
+        let parsed = parse_bench_totals(&json).expect("parse back our own document");
+        assert_eq!(parsed, report_totals(&report));
+        // Spot-check the values survived with full precision.
+        assert_eq!(parsed[1].method, "USB");
+        assert!((parsed[1].total - 0.75).abs() < 1e-9);
+        assert!((parsed[1].stages[0].1 - 0.5).abs() < 1e-9);
+        assert!((parsed[1].stages[1].1 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(parse_bench_totals("{}").is_err());
+        assert!(parse_bench_totals(r#"{"schema":"usb-bench/1"}"#).is_err());
+    }
+
+    #[test]
+    fn sole_method_gates_stage_shares_not_vacuous_totals() {
+        // One shared method: no peers to estimate machine speed from.
+        let base = vec![BenchTotals {
+            method: "USB".to_owned(),
+            total: 1.0,
+            stages: vec![("uap".to_owned(), 0.4), ("refine".to_owned(), 0.6)],
+        }];
+        // Uniformly slower (slower machine): shares unchanged, passes.
+        let slower = vec![BenchTotals {
+            method: "USB".to_owned(),
+            total: 3.0,
+            stages: vec![("uap".to_owned(), 1.2), ("refine".to_owned(), 1.8)],
+        }];
+        assert!(compare_bench_totals(&slower, &base, 0.25).is_empty());
+        // One stage's share ballooning is caught even without peers.
+        let skewed = vec![BenchTotals {
+            method: "USB".to_owned(),
+            total: 2.0,
+            stages: vec![("uap".to_owned(), 1.6), ("refine".to_owned(), 0.4)],
+        }];
+        let lines = compare_bench_totals(&skewed, &base, 0.25);
+        assert!(
+            lines.iter().any(|l| l.starts_with("USB/uap:")),
+            "share gate missed the skew: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base = report_totals(&sample_report());
+        // Identical run: no regressions.
+        assert!(compare_bench_totals(&base, &base, 0.25).is_empty());
+        // Uniformly slower — even 2x — looks like a slower machine and is
+        // cancelled by the speed normalisation, not reported.
+        for factor in [1.2, 2.0] {
+            let mut slower = base.clone();
+            for r in &mut slower {
+                r.total *= factor;
+                for s in &mut r.stages {
+                    s.1 *= factor;
+                }
+            }
+            assert!(
+                compare_bench_totals(&slower, &base, 0.25).is_empty(),
+                "uniform {factor}x must be absorbed as machine speed"
+            );
+        }
+        // One stage 2x slower: exactly that stage (and the method total
+        // it drags past the gate) is reported.
+        let mut regressed = base.clone();
+        regressed[1].stages[1].1 *= 2.0;
+        regressed[1].total = regressed[1].stages[0].1 + regressed[1].stages[1].1;
+        let lines = compare_bench_totals(&regressed, &base, 0.25);
+        assert!(
+            lines.iter().any(|l| l.starts_with("USB/refine:")),
+            "missing stage regression: {lines:?}"
+        );
+        assert!(lines.iter().all(|l| !l.starts_with("NC")));
+        // Faster runs are never regressions.
+        let mut faster = base.clone();
+        for r in &mut faster {
+            r.total *= 0.5;
+            for s in &mut r.stages {
+                s.1 *= 0.5;
+            }
+        }
+        assert!(compare_bench_totals(&faster, &base, 0.25).is_empty());
     }
 }

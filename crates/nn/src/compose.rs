@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, ParamSlot};
 use crate::layers::{Linear, ReLU, Sigmoid};
 use rand::Rng;
-use usb_tensor::{pool, Tensor, Workspace};
+use usb_tensor::{pool, Tape, Tensor, Workspace};
 
 /// An ordered stack of layers applied one after another.
 ///
@@ -80,6 +80,43 @@ impl Layer for Sequential {
         })
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Same intermediate-recycling walk as `infer`; each sub-layer
+        // pushes its own frames in stack order.
+        let mut cur: Option<Tensor> = None;
+        for layer in &self.layers {
+            let next = layer.infer_recording(cur.as_ref().unwrap_or(x), tape, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| {
+            let mut out = ws.take_dirty(x.len());
+            out.copy_from_slice(x.data());
+            Tensor::from_vec(out, x.shape())
+        })
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Reverse walk pops each sub-layer's frames in exactly the reverse
+        // of the recording order — strict stack discipline.
+        let mut cur: Option<Tensor> = None;
+        for layer in self.layers.iter().rev() {
+            let next = layer.grad(cur.as_ref().unwrap_or(grad_out), tape, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| {
+            // Empty stack: the identity, as in `input_backward`.
+            let mut out = ws.take_dirty(grad_out.len());
+            out.copy_from_slice(grad_out.data());
+            Tensor::from_vec(out, grad_out.shape())
+        })
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut cur = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -92,6 +129,10 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_params(f);
         }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
     }
 
     fn name(&self) -> &'static str {
@@ -201,9 +242,59 @@ impl Layer for Residual {
         main
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Record main first, then shortcut — the same branch order as
+        // `infer`, so `grad` pops shortcut frames first.
+        let mut main = self.main.infer_recording(x, tape, ws);
+        if self.shortcut.is_empty() {
+            assert_eq!(
+                main.shape(),
+                x.shape(),
+                "Residual: branch shapes {:?} vs {:?} — use a projection shortcut",
+                main.shape(),
+                x.shape()
+            );
+            main.add_assign(x);
+        } else {
+            let skip = self.shortcut.infer_recording(x, tape, ws);
+            assert_eq!(
+                main.shape(),
+                skip.shape(),
+                "Residual: branch shapes {:?} vs {:?} — use a projection shortcut",
+                main.shape(),
+                skip.shape()
+            );
+            main.add_assign(&skip);
+            ws.recycle(skip);
+        }
+        main
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // The shortcut recorded last, so its frames pop first. The two
+        // branch gradients are independent functions of `grad_out`, and the
+        // final sum is `main + skip` exactly as in `input_backward`, so the
+        // reordered evaluation is bit-identical.
+        if self.shortcut.is_empty() {
+            let mut g_main = self.main.grad(grad_out, tape, ws);
+            g_main.add_assign(grad_out);
+            g_main
+        } else {
+            let g_skip = self.shortcut.grad(grad_out, tape, ws);
+            let mut g_main = self.main.grad(grad_out, tape, ws);
+            g_main.add_assign(&g_skip);
+            ws.recycle(g_skip);
+            g_main
+        }
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         self.main.visit_params(f);
         self.shortcut.visit_params(f);
+    }
+
+    fn param_count(&self) -> usize {
+        self.main.param_count() + self.shortcut.param_count()
     }
 
     fn name(&self) -> &'static str {
@@ -395,9 +486,97 @@ impl Layer for SqueezeExcite {
         Tensor::from_vec(y, x.shape())
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.ndim(), 4, "SqueezeExcite: input must be [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let squeezed = pool::global_avg_pool_forward_ws(x, ws); // [N, C]
+        let z1 = self.fc1.infer_recording(&squeezed, tape, ws);
+        ws.recycle(squeezed);
+        let z2 = self.relu.infer_recording(&z1, tape, ws);
+        ws.recycle(z1);
+        let z3 = self.fc2.infer_recording(&z2, tape, ws);
+        ws.recycle(z2);
+        let gate = self.sigmoid.infer_recording(&z3, tape, ws); // [N, C]
+        ws.recycle(z3);
+        // The block's own frame — the `SeCache` equivalent: input in
+        // `vals`, gate in `extra`, shape in `aux` — pushes *after* the
+        // sub-layers so it pops first in `grad`.
+        let frame = tape.push();
+        frame.vals.extend_from_slice(x.data());
+        frame.extra.extend_from_slice(gate.data());
+        frame.aux.extend_from_slice(x.shape());
+        let mut y = ws.take_dirty(x.len());
+        let plane = h * w;
+        for i in 0..n {
+            for ch in 0..c {
+                let g = gate.data()[i * c + ch];
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    y[base + j] = x.data()[base + j] * g;
+                }
+            }
+        }
+        ws.recycle(gate);
+        Tensor::from_vec(y, x.shape())
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Same two gradient paths as `input_backward`, reading the input
+        // and gate from the block's frame instead of `self.cache`.
+        let frame = tape.pop();
+        let (n, c, h, w) = (frame.aux[0], frame.aux[1], frame.aux[2], frame.aux[3]);
+        let plane = h * w;
+        assert_eq!(
+            grad_out.len(),
+            n * c * plane,
+            "SqueezeExcite: grad length does not match the recorded frame"
+        );
+        let mut gi = ws.take_dirty(grad_out.len());
+        let mut d_gate = ws.take_dirty(n * c);
+        for i in 0..n {
+            for ch in 0..c {
+                let g = frame.extra[i * c + ch];
+                let base = (i * c + ch) * plane;
+                let mut acc = 0.0f32;
+                for j in 0..plane {
+                    let go = grad_out.data()[base + j];
+                    gi[base + j] = go * g;
+                    acc += go * frame.vals[base + j];
+                }
+                d_gate[i * c + ch] = acc;
+            }
+        }
+        // The frame's last read was the loop above; recycle it *before*
+        // descending so frames return to the spare pool in pop order —
+        // the invariant that rebinds each buffer to the same traversal
+        // position on the next recording.
+        tape.recycle(frame);
+        let d_gate = Tensor::from_vec(d_gate, &[n, c]);
+        // Descend the gate path; sub-layer frames pop in reverse recording
+        // order: sigmoid, fc2, relu, fc1.
+        let d = self.sigmoid.grad(&d_gate, tape, ws);
+        ws.recycle(d_gate);
+        let d2 = self.fc2.grad(&d, tape, ws);
+        ws.recycle(d);
+        let d3 = self.relu.grad(&d2, tape, ws);
+        ws.recycle(d2);
+        let d4 = self.fc1.grad(&d3, tape, ws); // [N, C]
+        ws.recycle(d3);
+        let d_squeeze = pool::global_avg_pool_backward_ws(&d4, h, w, ws);
+        ws.recycle(d4);
+        let mut gi = Tensor::from_vec(gi, &[n, c, h, w]);
+        gi.add_assign(&d_squeeze);
+        ws.recycle(d_squeeze);
+        gi
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         self.fc1.visit_params(f);
         self.fc2.visit_params(f);
+    }
+
+    fn param_count(&self) -> usize {
+        self.fc1.param_count() + self.fc2.param_count()
     }
 
     fn name(&self) -> &'static str {

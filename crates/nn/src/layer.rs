@@ -1,7 +1,9 @@
 //! The [`Layer`] trait: forward caching, backward gradients, parameter
-//! visitation, and the cache-free [`Layer::infer`] path.
+//! visitation, the cache-free [`Layer::infer`] path, and the read-only
+//! tape-backed gradient route ([`Layer::infer_recording`] /
+//! [`Layer::grad`]).
 
-use usb_tensor::{Tensor, Workspace};
+use usb_tensor::{Tape, Tensor, Workspace};
 
 /// Whether a forward pass runs in training mode (batch statistics, caches
 /// for backward) or evaluation mode (running statistics).
@@ -99,8 +101,51 @@ pub trait Layer: Send + Sync {
     ///   no longer need the returned tensor can hand it back via
     ///   [`Workspace::recycle`].
     /// * `backward` after `infer` is **not** supported — gradients need the
-    ///   caches only `forward` populates.
+    ///   caches only `forward` populates. For a read-only gradient, use
+    ///   [`Layer::infer_recording`] + [`Layer::grad`] instead.
     fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor;
+
+    /// [`Layer::infer`] that additionally records this layer's backward
+    /// state — what `forward` would have stashed in `cached_input` and
+    /// friends — as a frame on the caller-owned `tape`.
+    ///
+    /// # Contract
+    ///
+    /// * Output values are **bit-identical** to [`Layer::infer`] (and
+    ///   therefore to an eval-mode [`Layer::forward`]): implementations go
+    ///   through the same kernels, recording is a pure side channel.
+    /// * Takes `&self`, like `infer`: the model is only read, so one model
+    ///   can be shared by reference across threads, each worker bringing
+    ///   its own tape and workspace.
+    /// * Composites recurse in a fixed order and leaves push exactly the
+    ///   frames their own [`Layer::grad`] pops — strict stack discipline,
+    ///   so `grad` must be called with the tape exactly as this call left
+    ///   it.
+    /// * Frames reuse tape buffers: after one warm-up record→grad cycle at
+    ///   a given geometry, repeat cycles allocate nothing.
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor;
+
+    /// Propagates `grad_out = dL/d output` backwards through the state
+    /// recorded by the **most recent** [`Layer::infer_recording`] on
+    /// `tape`, returning `dL/d input` — the read-only counterpart of
+    /// [`Layer::input_backward`].
+    ///
+    /// # Contract
+    ///
+    /// * The returned input gradient is **bit-identical** to what
+    ///   [`Layer::input_backward`] returns after an eval-mode `forward`
+    ///   with the same input: both run the same kernels in the same order,
+    ///   only the location of the recorded state differs.
+    /// * Parameter gradients are never touched (there is nowhere to
+    ///   accumulate them through `&self`).
+    /// * Pops exactly the frames `infer_recording` pushed and recycles
+    ///   them, leaving the tape ready for the next recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `infer_recording` (empty tape)
+    /// or with a gradient whose shape does not match the recorded output.
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor;
 
     /// Visits every `(parameter, gradient)` pair owned by this layer (and
     /// recursively by sub-layers), in a deterministic order.
@@ -114,12 +159,17 @@ pub trait Layer: Send + Sync {
     /// Human-readable layer name for debugging.
     fn name(&self) -> &'static str;
 
-    /// Total number of scalar parameters (for reporting).
-    fn param_count(&mut self) -> usize {
-        let mut n = 0;
-        self.visit_params(&mut |slot| n += slot.value.len());
-        n
-    }
+    /// Total number of scalar parameters (for reporting). Takes `&self` —
+    /// it only reads shapes.
+    ///
+    /// Deliberately has **no default**: parameter visitation is `&mut`
+    /// (it hands out gradient slots), so a correct shared-reference count
+    /// must be written per layer — parameter-free layers return `0`,
+    /// composites sum their children — and a forgotten implementation is
+    /// a compile error rather than a silent zero. The equivalence test
+    /// suite cross-checks the implementations against a
+    /// [`Layer::visit_params`] sweep for the whole model zoo.
+    fn param_count(&self) -> usize;
 
     /// Clones this layer behind a fresh box. Clones carry all *persistent*
     /// state — parameters, gradients, running statistics — but start with
@@ -208,8 +258,20 @@ mod tests {
         fn infer(&self, x: &Tensor, _ws: &mut Workspace) -> Tensor {
             x.scale(self.w.value.data()[0])
         }
+        fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+            let _ = tape.push();
+            self.infer(x, ws)
+        }
+        fn grad(&self, grad_out: &Tensor, tape: &mut Tape, _ws: &mut Workspace) -> Tensor {
+            let frame = tape.pop();
+            tape.recycle(frame);
+            grad_out.scale(self.w.value.data()[0])
+        }
         fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
             f(self.w.slot());
+        }
+        fn param_count(&self) -> usize {
+            self.w.value.len()
         }
         fn name(&self) -> &'static str {
             "dummy"

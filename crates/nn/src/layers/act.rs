@@ -1,7 +1,7 @@
 //! Activation layers: ReLU, Sigmoid, SiLU (swish).
 
 use crate::layer::{Layer, Mode, ParamSlot};
-use usb_tensor::{Tensor, Workspace};
+use usb_tensor::{Tape, Tensor, Workspace};
 
 /// Elementwise map into a workspace buffer: the allocation-free counterpart
 /// of [`Tensor::map`], applying the *same* scalar function so the results
@@ -12,6 +12,28 @@ fn map_into(x: &Tensor, ws: &mut Workspace, f: impl Fn(f32) -> f32) -> Tensor {
         *o = f(v);
     }
     Tensor::from_vec(out, x.shape())
+}
+
+/// Elementwise two-input map into a workspace buffer: the tape-route
+/// counterpart of [`Tensor::zip_map`] over `(grad, recorded activation)`
+/// pairs, applying the *same* scalar function as the layer's `backward`
+/// so gradients are bit-identical.
+fn zip_grad_into(
+    grad_out: &Tensor,
+    recorded: &[f32],
+    ws: &mut Workspace,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        recorded.len(),
+        "activation grad: grad length does not match the recorded frame"
+    );
+    let mut out = ws.take_dirty(grad_out.len());
+    for ((o, &g), &v) in out.iter_mut().zip(grad_out.data()).zip(recorded) {
+        *o = f(g, v);
+    }
+    Tensor::from_vec(out, grad_out.shape())
 }
 
 /// Rectified linear unit `max(0, x)`.
@@ -53,7 +75,35 @@ impl Layer for ReLU {
         map_into(x, ws, |v| v.max(0.0))
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        tape.push().vals.extend_from_slice(x.data());
+        map_into(x, ws, |v| v.max(0.0))
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        // Same scalar gate as `backward`'s zip_map, over the recorded input.
+        let gi = zip_grad_into(
+            grad_out,
+            &frame.vals,
+            ws,
+            |g, xv| {
+                if xv > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            },
+        );
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "relu"
@@ -114,7 +164,25 @@ impl Layer for Sigmoid {
         map_into(x, ws, sigmoid_scalar)
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Like `forward`, the *output* is what the gradient needs.
+        let y = map_into(x, ws, sigmoid_scalar);
+        tape.push().vals.extend_from_slice(y.data());
+        y
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        let gi = zip_grad_into(grad_out, &frame.vals, ws, |g, s| g * s * (1.0 - s));
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "sigmoid"
@@ -168,7 +236,26 @@ impl Layer for SiLU {
         map_into(x, ws, |v| v * sigmoid_scalar(v))
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        tape.push().vals.extend_from_slice(x.data());
+        map_into(x, ws, |v| v * sigmoid_scalar(v))
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        let gi = zip_grad_into(grad_out, &frame.vals, ws, |g, v| {
+            let s = sigmoid_scalar(v);
+            g * (s + v * s * (1.0 - s))
+        });
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "silu"

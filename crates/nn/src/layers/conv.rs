@@ -4,9 +4,9 @@ use crate::layer::{Layer, Mode, Param, ParamSlot};
 use rand::Rng;
 use usb_tensor::conv::{
     conv2d_backward_ws, conv2d_forward_ws, conv2d_input_backward_ws, depthwise_backward,
-    depthwise_forward_ws, depthwise_input_backward, ConvSpec,
+    depthwise_forward_ws, depthwise_input_backward, depthwise_input_backward_ws, ConvSpec,
 };
-use usb_tensor::{init, Tensor, Workspace};
+use usb_tensor::{init, Tape, Tensor, Workspace};
 
 /// A 2-D convolution `[N, IC, H, W] -> [N, OC, OH, OW]`.
 ///
@@ -132,11 +132,36 @@ impl Layer for Conv2d {
         )
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // dL/dx depends only on the weight; the frame records just the
+        // input shape — the geometry the `input_backward` route reads off
+        // its cached input.
+        tape.push().aux.extend_from_slice(x.shape());
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        assert_eq!(
+            grad_out.shape()[0],
+            frame.aux[0],
+            "Conv2d: grad_out batch dim mismatch"
+        );
+        let (h, w) = (frame.aux[2], frame.aux[3]);
+        let gi = conv2d_input_backward_ws(&self.weight.value, grad_out, h, w, self.spec, ws);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         f(self.weight.slot());
         if let Some(b) = self.bias.as_mut() {
             f(b.slot());
         }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.as_ref().map_or(0, |b| b.value.len())
     }
 
     fn name(&self) -> &'static str {
@@ -237,6 +262,24 @@ impl Layer for DepthwiseConv2d {
         )
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        tape.push().aux.extend_from_slice(x.shape());
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        assert_eq!(
+            grad_out.shape()[0],
+            frame.aux[0],
+            "DepthwiseConv2d: grad_out batch dim mismatch"
+        );
+        let (h, w) = (frame.aux[2], frame.aux[3]);
+        let gi = depthwise_input_backward_ws(&self.weight.value, grad_out, h, w, self.spec, ws);
+        tape.recycle(frame);
+        gi
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self
             .cached_input
@@ -255,6 +298,10 @@ impl Layer for DepthwiseConv2d {
         if let Some(b) = self.bias.as_mut() {
             f(b.slot());
         }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.as_ref().map_or(0, |b| b.value.len())
     }
 
     fn name(&self) -> &'static str {

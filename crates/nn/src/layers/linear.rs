@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param, ParamSlot};
 use rand::Rng;
-use usb_tensor::{init, ops, Tensor, Workspace};
+use usb_tensor::{init, ops, Tape, Tensor, Workspace};
 
 /// A dense layer `y = x Wᵀ + b` mapping `[N, in] -> [N, out]`.
 pub struct Linear {
@@ -140,9 +140,44 @@ impl Layer for Linear {
         Tensor::from_vec(y, &[n, out])
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // The input gradient `g W` needs no activations — only the batch
+        // size for the shape check `input_backward` also performs.
+        tape.push().aux.extend_from_slice(x.shape());
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        assert_eq!(
+            grad_out.shape()[0],
+            frame.aux[0],
+            "Linear: grad_out batch dim mismatch"
+        );
+        let (n, out, inf) = (grad_out.shape()[0], self.out_features(), self.in_features());
+        assert_eq!(grad_out.shape()[1], out, "Linear: grad_out width mismatch");
+        // dL/dx = g W — the same GEMM kernel `input_backward`'s
+        // `ops::matmul` wraps, so bit-identical.
+        let mut gi = ws.take_dirty(n * inf);
+        ops::matmul_into(
+            grad_out.data(),
+            self.weight.value.data(),
+            n,
+            out,
+            inf,
+            &mut gi,
+        );
+        tape.recycle(frame);
+        Tensor::from_vec(gi, &[n, inf])
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         f(self.weight.slot());
         f(self.bias.slot());
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
     }
 
     fn name(&self) -> &'static str {
@@ -194,7 +229,31 @@ impl Layer for Flatten {
         Tensor::from_vec(out, &[n, x.len() / n])
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        tape.push().aux.extend_from_slice(x.shape());
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        assert_eq!(
+            grad_out.len(),
+            frame.aux.iter().product::<usize>(),
+            "Flatten: grad length does not match the recorded shape"
+        );
+        // Restore the recorded shape — a copy, as `backward`'s reshape is.
+        let mut out = ws.take_dirty(grad_out.len());
+        out.copy_from_slice(grad_out.data());
+        let gi = Tensor::from_vec(out, &frame.aux);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "flatten"

@@ -1,7 +1,7 @@
 //! Batch normalisation over `[N, C, H, W]` activations.
 
 use crate::layer::{Layer, Mode, Param, ParamSlot};
-use usb_tensor::{Tensor, Workspace};
+use usb_tensor::{Tape, Tensor, Workspace};
 
 /// 2-D batch normalisation with learned affine parameters and running
 /// statistics.
@@ -294,9 +294,50 @@ impl Layer for BatchNorm2d {
         Tensor::from_vec(out, x.shape())
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // Eval-mode batch norm is a frozen affine map: its input gradient
+        // needs only the running statistics (read from `&self`) and the
+        // shape — no activation copy.
+        tape.push().aux.extend_from_slice(x.shape());
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        assert_eq!(
+            grad_out.shape(),
+            &frame.aux[..],
+            "BatchNorm2d: grad shape mismatch"
+        );
+        let (n, c, plane) = (frame.aux[0], frame.aux[1], frame.aux[2] * frame.aux[3]);
+        let mut gi = ws.take_dirty(grad_out.len());
+        let god = grad_out.data();
+        for ch in 0..c {
+            // `istd` recomputed from the running statistics with the same
+            // arithmetic the eval forward used, so `k` — and the gradient —
+            // is bit-identical to `input_backward`'s eval branch.
+            let var = self.running_var.data()[ch];
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let k = self.gamma.value.data()[ch] * istd;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    gi[base + j] = k * god[base + j];
+                }
+            }
+        }
+        let gi = Tensor::from_vec(gi, &frame.aux);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         f(self.gamma.slot());
         f(self.beta.slot());
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.value.len() + self.beta.value.len()
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! Pooling layers wrapping the kernels in [`usb_tensor::pool`].
 
 use crate::layer::{Layer, Mode, ParamSlot};
-use usb_tensor::{pool, Tensor, Workspace};
+use usb_tensor::{pool, Tape, Tensor, Workspace};
 
 /// Average pooling over `k x k` windows with the given stride.
 #[derive(Clone)]
@@ -42,7 +42,26 @@ impl Layer for AvgPool2d {
         pool::avg_pool2d_forward_ws(x, self.k, self.stride, ws)
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.push();
+        frame.aux.push(x.shape()[2]);
+        frame.aux.push(x.shape()[3]);
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        let (h, w) = (frame.aux[0], frame.aux[1]);
+        let gi = pool::avg_pool2d_backward_ws(grad_out, h, w, self.k, self.stride, ws);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "avg_pool2d"
@@ -109,7 +128,32 @@ impl Layer for MaxPool2d {
         pool::max_pool2d_infer(x, self.k, self.stride, ws)
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        // The gradient routes through the argmax table, so the recording
+        // scan computes it — the same comparisons as `forward`, so values
+        // *and* routing are bit-identical. The frame stores the argmax
+        // indices followed by the input shape.
+        let frame = tape.push();
+        let mut arg = std::mem::take(&mut frame.aux); // reuse frame capacity
+        let y = pool::max_pool2d_forward_rec(x, self.k, self.stride, ws, &mut arg);
+        arg.extend_from_slice(x.shape());
+        frame.aux = arg;
+        y
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        let (argmax, shape) = frame.aux.split_at(frame.aux.len() - 4);
+        let gi = pool::max_pool2d_backward_ws(grad_out, argmax, shape, ws);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "max_pool2d"
@@ -150,7 +194,26 @@ impl Layer for GlobalAvgPool {
         pool::global_avg_pool_forward_ws(x, ws)
     }
 
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.push();
+        frame.aux.push(x.shape()[2]);
+        frame.aux.push(x.shape()[3]);
+        self.infer(x, ws)
+    }
+
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let frame = tape.pop();
+        let (h, w) = (frame.aux[0], frame.aux[1]);
+        let gi = pool::global_avg_pool_backward_ws(grad_out, h, w, ws);
+        tape.recycle(frame);
+        gi
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamSlot<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0 // no parameters
+    }
 
     fn name(&self) -> &'static str {
         "global_avg_pool"

@@ -18,7 +18,8 @@ use crate::layers::{
     ReLU, SiLU,
 };
 use rand::Rng;
-use usb_tensor::{ops, Tensor, Workspace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use usb_tensor::{ops, Tape, Tensor, Workspace};
 
 /// Which of the paper's architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,19 +125,47 @@ impl Architecture {
 /// ([`Network::penultimate`]) and lets defenses backpropagate all the way to
 /// the *input* (see [`Layer::backward`] on the composite).
 ///
-/// Networks are `Clone`: stages that backpropagate (DeepFool, trigger
-/// refinement) mutate layer caches, so the parallel inspection engine
-/// clones the victim once per worker thread for them. Forward-only work
-/// does **not** need a clone: [`Network::infer`] and the `predict` family
-/// take `&self`, so one victim can be shared by reference across threads,
-/// each worker bringing its own [`Workspace`].
-#[derive(Clone)]
+/// Networks are `Clone` (the optimizer path still mutates), but the whole
+/// detection pipeline no longer needs clones: forward-only work goes
+/// through [`Network::infer`] and the `predict` family, and *gradients*
+/// go through [`Network::input_grad_in`], whose backward state lives in a
+/// caller-owned [`Tape`] instead of the layers. Both take `&self`, so one
+/// victim is shared by reference across every worker thread, each worker
+/// bringing its own tape and [`Workspace`].
 pub struct Network {
     /// Everything up to (and including) the penultimate representation.
     pub features: Sequential,
     /// The final linear head mapping features to logits.
     pub classifier: Sequential,
     arch: Architecture,
+}
+
+/// Process-wide count of [`Network`] clones, incremented by every
+/// `Network::clone`.
+static NETWORK_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide number of [`Network`] clones made so far.
+///
+/// A diagnostic counter for the shared-nothing scaling contract: the
+/// parallel inspection engine fans per-class workers out over one
+/// `&Network`, and the determinism suite pins "inspect spawns **zero**
+/// model clones" by sampling this counter around an inspection. (Relaxed
+/// ordering — the counter is a test probe, not a synchronisation point.)
+pub fn network_clone_count() -> usize {
+    NETWORK_CLONES.load(Ordering::Relaxed)
+}
+
+impl Clone for Network {
+    /// Clones parameters and topology (layer clones drop transient caches;
+    /// see [`Layer::clone_box`]) and bumps [`network_clone_count`].
+    fn clone(&self) -> Self {
+        NETWORK_CLONES.fetch_add(1, Ordering::Relaxed);
+        Network {
+            features: self.features.clone(),
+            classifier: self.classifier.clone(),
+            arch: self.arch,
+        }
+    }
 }
 
 impl Network {
@@ -198,8 +227,8 @@ impl Network {
         self.classifier.zero_grad();
     }
 
-    /// Total number of scalar parameters.
-    pub fn param_count(&mut self) -> usize {
+    /// Total number of scalar parameters. `&self` — it only visits shapes.
+    pub fn param_count(&self) -> usize {
         self.features.param_count() + self.classifier.param_count()
     }
 
@@ -278,6 +307,12 @@ impl Network {
     /// on this path, they are a side effect the input-space defenses never
     /// want — and returns `dL/dx`. Parameter gradients are left zeroed, as
     /// they always were.
+    ///
+    /// This is the legacy `&mut` route (backward state cached inside the
+    /// layers). The detection pipeline uses [`Network::input_grad_in`],
+    /// which computes the **bit-identical** gradient through a caller-owned
+    /// [`Tape`] with the model only read; this method remains as the
+    /// reference the equivalence suite checks the tape route against.
     pub fn input_grad(
         &mut self,
         x: &Tensor,
@@ -290,6 +325,70 @@ impl Network {
         // guaranteed zeroed parameter gradients on return even if the
         // caller left stale ones behind — keep that contract.
         self.zero_grad();
+        (logits, gi)
+    }
+
+    /// Read-only inference that records backward state on `tape`: the
+    /// bit-identical logits of [`Network::infer`] (and therefore of an
+    /// eval-mode forward), with every layer's gradient prerequisites
+    /// captured as tape frames instead of written into the model. Follow
+    /// with [`Network::grad`] on the same tape. See
+    /// [`Layer::infer_recording`] for the full contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the architecture.
+    pub fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let (c, h, w) = self.arch.input;
+        assert_eq!(
+            &x.shape()[1..],
+            &[c, h, w],
+            "Network: expected input [N,{c},{h},{w}], got {:?}",
+            x.shape()
+        );
+        let feats = self.features.infer_recording(x, tape, ws);
+        let logits = self.classifier.infer_recording(&feats, tape, ws);
+        ws.recycle(feats);
+        logits
+    }
+
+    /// Backward pass from `dL/dlogits` to `dL/dinput` over the state the
+    /// most recent [`Network::infer_recording`] left on `tape` — the
+    /// read-only counterpart of [`Network::input_backward`], bit-identical
+    /// to it (see [`Layer::grad`]). Parameter gradients are never touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a matching `infer_recording` on the tape.
+    pub fn grad(&self, grad_logits: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        let g_feat = self.classifier.grad(grad_logits, tape, ws);
+        let gi = self.features.grad(&g_feat, tape, ws);
+        ws.recycle(g_feat);
+        gi
+    }
+
+    /// [`Network::input_grad`] through the read-only tape route: one
+    /// recorded inference plus one tape backward, drawing all scratch from
+    /// `tape`/`ws` (both fully reused across calls — a warm DeepFool loop
+    /// allocates nothing here).
+    ///
+    /// Takes `&self`: the model is never written, so **one network can
+    /// serve concurrent gradient computations on every worker thread**,
+    /// each worker holding its own tape and workspace. Logits and `dL/dx`
+    /// are bit-identical to the legacy `&mut` [`Network::input_grad`], and
+    /// parameter gradients are trivially untouched (there is no mutable
+    /// access to touch them with).
+    pub fn input_grad_in(
+        &self,
+        x: &Tensor,
+        grad_of: impl FnOnce(&Tensor) -> Tensor,
+        tape: &mut Tape,
+        ws: &mut Workspace,
+    ) -> (Tensor, Tensor) {
+        tape.begin();
+        let logits = self.infer_recording(x, tape, ws);
+        let g = grad_of(&logits);
+        let gi = self.grad(&g, tape, ws);
         (logits, gi)
     }
 }
@@ -307,9 +406,18 @@ impl Layer for Network {
     fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         Network::infer(self, x, ws)
     }
+    fn infer_recording(&self, x: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        Network::infer_recording(self, x, tape, ws)
+    }
+    fn grad(&self, grad_out: &Tensor, tape: &mut Tape, ws: &mut Workspace) -> Tensor {
+        Network::grad(self, grad_out, tape, ws)
+    }
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
         self.features.visit_params(f);
         self.classifier.visit_params(f);
+    }
+    fn param_count(&self) -> usize {
+        Network::param_count(self)
     }
     fn name(&self) -> &'static str {
         "network"

@@ -248,8 +248,30 @@ mod tests {
         fn infer(&self, _x: &Tensor, _ws: &mut usb_tensor::Workspace) -> Tensor {
             Tensor::from_vec(vec![self.w.value.data()[0] * self.x], &[1])
         }
+        fn infer_recording(
+            &self,
+            x: &Tensor,
+            tape: &mut usb_tensor::Tape,
+            ws: &mut usb_tensor::Workspace,
+        ) -> Tensor {
+            let _ = tape.push();
+            self.infer(x, ws)
+        }
+        fn grad(
+            &self,
+            grad_out: &Tensor,
+            tape: &mut usb_tensor::Tape,
+            _ws: &mut usb_tensor::Workspace,
+        ) -> Tensor {
+            let frame = tape.pop();
+            tape.recycle(frame);
+            grad_out.clone()
+        }
         fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
             f(self.w.slot());
+        }
+        fn param_count(&self) -> usize {
+            self.w.value.len()
         }
         fn name(&self) -> &'static str {
             "scalar"

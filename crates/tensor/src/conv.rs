@@ -215,6 +215,11 @@ pub fn col2im_into(
 /// tuple (same `matmul_transa_into` + [`col2im_into`] calls in the same
 /// per-image order); `h`/`w` are the spatial dims of the forward input.
 ///
+/// The returned gradient is built from a workspace buffer ([`col2im_into`]
+/// fully overwrites each per-image slice, so a dirty checkout is safe);
+/// callers on the hot path hand it back via [`Workspace::recycle`] to keep
+/// the steady state allocation-free.
+///
 /// # Panics
 ///
 /// Panics on rank or shape mismatches.
@@ -238,22 +243,26 @@ pub fn conv2d_input_backward_ws(
     let cols = oh * ow;
     let wd = weight.data(); // [OC, IC·KH·KW] row-major, no reshape copy
     let god = grad_out.data();
-    let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
+    let mut grad_input = ws.take_dirty(n * ic * h * w);
     let mut grad_cols = ws.take_dirty(rows * cols);
     for i in 0..n {
         let go = &god[i * oc * cols..(i + 1) * oc * cols];
         ops::matmul_transa_into(wd, go, rows, oc, cols, &mut grad_cols);
-        let gi = &mut grad_input.data_mut()[i * ic * h * w..(i + 1) * ic * h * w];
+        let gi = &mut grad_input[i * ic * h * w..(i + 1) * ic * h * w];
         col2im_into(&grad_cols, ic, h, w, kh, kw, spec, gi);
     }
     ws.put(grad_cols);
-    grad_input
+    Tensor::from_vec(grad_input, &[n, ic, h, w])
 }
 
 /// The `dL/d input` half of [`depthwise_backward`] alone (see
 /// [`conv2d_input_backward_ws`] for why): same window scan minus the
 /// weight/bias accumulation, so the returned gradient is bit-identical to
 /// the first element of the [`depthwise_backward`] tuple.
+///
+/// Convenience wrapper over [`depthwise_input_backward_ws`] with a
+/// throwaway workspace — the two share one implementation, so results are
+/// bit-identical by construction.
 ///
 /// # Panics
 ///
@@ -264,6 +273,24 @@ pub fn depthwise_input_backward(
     h: usize,
     w: usize,
     spec: ConvSpec,
+) -> Tensor {
+    depthwise_input_backward_ws(weight, grad_out, h, w, spec, &mut Workspace::new())
+}
+
+/// [`depthwise_input_backward`] drawing the gradient buffer from `ws`
+/// (zero-filled checkout — the scatter accumulates with `+=`). Single
+/// implementation behind both entry points.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn depthwise_input_backward_ws(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    ws: &mut Workspace,
 ) -> Tensor {
     let (c, one, kh, kw) = dims4(weight);
     assert_eq!(one, 1, "depthwise: weight second dim must be 1");
@@ -276,7 +303,7 @@ pub fn depthwise_input_backward(
     );
     let wd = weight.data();
     let god = grad_out.data();
-    let mut grad_input = vec![0.0f32; n * c * h * w];
+    let mut grad_input = ws.take(n * c * h * w);
     for i in 0..n {
         for ch in 0..c {
             let ker = &wd[ch * kh * kw..(ch + 1) * kh * kw];

@@ -31,6 +31,10 @@
 //!   behind the allocation-free inference path: the `_ws` kernel variants
 //!   here and `Layer::infer` in `usb-nn` draw their im2col / matmul / pool
 //!   buffers from it instead of the allocator.
+//! * [`tape`] — the [`Tape`] of per-layer activation frames behind the
+//!   read-only gradient path: `Layer::infer_recording` in `usb-nn` records
+//!   backward state into a caller-owned tape instead of the layers, so one
+//!   immutable model serves every worker thread.
 //!
 //! # Example
 //!
@@ -55,7 +59,9 @@ pub mod pool;
 pub mod scratch;
 pub mod ssim;
 pub mod stats;
+pub mod tape;
 mod tensor;
 
 pub use scratch::Workspace;
+pub use tape::Tape;
 pub use tensor::{ShapeError, Tensor};

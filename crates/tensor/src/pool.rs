@@ -65,6 +65,10 @@ pub fn avg_pool2d_forward_ws(
 /// Backward pass of [`avg_pool2d_forward`]: spreads each output gradient
 /// uniformly over its window.
 ///
+/// Convenience wrapper over [`avg_pool2d_backward_ws`] with a throwaway
+/// workspace — one implementation behind both entry points, bit-identical
+/// by construction.
+///
 /// # Panics
 ///
 /// Panics if `grad_out`'s shape is inconsistent with the geometry.
@@ -75,11 +79,28 @@ pub fn avg_pool2d_backward(
     k: usize,
     stride: usize,
 ) -> Tensor {
+    avg_pool2d_backward_ws(grad_out, h, w, k, stride, &mut Workspace::new())
+}
+
+/// [`avg_pool2d_backward`] drawing the gradient buffer from `ws`
+/// (zero-filled checkout — overlapping windows accumulate with `+=`).
+///
+/// # Panics
+///
+/// Panics if `grad_out`'s shape is inconsistent with the geometry.
+pub fn avg_pool2d_backward_ws(
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     let (n, c, oh, ow) = dims4(grad_out);
     assert_eq!(oh, (h - k) / stride + 1, "avg_pool2d_backward: bad OH");
     assert_eq!(ow, (w - k) / stride + 1, "avg_pool2d_backward: bad OW");
     let inv = 1.0 / (k * k) as f32;
-    let mut gi = vec![0.0f32; n * c * h * w];
+    let mut gi = ws.take(n * c * h * w);
     let gd = grad_out.data();
     for plane in 0..n * c {
         let go = &gd[plane * oh * ow..(plane + 1) * oh * ow];
@@ -101,40 +122,18 @@ pub fn avg_pool2d_backward(
 /// Max pooling; returns the pooled tensor and the flat argmax index of each
 /// window (needed for the backward pass).
 ///
+/// Convenience wrapper over [`max_pool2d_forward_rec`] with a throwaway
+/// workspace — one implementation of the window scan (and its
+/// first-maximum tie-breaking, which gradient bit-exactness depends on)
+/// behind both entry points.
+///
 /// # Panics
 ///
 /// Panics if the window does not fit or `stride == 0`.
 pub fn max_pool2d_forward(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize>) {
-    assert!(stride > 0, "max_pool2d: stride must be positive");
-    let (n, c, h, w) = dims4(input);
-    assert!(k <= h && k <= w, "max_pool2d: window {k} larger than input");
-    let oh = (h - k) / stride + 1;
-    let ow = (w - k) / stride + 1;
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut arg = vec![0usize; n * c * oh * ow];
-    let id = input.data();
-    for plane in 0..n * c {
-        let img = &id[plane * h * w..(plane + 1) * h * w];
-        let base = plane * oh * ow;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_idx = 0;
-                for ky in 0..k {
-                    for kx in 0..k {
-                        let idx = (oy * stride + ky) * w + ox * stride + kx;
-                        if img[idx] > best {
-                            best = img[idx];
-                            best_idx = idx;
-                        }
-                    }
-                }
-                out[base + oy * ow + ox] = best;
-                arg[base + oy * ow + ox] = plane * h * w + best_idx;
-            }
-        }
-    }
-    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+    let mut arg = Vec::new();
+    let y = max_pool2d_forward_rec(input, k, stride, &mut Workspace::new(), &mut arg);
+    (y, arg)
 }
 
 /// Inference-only max pooling: the pooled values of
@@ -177,21 +176,87 @@ pub fn max_pool2d_infer(input: &Tensor, k: usize, stride: usize, ws: &mut Worksp
 /// Backward pass of [`max_pool2d_forward`]: routes each output gradient to
 /// the stored argmax position.
 ///
+/// Convenience wrapper over [`max_pool2d_backward_ws`] with a throwaway
+/// workspace — one implementation behind both entry points.
+///
 /// # Panics
 ///
 /// Panics if `argmax.len()` differs from `grad_out.len()`.
 pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    max_pool2d_backward_ws(grad_out, argmax, input_shape, &mut Workspace::new())
+}
+
+/// [`max_pool2d_backward`] drawing the gradient buffer from `ws`
+/// (zero-filled checkout — the scatter accumulates with `+=`).
+///
+/// # Panics
+///
+/// Panics if `argmax.len()` differs from `grad_out.len()`.
+pub fn max_pool2d_backward_ws(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
         "max_pool2d_backward: argmax length mismatch"
     );
-    let mut gi = Tensor::zeros(input_shape);
-    let g = gi.data_mut();
+    let mut gi = ws.take(input_shape.iter().product());
     for (&idx, &v) in argmax.iter().zip(grad_out.data()) {
-        g[idx] += v;
+        gi[idx] += v;
     }
-    gi
+    Tensor::from_vec(gi, input_shape)
+}
+
+/// Recording variant of [`max_pool2d_forward`]: the same window scan (same
+/// `>` comparisons, so values **and** argmax choices are bit-identical),
+/// with the pooled values drawn from `ws` and the flat argmax indices
+/// appended to `argmax` (cleared first) instead of freshly allocated —
+/// the shape the gradient-tape route stores its routing table in.
+///
+/// # Panics
+///
+/// Panics if the window does not fit or `stride == 0`.
+pub fn max_pool2d_forward_rec(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    ws: &mut Workspace,
+    argmax: &mut Vec<usize>,
+) -> Tensor {
+    assert!(stride > 0, "max_pool2d: stride must be positive");
+    let (n, c, h, w) = dims4(input);
+    assert!(k <= h && k <= w, "max_pool2d: window {k} larger than input");
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = ws.take_dirty(n * c * oh * ow);
+    argmax.clear();
+    argmax.reserve(n * c * oh * ow);
+    let id = input.data();
+    for plane in 0..n * c {
+        let img = &id[plane * h * w..(plane + 1) * h * w];
+        let base = plane * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let idx = (oy * stride + ky) * w + ox * stride + kx;
+                        if img[idx] > best {
+                            best = img[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out[base + oy * ow + ox] = best;
+                argmax.push(plane * h * w + best_idx);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
 }
 
 /// Global average pooling `[N, C, H, W] -> [N, C]`.
@@ -225,14 +290,32 @@ pub fn global_avg_pool_forward_ws(input: &Tensor, ws: &mut Workspace) -> Tensor 
 
 /// Backward pass of [`global_avg_pool_forward`].
 ///
+/// Convenience wrapper over [`global_avg_pool_backward_ws`] with a
+/// throwaway workspace — one implementation behind both entry points.
+///
 /// # Panics
 ///
 /// Panics if `grad_out` is not `[N, C]`.
 pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
+    global_avg_pool_backward_ws(grad_out, h, w, &mut Workspace::new())
+}
+
+/// [`global_avg_pool_backward`] drawing the gradient buffer from `ws` (the
+/// fill fully overwrites every element, so a dirty checkout is safe).
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `[N, C]`.
+pub fn global_avg_pool_backward_ws(
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(grad_out.ndim(), 2, "global_avg_pool_backward: need [N,C]");
     let (n, c) = (grad_out.shape()[0], grad_out.shape()[1]);
     let inv = 1.0 / (h * w) as f32;
-    let mut gi = vec![0.0f32; n * c * h * w];
+    let mut gi = ws.take_dirty(n * c * h * w);
     for plane in 0..n * c {
         let v = grad_out.data()[plane] * inv;
         for g in &mut gi[plane * h * w..(plane + 1) * h * w] {

@@ -54,15 +54,13 @@ fn main() {
             &format!("{attack:?}"),
             &format!("{tc:?}"),
         ]);
-    let (data, mut backdoored) =
-        cached_victim(&bd_fixture, |data| attack.execute(data, arch, tc, 1));
+    let (data, backdoored) = cached_victim(&bd_fixture, |data| attack.execute(data, arch, tc, 1));
     let clean_fixture = FixtureSpec::new("example-compare-clean", spec, 11, 2).with_config(&[
         &format!("{arch:?}"),
         "clean",
         &format!("{tc:?}"),
     ]);
-    let (_, mut clean) =
-        cached_victim(&clean_fixture, |data| train_clean_victim(data, arch, tc, 2));
+    let (_, clean) = cached_victim(&clean_fixture, |data| train_clean_victim(data, arch, tc, 2));
     println!(
         "backdoored: acc {:.2} asr {:.2} | clean: acc {:.2}",
         backdoored.clean_accuracy,
@@ -83,7 +81,7 @@ fn main() {
     );
     for (name, defense) in suite {
         let t0 = Instant::now();
-        let outcome = defense.inspect(&mut backdoored.model, &clean_x, &mut rng);
+        let outcome = defense.inspect(&backdoored.model, &clean_x, &mut rng);
         report(
             name,
             &outcome,
@@ -95,7 +93,7 @@ fn main() {
     println!("\n--- clean victim ---");
     for (name, defense) in suite {
         let t0 = Instant::now();
-        let outcome = defense.inspect(&mut clean.model, &clean_x, &mut rng);
+        let outcome = defense.inspect(&clean.model, &clean_x, &mut rng);
         report(name, &outcome, None, t0.elapsed().as_secs_f64());
     }
 }

@@ -51,7 +51,7 @@ fn main() {
     let usb = UsbDetector::new(UsbConfig::standard());
 
     println!("\nNC inspecting...");
-    let nc_out = nc.inspect(&mut victim.model, &clean_x, &mut rng);
+    let nc_out = nc.inspect(&victim.model, &clean_x, &mut rng);
     println!(
         "NC   : called {:<10} flagged {:?}",
         if nc_out.is_backdoored() {
@@ -63,7 +63,7 @@ fn main() {
     );
 
     println!("USB inspecting...");
-    let usb_out = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+    let usb_out = usb.inspect(&victim.model, &clean_x, &mut rng);
     println!(
         "USB  : called {:<10} flagged {:?} (true target {:?})",
         if usb_out.is_backdoored() {

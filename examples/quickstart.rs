@@ -25,7 +25,7 @@ fn main() {
     let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
     let attack = BadNet::new(2, 0, 0.15);
     println!("training backdoored victim (ResNet-18, ~20 epochs on CPU)...");
-    let mut victim = attack.execute(&data, arch, TrainConfig::new(20), 7);
+    let victim = attack.execute(&data, arch, TrainConfig::new(20), 7);
     println!(
         "victim ready: clean accuracy {:.1}%, attack success rate {:.1}%",
         victim.clean_accuracy * 100.0,
@@ -37,7 +37,7 @@ fn main() {
     let (clean_x, _) = data.clean_subset(48, &mut rng);
     println!("running USB (targeted UAP per class + Alg. 2 refinement)...");
     let usb = UsbDetector::new(UsbConfig::standard());
-    let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = usb.inspect(&victim.model, &clean_x, &mut rng);
 
     // 4. The verdict.
     println!("\nper-class reversed-trigger L1 norms:");

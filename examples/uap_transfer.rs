@@ -24,8 +24,8 @@ fn main() {
     let attack = BadNet::new(2, 2, 0.15);
 
     println!("training two victims with the same backdoor, different seeds...");
-    let mut a = attack.execute(&data, arch, TrainConfig::new(20), 41);
-    let mut b = attack.execute(&data, arch, TrainConfig::new(20), 42);
+    let a = attack.execute(&data, arch, TrainConfig::new(20), 41);
+    let b = attack.execute(&data, arch, TrainConfig::new(20), 42);
     println!("A: asr {:.2} | B: asr {:.2}", a.asr(), b.asr());
 
     let mut rng = StdRng::seed_from_u64(1);
@@ -34,9 +34,9 @@ fn main() {
 
     // Full pipeline on B (Alg. 1 + Alg. 2).
     let t0 = Instant::now();
-    let uap_b = targeted_uap(&mut b.model, &x, target, UapConfig::default());
+    let uap_b = targeted_uap(&b.model, &x, target, UapConfig::default());
     let full_refined = refine_uap(
-        &mut b.model,
+        &b.model,
         &x,
         target,
         &uap_b.perturbation,
@@ -45,10 +45,10 @@ fn main() {
     let t_full = t0.elapsed();
 
     // Transfer: UAP generated once on A, refinement only on B.
-    let uap_a = targeted_uap(&mut a.model, &x, target, UapConfig::default());
+    let uap_a = targeted_uap(&a.model, &x, target, UapConfig::default());
     let t0 = Instant::now();
     let transferred = transfer_uap(
-        &mut b.model,
+        &b.model,
         &x,
         target,
         &uap_a.perturbation,

@@ -27,12 +27,12 @@
 //!
 //! let data = SyntheticSpec::cifar10().with_size(12).generate(7);
 //! let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
-//! let mut victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
+//! let victim = BadNet::new(2, 0, 0.15).execute(&data, arch, TrainConfig::new(20), 7);
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let (clean_x, _) = data.clean_subset(48, &mut rng);
 //! let outcome = UsbDetector::new(UsbConfig::standard())
-//!     .inspect(&mut victim.model, &clean_x, &mut rng);
+//!     .inspect(&victim.model, &clean_x, &mut rng);
 //! assert!(outcome.is_backdoored());
 //! println!("flagged target classes: {:?}", outcome.flagged);
 //! ```
@@ -68,12 +68,12 @@
 //!
 //! // Load (possibly in another process, days later) and inspect — no
 //! // retraining: clean data regenerates from the stored recipe.
-//! let mut loaded = load_victim(Path::new("target/zoo/badnet.usbv")).unwrap();
+//! let loaded = load_victim(Path::new("target/zoo/badnet.usbv")).unwrap();
 //! let data = loaded.data_spec.generate(loaded.data_seed);
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let (clean_x, _) = data.clean_subset(48, &mut rng);
 //! let outcome = UsbDetector::new(UsbConfig::standard())
-//!     .inspect(&mut loaded.victim.model, &clean_x, &mut rng);
+//!     .inspect(&loaded.victim.model, &clean_x, &mut rng);
 //! assert_eq!(outcome.flagged, vec![0]);
 //! ```
 

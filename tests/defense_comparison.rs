@@ -40,7 +40,7 @@ fn all_defenses_rank_badnet_target_lowest() {
     // small as the implanted one, which tests class ranking noise rather
     // than the defenses.
     let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
-    let (data, mut victim) =
+    let (data, victim) =
         fixture_victim("cmp-badnet-resnet", 211, 22, arch, BadNet::new(2, 2, 0.15));
     assert!(victim.asr() > 0.8, "attack failed: {}", victim.asr());
 
@@ -51,7 +51,7 @@ fn all_defenses_rank_badnet_target_lowest() {
     let usb = UsbDetector::fast();
     let defenses: [(&str, &dyn Defense); 3] = [("NC", &nc), ("TABOR", &tabor), ("USB", &usb)];
     for (name, defense) in defenses {
-        let outcome = defense.inspect(&mut victim.model, &clean_x, &mut rng);
+        let outcome = defense.inspect(&victim.model, &clean_x, &mut rng);
         let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
         let min_idx = norms
             .iter()
@@ -69,7 +69,7 @@ fn all_defenses_rank_badnet_target_lowest() {
 #[test]
 fn latent_backdoor_is_visible_to_usb() {
     let arch = Architecture::new(ModelKind::Vgg16, (3, 12, 12), 6).with_width(6);
-    let (data, mut victim) = fixture_victim(
+    let (data, victim) = fixture_victim(
         "cmp-latent-vgg",
         212,
         22,
@@ -80,7 +80,7 @@ fn latent_backdoor_is_visible_to_usb() {
 
     let mut rng = StdRng::seed_from_u64(4);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
-    let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&victim.model, &clean_x, &mut rng);
     let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
     let min_idx = norms
         .iter()
@@ -100,7 +100,7 @@ fn usb_is_faster_than_nc_per_class() {
     // needs less wall-clock than NC's random-start optimisation, using the
     // standard (non-fast) configurations of both.
     let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6).with_width(4);
-    let (data, mut victim) =
+    let (data, victim) =
         fixture_victim("cmp-timing-resnet", 213, 23, arch, BadNet::new(2, 0, 0.15));
     let mut rng = StdRng::seed_from_u64(5);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
@@ -108,10 +108,10 @@ fn usb_is_faster_than_nc_per_class() {
     let nc = NeuralCleanse::new(NcConfig::standard());
     let usb = UsbDetector::new(UsbConfig::standard());
     let t0 = std::time::Instant::now();
-    let _ = nc.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+    let _ = nc.reverse_class(&victim.model, &clean_x, 0, &mut rng);
     let t_nc = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let _ = usb.reverse_class(&mut victim.model, &clean_x, 0, &mut rng);
+    let _ = usb.reverse_class(&victim.model, &clean_x, 0, &mut rng);
     let t_usb = t0.elapsed();
     assert!(
         t_usb < t_nc,

@@ -6,6 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use universal_soldier::nn::models::network_clone_count;
 use universal_soldier::prelude::*;
 
 fn small_arch() -> Architecture {
@@ -37,12 +38,12 @@ fn small_victim() -> (Dataset, Victim) {
 
 #[test]
 fn usb_inspect_is_deterministic_for_equal_seeds() {
-    let (data, mut victim) = small_victim();
+    let (data, victim) = small_victim();
 
-    let mut run = || {
+    let run = || {
         let mut rng = StdRng::seed_from_u64(17);
         let (clean_x, _) = data.clean_subset(32, &mut rng);
-        let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+        let outcome = UsbDetector::fast().inspect(&victim.model, &clean_x, &mut rng);
         outcome
             .per_class
             .iter()
@@ -60,7 +61,7 @@ fn usb_inspect_is_deterministic_for_equal_seeds() {
     // guarding against the opposite failure (rng silently unused).
     let mut rng = StdRng::seed_from_u64(18);
     let (clean_x, _) = data.clean_subset(32, &mut rng);
-    let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&victim.model, &clean_x, &mut rng);
     let third: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
     assert_ne!(first, third, "a different seed should perturb the norms");
 }
@@ -90,12 +91,12 @@ fn usb_inspect_is_invariant_to_worker_thread_count() {
     // pure function of the seed — never of how classes land on threads.
     // Every field of every ClassResult has to match bit-for-bit at 1, 2,
     // and 4 workers.
-    let (data, mut victim) = small_victim();
+    let (data, victim) = small_victim();
 
-    let mut run = |workers: usize| {
+    let run = |workers: usize| {
         let mut rng = StdRng::seed_from_u64(17);
         let (clean_x, _) = data.clean_subset(32, &mut rng);
-        UsbDetector::fast_with_workers(workers).inspect(&mut victim.model, &clean_x, &mut rng)
+        UsbDetector::fast_with_workers(workers).inspect(&victim.model, &clean_x, &mut rng)
     };
     let base = run(1);
     for workers in [2usize, 4] {
@@ -134,4 +135,33 @@ fn usb_inspect_is_invariant_to_worker_thread_count() {
             );
         }
     }
+}
+
+#[test]
+fn usb_inspect_spawns_zero_network_clones() {
+    // The shared-nothing scaling contract: the per-class fan-out shares
+    // one `&Network` (forward passes through the cache-free inference
+    // path, gradients through the per-worker tape), so a full parallel
+    // inspection must not clone the victim even once.
+    //
+    // The counter is process-wide and this binary's tests run
+    // concurrently, so the assertion depends on NO other test in
+    // tests/determinism.rs exercising `Network::clone` — keep
+    // clone-semantics tests in tests/infer_equivalence.rs (a separate
+    // process), or this test turns flaky.
+    let (data, victim) = small_victim();
+    let mut rng = StdRng::seed_from_u64(17);
+    let (clean_x, _) = data.clean_subset(32, &mut rng);
+    // Warm-up run so any lazy one-time setup is out of the measured span.
+    let _ = UsbDetector::fast_with_workers(2).inspect(&victim.model, &clean_x, &mut rng);
+    let before = network_clone_count();
+    let outcome = UsbDetector::fast_with_workers(4).inspect(&victim.model, &clean_x, &mut rng);
+    let after = network_clone_count();
+    assert!(!outcome.per_class.is_empty());
+    assert_eq!(
+        after - before,
+        0,
+        "inspect cloned the victim {} times; the fan-out must share one &Network",
+        after - before
+    );
 }

@@ -35,7 +35,7 @@ fn badnet_victim(key: &str, target: usize, data_seed: u64, train_seed: u64) -> (
 
 #[test]
 fn usb_detects_badnet_end_to_end() {
-    let (data, mut victim) = badnet_victim("e2e-badnet", 3, 201, 13);
+    let (data, victim) = badnet_victim("e2e-badnet", 3, 201, 13);
     assert!(
         victim.clean_accuracy > 0.8,
         "victim under-trained: {}",
@@ -46,7 +46,7 @@ fn usb_detects_badnet_end_to_end() {
     let mut rng = StdRng::seed_from_u64(0);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
     let usb = UsbDetector::fast();
-    let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = usb.inspect(&victim.model, &clean_x, &mut rng);
 
     assert!(outcome.is_backdoored(), "USB missed the backdoor");
     assert!(
@@ -70,13 +70,13 @@ fn usb_does_not_flag_clean_model_end_to_end() {
         "clean",
         &format!("{tc:?}"),
     ]);
-    let (data, mut victim) = cached_victim(&fixture, |data| train_clean_victim(data, arch, tc, 14));
+    let (data, victim) = cached_victim(&fixture, |data| train_clean_victim(data, arch, tc, 14));
     assert!(victim.clean_accuracy > 0.8);
 
     let mut rng = StdRng::seed_from_u64(1);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
     let usb = UsbDetector::fast();
-    let outcome = usb.inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = usb.inspect(&victim.model, &clean_x, &mut rng);
     let verdict = score_outcome(&outcome, None);
     assert!(
         verdict.model_detection_correct,
@@ -93,7 +93,7 @@ fn usb_does_not_flag_clean_model_end_to_end() {
 #[test]
 fn backdoored_class_has_smallest_usb_norm() {
     // The §4.2 headline property (2x2 BadNet, ResNet-18).
-    let (data, mut victim) = badnet_victim("e2e-headline", 1, 203, 15);
+    let (data, victim) = badnet_victim("e2e-headline", 1, 203, 15);
     assert!(victim.asr() > 0.8);
     // Seed 5: this victim's clean class 7 reverses to a smallish trigger
     // (norm ~8-9) whatever the rng; inspection seeds whose class-1 trigger
@@ -101,7 +101,7 @@ fn backdoored_class_has_smallest_usb_norm() {
     // separates them 4.6 vs 9.3.
     let mut rng = StdRng::seed_from_u64(5);
     let (clean_x, _) = data.clean_subset(48, &mut rng);
-    let outcome = UsbDetector::fast().inspect(&mut victim.model, &clean_x, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&victim.model, &clean_x, &mut rng);
     let norms: Vec<f64> = outcome.per_class.iter().map(|c| c.l1_norm).collect();
     let min_idx = norms
         .iter()

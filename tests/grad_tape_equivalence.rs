@@ -1,0 +1,197 @@
+//! The contract of the read-only gradient engine: `Network::input_grad_in`
+//! (recorded inference + tape backward, `&self`) returns **bit-identical**
+//! logits and `dL/dx` to the legacy `&mut` `Network::input_grad` (layer
+//! caches), for every victim architecture, with any tape/workspace
+//! history, from any number of threads sharing one `&Network`.
+//!
+//! Bit-exactness is what lets the whole detection pipeline — DeepFool,
+//! UAP refinement, NC, TABOR — switch to the shared-model route without
+//! retuning a single seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use universal_soldier::nn::layer::Layer;
+use universal_soldier::nn::models::{Architecture, ModelKind, Network};
+use universal_soldier::tensor::{Tape, Tensor, Workspace};
+
+/// One small instance of each of the paper's four architectures, hitting
+/// every layer kind: conv, depthwise conv, linear, flatten, batch-norm,
+/// ReLU/SiLU/sigmoid, avg/max/global pooling, residual blocks with and
+/// without projection shortcuts, and squeeze-excite gating.
+fn zoo() -> Vec<(ModelKind, Network)> {
+    let kinds = [
+        (ModelKind::BasicCnn, (1, 12, 12), 4, 4),
+        (ModelKind::ResNet18, (3, 8, 8), 4, 2),
+        (ModelKind::Vgg16, (3, 8, 8), 4, 2),
+        (ModelKind::EfficientNetB0, (3, 8, 8), 4, 2),
+    ];
+    kinds
+        .iter()
+        .map(|&(kind, input, classes, width)| {
+            let mut rng = StdRng::seed_from_u64(0x7A9E_5EED ^ kind as u64);
+            (
+                kind,
+                Architecture::new(kind, input, classes)
+                    .with_width(width)
+                    .build(&mut rng),
+            )
+        })
+        .collect()
+}
+
+fn batch_for(net: &Network, n: usize, vals: &[f32]) -> Tensor {
+    let (c, h, w) = net.input_shape();
+    Tensor::from_fn(&[n, c, h, w], |i| vals[i % vals.len()])
+}
+
+/// The logit-space seed used everywhere below: deterministic, dense, and
+/// sign-varying so every backward path is exercised.
+fn grad_seed(logits: &Tensor) -> Tensor {
+    Tensor::from_fn(logits.shape(), |i| ((i as f32) * 0.37).sin())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `input_grad_in` == `input_grad` bit for bit — logits and input
+    /// gradient — on all four victim architectures, for a cold tape and a
+    /// warm (reused) one alike.
+    #[test]
+    fn input_grad_in_matches_legacy_input_grad_bitwise(
+        vals in proptest::collection::vec(0.0f32..1.0, 32),
+        n in 1usize..3,
+    ) {
+        for (kind, mut net) in zoo() {
+            let x = batch_for(&net, n, &vals);
+            let (logits_ref, grad_ref) = net.input_grad(&x, grad_seed);
+            let mut tape = Tape::new();
+            let mut ws = Workspace::new();
+            let (logits_cold, grad_cold) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+            prop_assert!(
+                logits_cold.data() == logits_ref.data(),
+                "{:?}: cold tape logits deviate from input_grad", kind
+            );
+            prop_assert!(
+                grad_cold.data() == grad_ref.data(),
+                "{:?}: cold tape dL/dx deviates from input_grad", kind
+            );
+            prop_assert_eq!(grad_cold.shape(), x.shape());
+            // Warm pass: same tape, same workspace — must reproduce exactly.
+            ws.recycle(logits_cold);
+            ws.recycle(grad_cold);
+            let (logits_warm, grad_warm) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+            prop_assert!(
+                logits_warm.data() == logits_ref.data()
+                    && grad_warm.data() == grad_ref.data(),
+                "{:?}: warm tape deviates from input_grad", kind
+            );
+        }
+    }
+
+    /// A tape (and workspace) reused across *mismatched* recordings — a
+    /// different architecture, a different batch size, frames of entirely
+    /// different shapes — must never leak one model's state into another's
+    /// gradient.
+    #[test]
+    fn dirty_tape_reuse_across_mismatched_shapes_leaks_nothing(
+        vals in proptest::collection::vec(0.0f32..1.0, 32),
+        order in proptest::collection::vec(0usize..4, 2..8),
+    ) {
+        let zoo = zoo();
+        let mut tape = Tape::new();
+        let mut ws = Workspace::new();
+        for (step, &zi) in order.iter().enumerate() {
+            let (kind, net) = &zoo[zi];
+            // Vary the batch size too, so even same-model revisits record
+            // differently-shaped frames.
+            let n = 1 + (step % 2);
+            let x = batch_for(net, n, &vals);
+            // Reference from a pristine tape/workspace.
+            let (_, grad_ref) =
+                net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
+            let (logits, grad) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+            prop_assert!(
+                grad.data() == grad_ref.data(),
+                "{:?} (step {}): dirty tape changed the gradient", kind, step
+            );
+            ws.recycle(logits);
+            ws.recycle(grad);
+        }
+    }
+}
+
+/// Concurrent gradient computations sharing one `&Network` must each be
+/// bit-identical to the sequential result — 1, 2, and 4 threads, one tape
+/// and workspace per thread, zero model clones.
+#[test]
+fn shared_network_gradients_are_thread_count_invariant() {
+    for (kind, net) in zoo() {
+        let x = batch_for(&net, 2, &[0.15, 0.45, 0.85, 0.35]);
+        let (logits_ref, grad_ref) =
+            net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
+        for threads in [1usize, 2, 4] {
+            let shared: &Network = &net;
+            let results: Vec<(Tensor, Tensor)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let x = &x;
+                        scope.spawn(move || {
+                            let mut tape = Tape::new();
+                            let mut ws = Workspace::new();
+                            // Two rounds per thread so each also hits its
+                            // own warm-tape path under contention.
+                            let first = shared.input_grad_in(x, grad_seed, &mut tape, &mut ws);
+                            drop(first);
+                            shared.input_grad_in(x, grad_seed, &mut tape, &mut ws)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (logits, grad) in results {
+                assert_eq!(
+                    logits.data(),
+                    logits_ref.data(),
+                    "{kind:?}: logits deviated at {threads} threads"
+                );
+                assert_eq!(
+                    grad.data(),
+                    grad_ref.data(),
+                    "{kind:?}: dL/dx deviated at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The tape route never touches parameter gradients (it has no mutable
+/// access to touch them with) — and the legacy contract that `input_grad`
+/// leaves them zeroed still holds afterwards.
+#[test]
+fn tape_gradients_leave_parameter_gradients_untouched() {
+    for (kind, mut net) in zoo() {
+        let x = batch_for(&net, 1, &[0.3, 0.6, 0.9]);
+        let _ = net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
+        let mut max_param_grad = 0.0f32;
+        net.visit_params(&mut |s| max_param_grad = max_param_grad.max(s.grad.linf_norm()));
+        assert_eq!(
+            max_param_grad, 0.0,
+            "{kind:?}: tape route touched parameter gradients"
+        );
+    }
+}
+
+/// `param_count` is `&self` and must agree with an explicit
+/// `visit_params` sweep on every architecture (guards the per-layer
+/// overrides the `&self` signature requires).
+#[test]
+fn param_count_matches_visit_params_sweep() {
+    for (kind, mut net) in zoo() {
+        let counted = net.param_count();
+        let mut swept = 0usize;
+        net.visit_params(&mut |s| swept += s.value.len());
+        assert_eq!(counted, swept, "{kind:?}: param_count deviates");
+        assert!(counted > 0, "{kind:?}: no parameters counted");
+    }
+}

@@ -132,7 +132,7 @@ fn loaded_victim_inspection_is_bit_identical_to_in_memory() {
     let data = spec.generate(77);
     let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
     let attack = BadNet::new(2, 1, 0.15);
-    let mut victim = attack.execute(&data, arch, TrainConfig::fast(), 19);
+    let victim = attack.execute(&data, arch, TrainConfig::fast(), 19);
 
     let dir = std::env::temp_dir().join(format!("usb_roundtrip_{}", std::process::id()));
     let path = dir.join("victim.usbv");
@@ -144,15 +144,15 @@ fn loaded_victim_inspection_is_bit_identical_to_in_memory() {
         data_seed: 77,
     };
     save_victim(&path, &mut bundle).unwrap();
-    let mut loaded = load_victim(&path).unwrap();
+    let loaded = load_victim(&path).unwrap();
 
-    let inspect = |model: &mut Network| {
+    let inspect = |model: &Network| {
         let mut rng = StdRng::seed_from_u64(17);
         let (clean_x, _) = data.clean_subset(32, &mut rng);
         UsbDetector::fast().inspect(model, &clean_x, &mut rng)
     };
-    let mem = inspect(&mut victim.model);
-    let disk = inspect(&mut loaded.victim.model);
+    let mem = inspect(&victim.model);
+    let disk = inspect(&loaded.victim.model);
 
     assert_eq!(mem.flagged, disk.flagged, "flagged classes diverged");
     assert_eq!(mem.anomaly_indices, disk.anomaly_indices);
