@@ -13,7 +13,7 @@ use usb_core::{deepfool, DeepfoolConfig, UsbDetector};
 use usb_defenses::Defense;
 use usb_nn::layer::Mode;
 use usb_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_ws, ConvSpec};
-use usb_tensor::ssim::{ssim, ssim_with_grad};
+use usb_tensor::ssim::{ssim, ssim_with_grad, ssim_with_grad_ws};
 use usb_tensor::{init, ops, par, Tensor, Workspace};
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
@@ -26,6 +26,26 @@ fn bench_matmul(c: &mut Criterion) {
     let b = init::uniform(&[128, 64], -1.0, 1.0, &mut rng);
     c.bench_function("substrate/matmul_64x128x64", |bench| {
         bench.iter(|| black_box(ops::matmul(&a, &b)))
+    });
+    // The packed-panel route against the strided B^T kernel on the same
+    // x·Wᵀ product a `Linear::infer` performs: packing pays once per
+    // weight (cached on the tensor's content id), so the steady state is
+    // a pure unit-stride GEMM.
+    let w = init::uniform(&[64, 128], -0.2, 0.2, &mut rng);
+    let mut y = vec![0.0f32; 64 * 64];
+    c.bench_function("substrate/gemm_xwt_unpacked_64x128x64", |bench| {
+        bench.iter(|| {
+            ops::matmul_transb_into(a.data(), w.data(), 64, 128, 64, &mut y);
+            black_box(y[0]);
+        })
+    });
+    c.bench_function("substrate/gemm_xwt_packed_64x128x64", |bench| {
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let wt = ws.packed_transpose(&w, 64, 128);
+            ops::matmul_into(a.data(), wt, 64, 128, 64, &mut y);
+            black_box(y[0]);
+        })
     });
 }
 
@@ -53,6 +73,14 @@ fn bench_ssim(c: &mut Criterion) {
     });
     c.bench_function("substrate/ssim_with_grad_b16", |bench| {
         bench.iter(|| black_box(ssim_with_grad(&x, &y)))
+    });
+    c.bench_function("substrate/ssim_with_grad_warm_ws_b16", |bench| {
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let (val, grad) = ssim_with_grad_ws(&x, &y, &mut ws);
+            black_box(val);
+            ws.recycle(grad);
+        })
     });
 }
 

@@ -97,8 +97,9 @@ pub fn deepfool_in(
         // and after the pass (first-maximum tie-breaking in both).
         let (logits, grad) = model.input_grad_in(
             &xi,
-            |logits| {
-                let mut g = Tensor::zeros(logits.shape());
+            |logits, ws| {
+                // Zeroed seed from the pool; only two entries are written.
+                let mut g = ws.take_tensor(logits.shape());
                 let cur = ops::argmax_row(logits.data());
                 if cur != target {
                     g.data_mut()[target] = 1.0;

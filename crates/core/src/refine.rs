@@ -18,10 +18,10 @@
 //! far fewer iterations (paper §4.4 and Fig. 1).
 
 use usb_defenses::TriggerVar;
-use usb_nn::loss::softmax_cross_entropy_uniform_target;
+use usb_nn::loss::softmax_cross_entropy_uniform_target_ws;
 use usb_nn::models::Network;
 use usb_nn::optim::TensorAdam;
-use usb_tensor::ssim::ssim_with_grad;
+use usb_tensor::ssim::ssim_with_grad_ws;
 use usb_tensor::{Tape, Tensor, Workspace};
 
 /// Hyperparameters of the Alg. 2 optimisation.
@@ -165,23 +165,35 @@ pub fn refine_uap(
     let mut var = TriggerVar::from_values(&mask0, &pattern0);
     let mut adam = TensorAdam::new(config.lr).with_betas(0.5, 0.9);
     let bs = config.batch_size.min(n);
+    assert_eq!(images.ndim(), 4, "refine_uap: images must be [N,C,H,W]");
+    let row = images.len() / n;
+    let batch_shape = [bs, images.shape()[1], images.shape()[2], images.shape()[3]];
     let mut cursor = 0usize;
     let mut final_ssim = 0.0f32;
-    // One tape and workspace reused across all optimisation steps.
+    // One tape and workspace reused across all optimisation steps: every
+    // per-step tensor below is either drawn from the workspace pool or
+    // recycled back into it, so the steady-state step allocates nothing
+    // (pinned by the `refine_alloc` test).
     let mut tape = Tape::new();
     let mut ws = Workspace::new();
     for _ in 0..config.steps {
-        // Take a batch of data from X in order (Alg. 2 line 3).
-        let idx: Vec<usize> = (0..bs).map(|i| (cursor + i) % n).collect();
+        // Take a batch of data from X in order (Alg. 2 line 3): rows copied
+        // straight into one pooled buffer — same bytes the old
+        // `index_axis0` + `stack` pair produced per step.
+        let mut bdata = ws.take_dirty(bs * row);
+        for i in 0..bs {
+            let src = (cursor + i) % n;
+            bdata[i * row..(i + 1) * row]
+                .copy_from_slice(&images.data()[src * row..(src + 1) * row]);
+        }
         cursor = (cursor + bs) % n;
-        let items: Vec<Tensor> = idx.iter().map(|&i| images.index_axis0(i)).collect();
-        let batch = Tensor::stack(&items);
-        let stamped = var.apply(&batch);
+        let batch = Tensor::from_vec(bdata, &batch_shape);
+        let stamped = var.apply_ws(&batch, &mut ws);
         // CE term.
         let (logits, d_ce) = model.input_grad_in(
             &stamped,
-            |logits| {
-                let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
+            |logits, ws| {
+                let (_, dlogits) = softmax_cross_entropy_uniform_target_ws(logits, target, ws);
                 dlogits
             },
             &mut tape,
@@ -189,18 +201,28 @@ pub fn refine_uap(
         );
         ws.recycle(logits);
         // −SSIM term (reward similarity): gradient of −w·SSIM(x', x) wrt x'.
-        let (ssim_val, d_ssim) = ssim_with_grad(&stamped, &batch);
+        let (ssim_val, d_ssim) = ssim_with_grad_ws(&stamped, &batch, &mut ws);
         final_ssim = ssim_val;
-        let d_stamped = d_ce.add(&d_ssim.scale(-config.ssim_weight));
-        ws.recycle(d_ce);
-        let (mut d_tm, d_tp) = var.backward(&batch, &d_stamped);
+        // d_ce + (−w)·d_ssim in place — bit-identical to the old
+        // `d_ce.add(&d_ssim.scale(-w))` (f32 multiplication commutes).
+        let mut d_stamped = d_ce;
+        d_stamped.axpy(-config.ssim_weight, &d_ssim);
+        ws.recycle(d_ssim);
+        ws.recycle(stamped);
+        let (mut d_tm, d_tp) = var.backward_ws(&batch, &d_stamped, &mut ws);
+        ws.recycle(d_stamped);
+        ws.recycle(batch);
         if config.mask_l1_weight > 0.0 {
-            d_tm.add_assign(&var.mask_l1_grad(config.mask_l1_weight));
+            let l1 = var.mask_l1_grad_ws(config.mask_l1_weight, &mut ws);
+            d_tm.add_assign(&l1);
+            ws.recycle(l1);
         }
         {
             let (tm, tp) = var.params_mut();
             adam.step(&mut [tm, tp], &[&d_tm, &d_tp]);
         }
+        ws.recycle(d_tm);
+        ws.recycle(d_tp);
     }
     // Final success over all data points: a pure read of the model, so it
     // goes through the cache-free inference path.

@@ -1,0 +1,92 @@
+//! Pins the zero-allocation contract of the Alg. 2 hot loop: once the
+//! workspace pool and the Adam state are warm, a `refine_uap` optimisation
+//! step performs **no heap allocations at all** — every per-step tensor is
+//! drawn from, and recycled back into, the reused `Workspace`.
+//!
+//! The proof is a counting global allocator: two refinement runs that
+//! differ only in their step count must allocate exactly the same number
+//! of times, because the extra steps are all steady-state.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use usb_core::{refine_uap, RefineConfig};
+use usb_nn::models::{Architecture, ModelKind};
+use usb_tensor::Tensor;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Forwards to the system allocator, counting every allocation made on
+/// this thread (`try_with`: TLS may already be torn down during thread
+/// exit, and those allocations are not ours to count).
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_for(steps: usize, model: &usb_nn::models::Network, images: &Tensor, v: &Tensor) -> u64 {
+    let config = RefineConfig {
+        steps,
+        ..RefineConfig::fast()
+    };
+    let before = ALLOCS.with(|c| c.get());
+    let refined = refine_uap(model, images, 0, v, config);
+    let after = ALLOCS.with(|c| c.get());
+    // Keep the result alive past the measurement so its drops don't shift
+    // between runs, and sanity-check it did real work.
+    assert!(refined.final_ssim.is_finite());
+    after - before
+}
+
+#[test]
+fn steady_state_refine_step_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 6)
+        .with_width(4)
+        .build(&mut rng);
+    let images = Tensor::from_fn(&[24, 3, 12, 12], |i| 0.5 + 0.4 * ((i as f32) * 0.13).sin());
+    let v = Tensor::from_fn(&[3, 12, 12], |i| 0.3 * ((i as f32) * 0.37).cos());
+
+    // Absorb process-wide one-time initialisation (the thread-local SSIM
+    // window cache, lazy formatting machinery) so the two measured runs
+    // see identical global state.
+    let _ = allocs_for(2, &model, &images, &v);
+
+    // Per-run warm-up (workspace pool growth, Adam state) is confined to
+    // the first few steps and identical across runs; any steady-state
+    // per-step allocation shows up as a nonzero difference.
+    let base = allocs_for(6, &model, &images, &v);
+    let longer = allocs_for(12, &model, &images, &v);
+    assert_eq!(
+        longer,
+        base,
+        "6 extra refine steps allocated {} times (steady-state step must \
+         draw everything from the workspace)",
+        longer.saturating_sub(base)
+    );
+}

@@ -15,7 +15,7 @@
 use crate::trigger_var::TriggerVar;
 use crate::verdict::{ClassResult, Defense};
 use rand::rngs::StdRng;
-use usb_nn::loss::softmax_cross_entropy_uniform_target;
+use usb_nn::loss::softmax_cross_entropy_uniform_target_ws;
 use usb_nn::models::Network;
 use usb_nn::optim::TensorAdam;
 use usb_tensor::{ops, Tape, Tensor, Workspace};
@@ -129,8 +129,8 @@ pub(crate) fn optimise_trigger(
         let stamped = var.apply(&batch);
         let (logits, d_stamped) = model.input_grad_in(
             &stamped,
-            |logits| {
-                let (_, dlogits) = softmax_cross_entropy_uniform_target(logits, target);
+            |logits, ws| {
+                let (_, dlogits) = softmax_cross_entropy_uniform_target_ws(logits, target, ws);
                 dlogits
             },
             &mut tape,

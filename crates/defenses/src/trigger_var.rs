@@ -7,7 +7,7 @@
 //! `value = (tanh(θ) + 1) / 2`, which keeps every gradient step feasible.
 
 use rand::Rng;
-use usb_tensor::{init, Tensor};
+use usb_tensor::{init, Tensor, Workspace};
 
 /// Clamp used when inverting the tanh parameterisation.
 const ATANH_CLAMP: f32 = 0.999_99;
@@ -113,6 +113,113 @@ impl TriggerVar {
         out
     }
 
+    /// [`TriggerVar::apply`] with every buffer — the squashed mask and
+    /// pattern and the stamped batch — drawn from `ws`. Same per-element
+    /// expressions in the same order, so the result is bit-identical; the
+    /// refine hot loop calls this once per Adam step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's `[C, H, W]` does not match the variable.
+    pub fn apply_ws(&self, batch: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(batch.ndim(), 4, "TriggerVar: batch must be [N,C,H,W]");
+        let (n, c, h, w) = (
+            batch.shape()[0],
+            batch.shape()[1],
+            batch.shape()[2],
+            batch.shape()[3],
+        );
+        assert_eq!(
+            self.theta_pattern.shape(),
+            &[c, h, w],
+            "TriggerVar: shape mismatch"
+        );
+        let plane = h * w;
+        let mut m = ws.take_dirty(plane);
+        let mut p = ws.take_dirty(c * plane);
+        squash_into(&self.theta_mask, &mut m);
+        squash_into(&self.theta_pattern, &mut p);
+        let mut out = ws.take_dirty(batch.len());
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let mv = m[j];
+                    out[base + j] = batch.data()[base + j] * (1.0 - mv) + p[ch * plane + j] * mv;
+                }
+            }
+        }
+        ws.put(m);
+        ws.put(p);
+        Tensor::from_vec(out, batch.shape())
+    }
+
+    /// [`TriggerVar::backward`] with all scratch (squashed mask/pattern,
+    /// both gradient accumulators) drawn from `ws`, and the tanh chain rule
+    /// applied in place on the accumulators instead of through a fresh
+    /// `zip_map` — identical per-element expressions, so bit-identical
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the batch used in
+    /// [`TriggerVar::apply_ws`].
+    pub fn backward_ws(
+        &self,
+        batch: &Tensor,
+        grad_out: &Tensor,
+        ws: &mut Workspace,
+    ) -> (Tensor, Tensor) {
+        assert_eq!(batch.shape(), grad_out.shape(), "TriggerVar: grad shape");
+        let (n, c, h, w) = (
+            batch.shape()[0],
+            batch.shape()[1],
+            batch.shape()[2],
+            batch.shape()[3],
+        );
+        let plane = h * w;
+        let mut m = ws.take_dirty(plane);
+        let mut p = ws.take_dirty(c * plane);
+        squash_into(&self.theta_mask, &mut m);
+        squash_into(&self.theta_pattern, &mut p);
+        // Zeroed: the data term accumulates across the batch.
+        let mut d_mask = ws.take(plane);
+        let mut d_pattern = ws.take(c * plane);
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let g = grad_out.data()[base + j];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let x = batch.data()[base + j];
+                    d_pattern[ch * plane + j] += g * m[j];
+                    d_mask[j] += g * (p[ch * plane + j] - x);
+                }
+            }
+        }
+        chain_assign(&mut d_mask, &self.theta_mask);
+        chain_assign(&mut d_pattern, &self.theta_pattern);
+        ws.put(m);
+        ws.put(p);
+        (
+            Tensor::from_vec(d_mask, &[h, w]),
+            Tensor::from_vec(d_pattern, &[c, h, w]),
+        )
+    }
+
+    /// [`TriggerVar::mask_l1_grad`] into a workspace-backed tensor;
+    /// bit-identical values.
+    pub fn mask_l1_grad_ws(&self, weight: f32, ws: &mut Workspace) -> Tensor {
+        let mut g = ws.take_dirty(self.theta_mask.len());
+        for (o, &t) in g.iter_mut().zip(self.theta_mask.data()) {
+            let th = t.tanh();
+            *o = weight * (1.0 - th * th) / 2.0;
+        }
+        Tensor::from_vec(g, self.theta_mask.shape())
+    }
+
     /// Chains `dL/dx'` back to gradients on `(θ_mask, θ_pattern)`.
     ///
     /// Returns `(grad_theta_mask, grad_theta_pattern)` for the data term
@@ -176,6 +283,23 @@ impl TriggerVar {
             let th = t.tanh();
             g * (1.0 - th * th) / 2.0
         })
+    }
+}
+
+/// Squashes unconstrained `θ` values into `[0, 1]`: the slice form of the
+/// `(tanh(θ) + 1) / 2` map [`TriggerVar::mask`]/[`TriggerVar::pattern`] use.
+fn squash_into(theta: &Tensor, out: &mut [f32]) {
+    for (o, &t) in out.iter_mut().zip(theta.data()) {
+        *o = (t.tanh() + 1.0) / 2.0;
+    }
+}
+
+/// In-place tanh chain rule `g ← g · (1 − tanh²θ) / 2` — the slice form of
+/// [`TriggerVar::chain_mask`]/[`TriggerVar::chain_pattern`].
+fn chain_assign(grad: &mut [f32], theta: &Tensor) {
+    for (g, &t) in grad.iter_mut().zip(theta.data()) {
+        let th = t.tanh();
+        *g = *g * (1.0 - th * th) / 2.0;
     }
 }
 
@@ -307,6 +431,37 @@ mod tests {
                 d_tp.data()[flat]
             );
         }
+    }
+
+    #[test]
+    fn ws_variants_are_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = TriggerVar::random(3, 5, 5, &mut rng);
+        let x = Tensor::from_fn(&[2, 3, 5, 5], |i| ((i as f32) * 0.23).sin() * 0.5 + 0.5);
+        let mut ws = Workspace::new();
+        let stamped = v.apply(&x);
+        let stamped_ws = v.apply_ws(&x, &mut ws);
+        assert_eq!(stamped, stamped_ws);
+        let go = Tensor::from_fn(
+            x.shape(),
+            |i| if i % 3 == 0 { 0.0 } else { (i as f32).cos() },
+        );
+        let (dm, dp) = v.backward(&x, &go);
+        let (dm_ws, dp_ws) = v.backward_ws(&x, &go, &mut ws);
+        for (a, b) in dm.data().iter().zip(dm_ws.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in dp.data().iter().zip(dp_ws.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let l1 = v.mask_l1_grad(0.05);
+        let l1_ws = v.mask_l1_grad_ws(0.05, &mut ws);
+        for (a, b) in l1.data().iter().zip(l1_ws.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Second round on the now-dirty workspace must still agree.
+        let stamped_ws2 = v.apply_ws(&x, &mut ws);
+        assert_eq!(stamped, stamped_ws2);
     }
 
     #[test]

@@ -122,15 +122,12 @@ impl Layer for Linear {
         );
         let (n, out) = (x.shape()[0], self.out_features());
         let mut y = ws.take_dirty(n * out);
-        // Same GEMM kernel and bias loop as `forward`, so bit-identical.
-        ops::matmul_transb_into(
-            x.data(),
-            self.weight.value.data(),
-            n,
-            self.in_features(),
-            out,
-            &mut y,
-        );
+        // x @ Wᵀ with W packed k-major once per weight version and reused
+        // across calls. Each output element is the same ascending-`k` dot
+        // product `Σ x[i,k]·W[j,k]` that `forward`'s transb kernel computes,
+        // so results stay bit-identical.
+        let wt = ws.packed_transpose(&self.weight.value, out, self.in_features());
+        ops::matmul_into(x.data(), wt, n, self.in_features(), out, &mut y);
         let bd = self.bias.value.data();
         for i in 0..n {
             for (v, &b) in y[i * out..(i + 1) * out].iter_mut().zip(bd) {

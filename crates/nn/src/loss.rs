@@ -1,7 +1,7 @@
 //! Loss functions returning both the scalar loss and the gradient with
 //! respect to the logits (ready to feed into `Layer::backward`).
 
-use usb_tensor::{ops, Tensor};
+use usb_tensor::{ops, Tensor, Workspace};
 
 /// Mean softmax cross-entropy over a batch.
 ///
@@ -55,6 +55,55 @@ pub fn softmax_cross_entropy_uniform_target(logits: &Tensor, target: usize) -> (
     let n = logits.shape()[0];
     let labels = vec![target; n];
     softmax_cross_entropy(logits, &labels)
+}
+
+/// [`softmax_cross_entropy_uniform_target`] with the gradient drawn from
+/// `ws` instead of freshly allocated — the per-step form the refine hot
+/// loop uses.
+///
+/// The float-op sequence is the same as the allocating path — max-shifted
+/// exponentials, divide by the row sum, subtract one at the target, scale
+/// everything by `1/N` — so loss and gradient are bit-identical (see
+/// `ws_variant_is_bitwise_identical`).
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, K]` or `target >= K`.
+pub fn softmax_cross_entropy_uniform_target_ws(
+    logits: &Tensor,
+    target: usize,
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "softmax_cross_entropy: logits must be [N,K]"
+    );
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert!(target < k, "label {target} out of range for {k} classes");
+    let mut grad = ws.take_dirty(n * k);
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for (o, &v) in grad[i * k..(i + 1) * k].iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in &mut grad[i * k..(i + 1) * k] {
+            *o /= z;
+        }
+        let p = grad[i * k + target].max(1e-12);
+        loss -= (p as f64).ln();
+        grad[i * k + target] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    for v in &mut grad {
+        *v *= inv_n;
+    }
+    ((loss / n as f64) as f32, Tensor::from_vec(grad, &[n, k]))
 }
 
 /// Mean squared error `mean((a - b)²)` and its gradient with respect to `a`.
@@ -150,6 +199,27 @@ mod tests {
         let (b, gb) = softmax_cross_entropy(&logits, &[1, 1]);
         assert_eq!(a, b);
         assert_eq!(ga.data(), gb.data());
+    }
+
+    #[test]
+    fn ws_variant_is_bitwise_identical() {
+        let mut ws = Workspace::new();
+        let logits = Tensor::from_vec(
+            vec![
+                0.2, -0.7, 1.1, 0.4, 0.0, -0.3, 9.5, -9.5, 0.01, 3.3, 3.3, 3.3,
+            ],
+            &[4, 3],
+        );
+        for target in 0..3 {
+            let (l0, g0) = softmax_cross_entropy_uniform_target(&logits, target);
+            let (l1, g1) = softmax_cross_entropy_uniform_target_ws(&logits, target, &mut ws);
+            assert_eq!(l0.to_bits(), l1.to_bits());
+            assert_eq!(g0.shape(), g1.shape());
+            for (a, b) in g0.data().iter().zip(g1.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            ws.recycle(g1);
+        }
     }
 
     #[test]

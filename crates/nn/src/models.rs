@@ -378,17 +378,21 @@ impl Network {
     /// are bit-identical to the legacy `&mut` [`Network::input_grad`], and
     /// parameter gradients are trivially untouched (there is no mutable
     /// access to touch them with).
+    /// The loss-gradient closure receives the workspace so it can draw its
+    /// `dL/dlogits` tensor from the pool; that tensor is recycled here once
+    /// the backward pass has consumed it.
     pub fn input_grad_in(
         &self,
         x: &Tensor,
-        grad_of: impl FnOnce(&Tensor) -> Tensor,
+        grad_of: impl FnOnce(&Tensor, &mut Workspace) -> Tensor,
         tape: &mut Tape,
         ws: &mut Workspace,
     ) -> (Tensor, Tensor) {
         tape.begin();
         let logits = self.infer_recording(x, tape, ws);
-        let g = grad_of(&logits);
+        let g = grad_of(&logits, ws);
         let gi = self.grad(&g, tape, ws);
+        ws.recycle(g);
         (logits, gi)
     }
 }

@@ -192,16 +192,14 @@ impl TensorAdam {
                     v: Tensor::zeros(p.shape()),
                 });
             }
-            let mut grad_owned = (*g).clone();
-            self.apply_owned(i, p, &mut grad_owned, 0.0);
+            self.apply(i, p, g, 0.0);
         }
     }
 
-    fn apply(&mut self, idx: usize, value: &mut Tensor, grad: &mut Tensor, decay: f32) {
-        self.apply_owned(idx, value, grad, decay)
-    }
-
-    fn apply_owned(&mut self, idx: usize, value: &mut Tensor, grad: &mut Tensor, decay: f32) {
+    /// The update only reads the gradient, so it borrows it shared — no
+    /// per-step clone of `dL/dθ` (the refine loop calls this 40–80 times
+    /// per class).
+    fn apply(&mut self, idx: usize, value: &mut Tensor, grad: &Tensor, decay: f32) {
         let st = &mut self.state[idx];
         assert_eq!(st.m.shape(), value.shape(), "TensorAdam: state shape drift");
         let b1 = self.beta1;
@@ -213,7 +211,7 @@ impl TensorAdam {
         let md = st.m.data_mut();
         let vd = st.v.data_mut();
         let pd = value.data_mut();
-        let gd = grad.data_mut();
+        let gd = grad.data();
         for i in 0..pd.len() {
             let g = gd[i] + decay * pd[i];
             md[i] = b1 * md[i] + (1.0 - b1) * g;

@@ -101,24 +101,89 @@ pub fn im2col_into(
         "im2col_into: out length mismatch"
     );
     out.fill(0.0);
+    im2col_strided_into(img, c, h, w, kh, kw, spec, cols, 0, out);
+}
+
+/// [`im2col_into`] writing into a column *block* of a wider matrix: row `r`
+/// of the unfolding lands at `out[r * row_stride + col0 ..]`. This is how
+/// the batched conv GEMM lays N images side by side into one `[C·KH·KW,
+/// N·OH·OW]` matrix so a single wide GEMM replaces N skinny ones.
+///
+/// Only in-bounds taps are written — the caller must pre-zero the
+/// destination so padding taps read as zero (exactly the zeros
+/// [`im2col_into`]'s own `fill` would have produced, so results are
+/// bit-identical to the per-image path). Stride-1 geometries take a
+/// contiguous `copy_from_slice` fast path per kernel row.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the geometry or the block does
+/// not fit within `row_stride`.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+pub fn im2col_strided_into(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    row_stride: usize,
+    col0: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(
+        img.len(),
+        c * h * w,
+        "im2col_strided: image length mismatch"
+    );
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cols = oh * ow;
+    assert!(
+        col0 + cols <= row_stride,
+        "im2col_strided: block [{col0}, {}) exceeds row stride {row_stride}",
+        col0 + cols
+    );
+    assert!(
+        out.len() >= c * kh * kw * row_stride,
+        "im2col_strided: out length mismatch"
+    );
     for ch in 0..c {
         let img_ch = &img[ch * h * w..(ch + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ch * kh + ky) * kw + kx;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
+                let out_row = &mut out[row * row_stride + col0..row * row_stride + col0 + cols];
+                if spec.stride == 1 {
+                    // In-bounds output range is an interval: one contiguous
+                    // copy per (kernel row, output row).
+                    let oy0 = spec.pad.saturating_sub(ky);
+                    let oy1 = oh.min((h + spec.pad).saturating_sub(ky));
+                    let ox0 = spec.pad.saturating_sub(kx);
+                    let ox1 = ow.min((w + spec.pad).saturating_sub(kx));
+                    if ox1 > ox0 {
+                        for oy in oy0..oy1 {
+                            let iy = oy + ky - spec.pad;
+                            let ix0 = ox0 + kx - spec.pad;
+                            out_row[oy * ow + ox0..oy * ow + ox1]
+                                .copy_from_slice(&img_ch[iy * w + ix0..iy * w + ix0 + (ox1 - ox0)]);
+                        }
                     }
-                    let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                        if ix < 0 || ix >= w as isize {
+                } else {
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        out_row[oy * ow + ox] = src_row[ix as usize];
+                        let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[oy * ow + ox] = src_row[ix as usize];
+                        }
                     }
                 }
             }
@@ -182,23 +247,82 @@ pub fn col2im_into(
     );
     assert_eq!(out.len(), c * h * w, "col2im_into: out length mismatch");
     out.fill(0.0);
+    col2im_strided_into(cols_mat, c, h, w, kh, kw, spec, cols, 0, out);
+}
+
+/// [`col2im_into`] reading one column *block* of a wider matrix (see
+/// [`im2col_strided_into`] for the layout). Accumulates with `+=` into
+/// `out`, which the caller must pre-zero; the (channel, kernel-row,
+/// kernel-col, output-row) scatter order matches the per-image kernel
+/// exactly, so overlapping contributions sum in the same order and results
+/// are bit-identical. Stride-1 geometries take a contiguous vectorizable
+/// fast path.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the geometry or the block does
+/// not fit within `row_stride`.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+pub fn col2im_strided_into(
+    cols_mat: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    row_stride: usize,
+    col0: usize,
+    out: &mut [f32],
+) {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cols = oh * ow;
+    assert!(
+        col0 + cols <= row_stride,
+        "col2im_strided: block [{col0}, {}) exceeds row stride {row_stride}",
+        col0 + cols
+    );
+    assert!(
+        cols_mat.len() >= c * kh * kw * row_stride,
+        "col2im_strided: column matrix length mismatch"
+    );
+    assert_eq!(out.len(), c * h * w, "col2im_strided: out length mismatch");
     for ch in 0..c {
         let img_ch = &mut out[ch * h * w..(ch + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ch * kh + ky) * kw + kx;
-                let src_row = &cols_mat[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
+                let src_row = &cols_mat[row * row_stride + col0..row * row_stride + col0 + cols];
+                if spec.stride == 1 {
+                    let oy0 = spec.pad.saturating_sub(ky);
+                    let oy1 = oh.min((h + spec.pad).saturating_sub(ky));
+                    let ox0 = spec.pad.saturating_sub(kx);
+                    let ox1 = ow.min((w + spec.pad).saturating_sub(kx));
+                    if ox1 > ox0 {
+                        for oy in oy0..oy1 {
+                            let iy = oy + ky - spec.pad;
+                            let ix0 = ox0 + kx - spec.pad;
+                            let dst = &mut img_ch[iy * w + ix0..iy * w + ix0 + (ox1 - ox0)];
+                            let src = &src_row[oy * ow + ox0..oy * ow + ox1];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
                     }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                        if ix < 0 || ix >= w as isize {
+                } else {
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        img_ch[iy as usize * w + ix as usize] += src_row[oy * ow + ox];
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            img_ch[iy as usize * w + ix as usize] += src_row[oy * ow + ox];
+                        }
                     }
                 }
             }
@@ -210,10 +334,14 @@ pub fn col2im_into(
 /// optimisation (DeepFool, trigger refinement) the parameter gradients are
 /// computed and immediately discarded, so this kernel skips them — no
 /// im2col of the cached input, no weight/bias GEMM — and folds
-/// `Wᵀ @ grad_out` straight back into image space. The returned gradient
-/// is **bit-identical** to the first element of the [`conv2d_backward`]
-/// tuple (same `matmul_transa_into` + [`col2im_into`] calls in the same
-/// per-image order); `h`/`w` are the spatial dims of the forward input.
+/// `Wᵀ @ grad_out` straight back into image space. The whole batch goes
+/// through **one wide GEMM**: the per-image `[OC, OH·OW]` gradients are
+/// interleaved into a `[OC, N·OH·OW]` matrix, multiplied once, and folded
+/// back per image. Every output element still sums over `oc` in ascending
+/// order and the col2im scatter order per image is unchanged, so the
+/// result is **bit-identical** to the first element of the
+/// [`conv2d_backward`] tuple; `h`/`w` are the spatial dims of the forward
+/// input.
 ///
 /// The returned gradient is built from a workspace buffer ([`col2im_into`]
 /// fully overwrites each per-image slice, so a dirty checkout is safe);
@@ -241,16 +369,28 @@ pub fn conv2d_input_backward_ws(
     );
     let rows = ic * kh * kw;
     let cols = oh * ow;
-    let wd = weight.data(); // [OC, IC·KH·KW] row-major, no reshape copy
+    let wide = n * cols;
+    let wd = weight.data(); // [OC, IC·KH·KW] row-major: already k-major for Wᵀ@g
     let god = grad_out.data();
-    let mut grad_input = ws.take_dirty(n * ic * h * w);
-    let mut grad_cols = ws.take_dirty(rows * cols);
+    // Interleave [N, OC, cols] → [OC, N·cols] so one wide GEMM covers the
+    // whole batch (the per-image `cols` is tiny on deep layers, far below
+    // the width a register-tiled GEMM needs).
+    let mut go_wide = ws.take_dirty(oc * wide);
     for i in 0..n {
-        let go = &god[i * oc * cols..(i + 1) * oc * cols];
-        ops::matmul_transa_into(wd, go, rows, oc, cols, &mut grad_cols);
-        let gi = &mut grad_input[i * ic * h * w..(i + 1) * ic * h * w];
-        col2im_into(&grad_cols, ic, h, w, kh, kw, spec, gi);
+        for ch in 0..oc {
+            go_wide[ch * wide + i * cols..ch * wide + (i + 1) * cols]
+                .copy_from_slice(&god[(i * oc + ch) * cols..(i * oc + ch + 1) * cols]);
+        }
     }
+    let mut grad_cols = ws.take_dirty(rows * wide);
+    ops::matmul_transa_into(wd, &go_wide, rows, oc, wide, &mut grad_cols);
+    let mut grad_input = ws.take_dirty(n * ic * h * w);
+    for i in 0..n {
+        let gi = &mut grad_input[i * ic * h * w..(i + 1) * ic * h * w];
+        gi.fill(0.0);
+        col2im_strided_into(&grad_cols, ic, h, w, kh, kw, spec, wide, i * cols, gi);
+    }
+    ws.put(go_wide);
     ws.put(grad_cols);
     Tensor::from_vec(grad_input, &[n, ic, h, w])
 }
@@ -358,11 +498,20 @@ pub fn conv2d_forward(
 ///
 /// This is the single dense-conv forward implementation
 /// ([`conv2d_forward`] wraps it with a throwaway workspace), so the two
-/// entry points are bit-identical by construction. After the first call at
-/// a given geometry, repeat calls with the same (warm) workspace perform no
-/// heap allocation inside the kernel; the returned output tensor is built
-/// from a workspace buffer, so callers that hand it back via
-/// [`Workspace::recycle`] keep the steady state allocation-free.
+/// entry points are bit-identical by construction. The batch is fused into
+/// **one wide GEMM**: all N images are unfolded side by side into a
+/// `[IC·KH·KW, N·OH·OW]` column matrix and multiplied by the weight panel
+/// in a single call — each output element is still the same ascending-`k`
+/// dot product, so results are bit-identical to the per-image loop. The
+/// weight is packed k-major once per weight version via
+/// [`Workspace::packed_transpose`] and the panel is reused across every
+/// subsequent call (every Adam step of a refine loop).
+///
+/// After the first call at a given geometry, repeat calls with the same
+/// (warm) workspace perform no heap allocation inside the kernel; the
+/// returned output tensor is built from a workspace buffer, so callers
+/// that hand it back via [`Workspace::recycle`] keep the steady state
+/// allocation-free.
 ///
 /// # Panics
 ///
@@ -389,27 +538,40 @@ pub fn conv2d_forward_ws(
     let ow = spec.out_size(w, kw);
     let rows = ic * kh * kw;
     let cols = oh * ow;
+    let wide = n * cols;
     let id = input.data();
-    // weight is [OC, IC, KH, KW] row-major == the [OC, IC·KH·KW] GEMM
-    // matrix; no reshape copy needed.
-    let wd = weight.data();
-    let mut cols_buf = ws.take_dirty(rows * cols);
-    let mut out = ws.take_dirty(n * oc * oh * ow);
+    // All N images side by side: padding taps must read as zero, so the
+    // wide column matrix is blanket-zeroed once before the strided writes.
+    let mut cols_all = ws.take_dirty(rows * wide);
+    cols_all.fill(0.0);
     for i in 0..n {
         let img = &id[i * ic * h * w..(i + 1) * ic * h * w];
-        im2col_into(img, ic, h, w, kh, kw, spec, &mut cols_buf);
-        let o = &mut out[i * oc * cols..(i + 1) * oc * cols];
-        ops::matmul_into(wd, &cols_buf, oc, rows, cols, o);
-        if let Some(b) = bias {
-            for ch in 0..oc {
-                let bv = b.data()[ch];
-                for v in &mut o[ch * cols..(ch + 1) * cols] {
-                    *v += bv;
+        im2col_strided_into(img, ic, h, w, kh, kw, spec, wide, i * cols, &mut cols_all);
+    }
+    let mut out_wide = ws.take_dirty(oc * wide);
+    let mut out = ws.take_dirty(n * oc * cols);
+    // weight is [OC, IC, KH, KW] row-major == the [OC, IC·KH·KW] GEMM
+    // matrix; packed k-major once per weight version, then one wide GEMM.
+    let wt = ws.packed_transpose(weight, oc, rows);
+    ops::matmul_transa_into(wt, &cols_all, oc, rows, wide, &mut out_wide);
+    // Un-interleave [OC, N·cols] → [N, OC, cols], fusing the bias add.
+    for i in 0..n {
+        for ch in 0..oc {
+            let src = &out_wide[ch * wide + i * cols..ch * wide + (i + 1) * cols];
+            let dst = &mut out[(i * oc + ch) * cols..(i * oc + ch + 1) * cols];
+            match bias {
+                Some(b) => {
+                    let bv = b.data()[ch];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = s + bv;
+                    }
                 }
+                None => dst.copy_from_slice(src),
             }
         }
     }
-    ws.put(cols_buf);
+    ws.put(cols_all);
+    ws.put(out_wide);
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
@@ -622,8 +784,12 @@ pub fn depthwise_backward(
 
 /// Convolves a single-channel image with a single kernel (used by SSIM's
 /// gaussian blur and the depthwise kernels). Writes into `out`.
+///
+/// The unpadded case (SSIM's "valid" blur on every refine step) takes a
+/// branch-free tight loop; the accumulation order over `(ky, kx)` is the
+/// same in both branches, so results are bit-identical.
 #[allow(clippy::too_many_arguments)] // flat scalar kernel signature, hot path
-fn conv_single_into(
+pub(crate) fn conv_single_into(
     img: &[f32],
     h: usize,
     w: usize,
@@ -637,6 +803,23 @@ fn conv_single_into(
     let oh = spec.out_size(h, kh);
     let ow = spec.out_size(w, kw);
     debug_assert_eq!(out.len(), oh * ow);
+    if spec.pad == 0 {
+        for oy in 0..oh {
+            let iy0 = oy * spec.stride;
+            for ox in 0..ow {
+                let ix0 = ox * spec.stride;
+                let mut acc = bias;
+                for ky in 0..kh {
+                    let irow = &img[(iy0 + ky) * w + ix0..(iy0 + ky) * w + ix0 + kw];
+                    for (&iv, &kv) in irow.iter().zip(&ker[ky * kw..(ky + 1) * kw]) {
+                        acc += iv * kv;
+                    }
+                }
+                out[oy * ow + ox] = acc;
+            }
+        }
+        return;
+    }
     for oy in 0..oh {
         for ox in 0..ow {
             let mut acc = bias;
@@ -677,6 +860,37 @@ pub fn conv2d_valid_single(img: &Tensor, ker: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[oh, ow])
 }
 
+/// Slice-level [`conv2d_valid_single_adjoint`]: scatters the `[OH, OW]`
+/// gradient back onto the zero-filled-by-this-call `[H, W]` plane `out`
+/// (dirty workspace buffers are fine). Same scatter order as the tensor
+/// entry point, which wraps it — bit-identical by construction.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+pub(crate) fn conv_valid_adjoint_into(
+    grad: &[f32],
+    oh: usize,
+    ow: usize,
+    ker: &[f32],
+    kh: usize,
+    kw: usize,
+    w: usize,
+    out: &mut [f32],
+) {
+    out.fill(0.0);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let g = grad[oy * ow + ox];
+            if g == 0.0 {
+                continue;
+            }
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    out[(oy + ky) * w + (ox + kx)] += g * ker[ky * kw + kx];
+                }
+            }
+        }
+    }
+}
+
 /// Adjoint of [`conv2d_valid_single`] with respect to the image: scatters an
 /// output-sized gradient back onto an `[H, W]` input-gradient plane
 /// ("full" correlation with the same kernel).
@@ -693,21 +907,7 @@ pub fn conv2d_valid_single_adjoint(grad: &Tensor, ker: &Tensor, h: usize, w: usi
     assert_eq!(oh, h + 1 - kh, "adjoint: grad height mismatch");
     assert_eq!(ow, w + 1 - kw, "adjoint: grad width mismatch");
     let mut out = vec![0.0f32; h * w];
-    let gd = grad.data();
-    let kd = ker.data();
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let g = gd[oy * ow + ox];
-            if g == 0.0 {
-                continue;
-            }
-            for ky in 0..kh {
-                for kx in 0..kw {
-                    out[(oy + ky) * w + (ox + kx)] += g * kd[ky * kw + kx];
-                }
-            }
-        }
-    }
+    conv_valid_adjoint_into(grad.data(), oh, ow, ker.data(), kh, kw, w, &mut out);
     Tensor::from_vec(out, &[h, w])
 }
 

@@ -2,21 +2,132 @@
 
 use crate::Tensor;
 
-/// Panel height (rows of `b` per block): a `BLOCK_K × BLOCK_COLS` panel is
-/// 16 KiB of `f32`, sized to sit in L1 while it is swept over every row of
-/// `a`.
-const BLOCK_K: usize = 64;
-/// Panel width (columns of `b` per block); see [`BLOCK_K`].
-const BLOCK_COLS: usize = 64;
+/// Register-tile height: rows of the output each micro-kernel call produces.
+pub const MR: usize = 4;
+/// Register-tile width: output columns per micro-kernel call. `MR × NR`
+/// accumulators are 8 SSE vectors at the default x86-64 target, leaving
+/// half the register file for the `b` row and the `a` broadcasts.
+pub const NR: usize = 8;
+
+/// Full `MR × NR` register tile of `out[i0.., j0..] = Σ_k a ⊙ b`.
+///
+/// `a` is addressed as `a[abase + r*ars + kk*aks]` so the same kernel serves
+/// both the row-major (`ars = k, aks = 1`) and the transposed / k-major
+/// (`ars = 1, aks = m`) left operand without a copy. The accumulators live
+/// in a fixed-size array for the whole `k` sweep and are stored exactly
+/// once, and every output element still accumulates in ascending-`k` order,
+/// so results are bit-identical to the naive triple loop.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_full(
+    a: &[f32],
+    abase: usize,
+    ars: usize,
+    aks: usize,
+    b: &[f32],
+    j0: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    obase: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let b0 = kk * n + j0;
+        let brow: [f32; NR] = b[b0..b0 + NR].try_into().unwrap();
+        let a0 = abase + kk * aks;
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[a0 + r * ars];
+            for (o, &bv) in accr.iter_mut().zip(&brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let o0 = obase + r * n + j0;
+        out[o0..o0 + NR].copy_from_slice(accr);
+    }
+}
+
+/// Partial tile (`rows ≤ MR`, `jw ≤ NR`) for the ragged right/bottom edges.
+/// Same accumulation order as [`gemm_tile_full`], just with runtime bounds.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_edge(
+    a: &[f32],
+    abase: usize,
+    ars: usize,
+    aks: usize,
+    b: &[f32],
+    j0: usize,
+    jw: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    obase: usize,
+    rows: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let b0 = kk * n + j0;
+        let a0 = abase + kk * aks;
+        for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+            let av = a[a0 + r * ars];
+            for (o, &bv) in accr.iter_mut().zip(&b[b0..b0 + jw]) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(rows) {
+        let o0 = obase + r * n + j0;
+        out[o0..o0 + jw].copy_from_slice(&accr[..jw]);
+    }
+}
+
+/// Register-blocked GEMM driver shared by [`matmul_into`] (`ars = k,
+/// aks = 1`) and [`matmul_transa_into`] (`ars = 1, aks = m`). Walks the
+/// output in `MR × NR` tiles; every element of `out` is written exactly
+/// once, so dirty scratch buffers are fine without a pre-fill.
+#[allow(clippy::too_many_arguments)] // flat scalar geometry, hot path
+fn gemm_strided_a(
+    a: &[f32],
+    ars: usize,
+    aks: usize,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut i = 0;
+    while i < m {
+        let rows = (m - i).min(MR);
+        let abase = i * ars;
+        let obase = i * n;
+        let mut j = 0;
+        if rows == MR {
+            while j + NR <= n {
+                gemm_tile_full(a, abase, ars, aks, b, j, k, n, out, obase);
+                j += NR;
+            }
+        }
+        while j < n {
+            let jw = (n - j).min(NR);
+            gemm_tile_edge(a, abase, ars, aks, b, j, jw, k, n, out, obase, rows);
+            j += NR;
+        }
+        i += MR;
+    }
+}
 
 /// Dense matrix product `a @ b` for 2-D tensors `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses a blocked i-k-j loop: the innermost loop streams rows of `b`
-/// (cache-friendly for row-major data), and `b` is processed in
-/// `BLOCK_K × BLOCK_COLS` panels that stay L1-resident while being reused
-/// across every row of `a` — the access pattern the im2col GEMM in
-/// `conv::conv2d_forward` / `conv::conv2d_backward` hits on every layer of
-/// every forward and backward pass.
+/// Uses `MR × NR` register tiles (`gemm_tile_full`): the accumulators
+/// for one output tile live in registers across the whole `k` sweep and are
+/// stored once, with fixed-width inner loops the autovectorizer turns into
+/// SSE rank-1 updates — the access pattern the im2col GEMM in
+/// `conv::conv2d_forward_ws` / `conv::conv2d_backward` hits on every layer
+/// of every forward and backward pass.
 ///
 /// For any fixed output element the `k`-accumulation order is ascending
 /// regardless of the blocking, so results are bit-identical to the naive
@@ -70,26 +181,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
     assert_eq!(a.len(), m * k, "matmul_into: lhs length mismatch");
     assert_eq!(b.len(), k * n, "matmul_into: rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_into: out length mismatch");
-    out.fill(0.0);
-    for jb in (0..n).step_by(BLOCK_COLS) {
-        let je = (jb + BLOCK_COLS).min(n);
-        for kb in (0..k).step_by(BLOCK_K) {
-            let ke = (kb + BLOCK_K).min(k);
-            for i in 0..m {
-                let arow = &a[i * k..(i + 1) * k];
-                let orow = &mut out[i * n + jb..i * n + je];
-                for (kk, &av) in arow[kb..ke].iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[(kb + kk) * n + jb..(kb + kk) * n + je];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-    }
+    gemm_strided_a(a, k, 1, b, m, k, n, out);
 }
 
 /// `a @ b^T` for 2-D tensors `[m, k] x [n, k] -> [m, n]` without
@@ -123,28 +215,51 @@ pub fn matmul_transb_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ou
     assert_eq!(a.len(), m * k, "matmul_transb_into: lhs length mismatch");
     assert_eq!(b.len(), n * k, "matmul_transb_into: rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_transb_into: out length mismatch");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+    // Both operands are k-contiguous, so each output element is one dot
+    // product; a 4×2 tile runs eight independent accumulator chains to hide
+    // FP-add latency (the old single-chain loop serialised on it). Each
+    // chain still sums in ascending `k`, so results are bit-identical.
+    const MRT: usize = 4;
+    const NRT: usize = 2;
+    let mut i = 0;
+    while i < m {
+        let rows = (m - i).min(MRT);
+        let mut j = 0;
+        while j < n {
+            let cols = (n - j).min(NRT);
+            let mut acc = [[0.0f32; NRT]; MRT];
+            for kk in 0..k {
+                let mut bv = [0.0f32; NRT];
+                for (c, bvc) in bv.iter_mut().enumerate().take(cols) {
+                    *bvc = b[(j + c) * k + kk];
+                }
+                for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+                    let av = a[(i + r) * k + kk];
+                    for (o, &bvc) in accr.iter_mut().zip(&bv).take(cols) {
+                        *o += av * bvc;
+                    }
+                }
             }
-            out[i * n + j] = acc;
+            for (r, accr) in acc.iter().enumerate().take(rows) {
+                for (c, &v) in accr.iter().enumerate().take(cols) {
+                    out[(i + r) * n + j + c] = v;
+                }
+            }
+            j += NRT;
         }
+        i += MRT;
     }
 }
 
 /// `a^T @ b` for 2-D tensors `[k, m] x [k, n] -> [m, n]` without
 /// materialising the transpose.
 ///
-/// Output columns are processed in `BLOCK_COLS`-wide panels so the
-/// `m × BLOCK_COLS` output slab being accumulated into stays cache-resident
-/// across the `k` sweep (this is the `Wᵀ @ grad` step of the conv backward
-/// pass, where the full output would thrash). As in [`matmul`], the
-/// per-element accumulation order is unchanged, so results are bit-identical
-/// to the unblocked loop.
+/// Shares the `MR × NR` register-tiled driver with [`matmul`] — the left
+/// operand is simply addressed k-major (`a[kk * m + i]`), which makes the
+/// `MR` per-row loads of one tile contiguous (this is the `Wᵀ @ grad` step
+/// of the conv backward pass, and the packed-panel forward GEMM). As in
+/// [`matmul`], the per-element accumulation order is unchanged, so results
+/// are bit-identical to the unblocked loop.
 ///
 /// # Panics
 ///
@@ -174,21 +289,33 @@ pub fn matmul_transa_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ou
     assert_eq!(a.len(), k * m, "matmul_transa_into: lhs length mismatch");
     assert_eq!(b.len(), k * n, "matmul_transa_into: rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_transa_into: out length mismatch");
-    out.fill(0.0);
-    for jb in (0..n).step_by(BLOCK_COLS) {
-        let je = (jb + BLOCK_COLS).min(n);
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n + jb..kk * n + je];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n + jb..i * n + je];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+    gemm_strided_a(a, 1, m, b, m, k, n, out);
+}
+
+/// Writes the transpose of `src` (`[rows, cols]` row-major) into `out`
+/// (`[cols, rows]` row-major, fully overwritten — dirty buffers are fine).
+///
+/// This is the packing primitive behind [`crate::Workspace::packed_transpose`]:
+/// a row-major weight matrix transposed once into a k-major panel lets the
+/// GEMM address it with unit-stride tile loads.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    assert_eq!(
+        src.len(),
+        rows * cols,
+        "transpose_into: src length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        rows * cols,
+        "transpose_into: out length mismatch"
+    );
+    for i in 0..rows {
+        for (j, &v) in src[i * cols..(i + 1) * cols].iter().enumerate() {
+            out[j * rows + i] = v;
         }
     }
 }
@@ -201,13 +328,8 @@ pub fn matmul_transa_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ou
 pub fn transpose2d(a: &Tensor) -> Tensor {
     assert_eq!(a.ndim(), 2, "transpose2d: need rank-2, got {:?}", a.shape());
     let (m, n) = (a.shape()[0], a.shape()[1]);
-    let ad = a.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
-        }
-    }
+    transpose_into(a.data(), m, n, &mut out);
     Tensor::from_vec(out, &[n, m])
 }
 
@@ -352,14 +474,17 @@ mod tests {
 
     #[test]
     fn blocked_matmul_is_bitwise_identical_to_naive() {
-        // Sizes straddling the 64-wide panels, including non-multiples, so
-        // every partial-block edge case is exercised.
+        // Sizes straddling the MR×NR register tiles, including non-multiples,
+        // so every partial-tile edge case is exercised.
         for &(m, k, n) in &[
             (3, 5, 7),
             (2, 64, 64),
             (5, 65, 130),
             (1, 200, 3),
             (17, 100, 129),
+            (4, 3, 8),
+            (5, 1, 9),
+            (9, 7, 17),
         ] {
             let a = Tensor::from_fn(&[m, k], |i| ((i as f32) * 0.61).sin());
             let b = Tensor::from_fn(&[k, n], |i| ((i as f32) * 0.37).cos());

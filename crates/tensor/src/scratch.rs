@@ -44,13 +44,29 @@
 //! assert_eq!(b.data(), &[0.0; 6]);
 //! ```
 
-use crate::Tensor;
+use crate::{ops, Tensor};
+
+/// Upper bound on cached packed panels per workspace; the oldest entry is
+/// evicted (its buffer returned to the pool) beyond this. Sized for the
+/// deepest model in the zoo (ResNet-18 has ~20 packable weight matrices).
+const MAX_PACKS: usize = 32;
+
+/// One cached packed panel: the transpose of a weight matrix identified by
+/// its [`Tensor::content_id`] at pack time.
+#[derive(Debug)]
+struct PackEntry {
+    key: u64,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
 
 /// An arena of reusable `f32` scratch buffers (see the module docs for the
 /// zero-fill and `Clone` contract).
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    packs: Vec<PackEntry>,
 }
 
 impl Clone for Workspace {
@@ -66,7 +82,56 @@ impl Workspace {
     /// Creates an empty workspace (no buffers until the first
     /// [`Workspace::put`]).
     pub fn new() -> Self {
-        Workspace { pool: Vec::new() }
+        Workspace {
+            pool: Vec::new(),
+            packs: Vec::new(),
+        }
+    }
+
+    /// The transpose of `t` (viewed as a `[rows, cols]` matrix), packed once
+    /// and cached.
+    ///
+    /// The cache is keyed on [`Tensor::content_id`], so as long as `t` is
+    /// not mutated — a weight matrix across the 40–80 Adam steps of one
+    /// refine loop, say — every call after the first is a lookup, not a
+    /// transpose. When `t` *is* mutated (training), its id changes and the
+    /// panel is repacked; stale entries age out of the bounded cache and
+    /// their buffers return to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.len() != rows * cols`.
+    pub fn packed_transpose(&mut self, t: &Tensor, rows: usize, cols: usize) -> &[f32] {
+        assert_eq!(
+            t.len(),
+            rows * cols,
+            "packed_transpose: {rows}x{cols} view of a {}-element tensor",
+            t.len()
+        );
+        let key = t.content_id();
+        let pos = self
+            .packs
+            .iter()
+            .position(|p| p.key == key && p.rows == rows && p.cols == cols);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                if self.packs.len() >= MAX_PACKS {
+                    let old = self.packs.remove(0);
+                    self.put(old.data);
+                }
+                let mut data = self.take_dirty(rows * cols);
+                ops::transpose_into(t.data(), rows, cols, &mut data);
+                self.packs.push(PackEntry {
+                    key,
+                    rows,
+                    cols,
+                    data,
+                });
+                self.packs.len() - 1
+            }
+        };
+        &self.packs[pos].data
     }
 
     /// Checks out a zero-filled buffer of exactly `len` elements.
@@ -218,6 +283,40 @@ mod tests {
         ws.put(c);
         let d = ws.take(20);
         assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn packed_transpose_caches_until_mutation() {
+        let mut ws = Workspace::new();
+        let mut w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let expect = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        assert_eq!(ws.packed_transpose(&w, 2, 3), &expect);
+
+        // Second call is a cache hit: the pool is untouched.
+        let pooled = ws.pooled();
+        assert_eq!(ws.packed_transpose(&w, 2, 3), &expect);
+        assert_eq!(ws.pooled(), pooled);
+
+        // Mutation re-stamps the id, so the pack is rebuilt with new data.
+        w.data_mut()[0] = 10.0;
+        assert_eq!(
+            ws.packed_transpose(&w, 2, 3),
+            &[10.0, 4.0, 2.0, 5.0, 3.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn packed_transpose_cache_is_bounded() {
+        let mut ws = Workspace::new();
+        for i in 0..3 * MAX_PACKS {
+            let t = Tensor::full(&[2, 2], i as f32);
+            let _ = ws.packed_transpose(&t, 2, 2);
+        }
+        assert_eq!(ws.packs.len(), MAX_PACKS);
+        // Each eviction returns its buffer to the pool and the replacement
+        // pack immediately reuses it, so the steady state is one buffer per
+        // cache slot and an empty pool — eviction recycles, never leaks.
+        assert_eq!(ws.pooled(), 0);
     }
 
     #[test]

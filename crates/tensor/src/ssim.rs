@@ -23,8 +23,9 @@
 //! where `Gᵀ` is the adjoint blur ([`crate::conv::conv2d_valid_single_adjoint`]).
 //! The gradient is verified against finite differences in the tests.
 
-use crate::conv::{conv2d_valid_single, conv2d_valid_single_adjoint};
-use crate::Tensor;
+use crate::conv::{conv_single_into, conv_valid_adjoint_into, ConvSpec};
+use crate::{Tensor, Workspace};
+use std::cell::RefCell;
 
 /// Stabilisation constants `(C1, C2)` from the SSIM paper, for a dynamic
 /// range `L`: `C1 = (0.01 L)²`, `C2 = (0.03 L)²`.
@@ -107,7 +108,7 @@ pub fn ssim(x: &Tensor, y: &Tensor) -> f32 {
 ///
 /// Panics if the shapes differ or the rank is not 3 or 4.
 pub fn ssim_with_constants(x: &Tensor, y: &Tensor, k: SsimConstants) -> f32 {
-    let (val, _) = ssim_impl(x, y, k, false);
+    let (val, _) = ssim_impl_ws(x, y, k, false, &mut Workspace::new());
     val
 }
 
@@ -119,7 +120,22 @@ pub fn ssim_with_constants(x: &Tensor, y: &Tensor, k: SsimConstants) -> f32 {
 ///
 /// Panics if the shapes differ or the rank is not 3 or 4.
 pub fn ssim_with_grad(x: &Tensor, y: &Tensor) -> (f32, Tensor) {
-    let (val, grad) = ssim_impl(x, y, SsimConstants::default(), true);
+    ssim_with_grad_ws(x, y, &mut Workspace::new())
+}
+
+/// [`ssim_with_grad`] drawing every intermediate from `ws`.
+///
+/// The hot refine loop calls this once per Adam step; all window
+/// statistics, adjoint planes and the product scratch come from (and
+/// return to) the workspace pool, so steady-state calls allocate only the
+/// returned gradient tensor — which callers can in turn [`Workspace::recycle`].
+/// Results are bit-identical to [`ssim_with_grad`], which wraps this.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the rank is not 3 or 4.
+pub fn ssim_with_grad_ws(x: &Tensor, y: &Tensor, ws: &mut Workspace) -> (f32, Tensor) {
+    let (val, grad) = ssim_impl_ws(x, y, SsimConstants::default(), true, ws);
     (val, grad.expect("gradient requested"))
 }
 
@@ -131,102 +147,278 @@ fn plane_views(t: &Tensor) -> (usize, usize, usize) {
     }
 }
 
-fn ssim_impl(x: &Tensor, y: &Tensor, k: SsimConstants, want_grad: bool) -> (f32, Option<Tensor>) {
+thread_local! {
+    /// Per-thread cache of the normalised gaussian windows, one slot per
+    /// odd size `1, 3, …, 11` that [`fitting_window`] can produce
+    /// (index `size / 2`).
+    static WINDOW_CACHE: RefCell<[Option<Box<[f32]>>; 6]> =
+        const { RefCell::new([None, None, None, None, None, None]) };
+}
+
+/// Copies the σ = 1.5 gaussian window of odd side `win` into `out`,
+/// computing it at most once per thread per size. [`gaussian_window`] is
+/// deterministic, so the cached copy is bit-identical to a fresh one.
+fn window_into(win: usize, out: &mut [f32]) {
+    debug_assert!(win % 2 == 1 && win <= 11, "unexpected window size {win}");
+    WINDOW_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let slot = &mut cache[win / 2];
+        if slot.is_none() {
+            *slot = Some(gaussian_window(win, 1.5).data().into());
+        }
+        out.copy_from_slice(slot.as_ref().expect("filled above"));
+    });
+}
+
+/// Slice-level SSIM over the planes of `x`/`y`, with all scratch drawn
+/// from `ws`.
+///
+/// Per plane this evaluates the same chain the original tensor-based
+/// implementation did — five valid blurs, the per-pixel `S`/`dS` formulas,
+/// three adjoint blurs, then `gp + gq∘2x + gr∘y` — with each elementwise
+/// tensor op replaced by the identical per-element float expression in the
+/// same order, so values and gradients are bit-identical (verified by
+/// `matches_tensor_reference_bitwise` below).
+fn ssim_impl_ws(
+    x: &Tensor,
+    y: &Tensor,
+    k: SsimConstants,
+    want_grad: bool,
+    ws: &mut Workspace,
+) -> (f32, Option<Tensor>) {
     assert_eq!(x.shape(), y.shape(), "ssim: shape mismatch");
     let (planes, h, w) = plane_views(x);
     let win = fitting_window(h, w);
-    let g = gaussian_window(win, 1.5);
-    let mut total = 0.0f64;
-    let mut grad = if want_grad {
-        Some(vec![0.0f32; x.len()])
-    } else {
-        None
-    };
+    let mut g = ws.take_dirty(win * win);
+    window_into(win, &mut g);
+    let spec = ConvSpec::new(1, 0);
+    let (oh, ow) = (h - win + 1, w - win + 1);
+    let out_len = oh * ow;
     let plane_len = h * w;
+    let grad_len = if want_grad { out_len } else { 0 };
+
+    let mut prod = ws.take_dirty(plane_len); // x², xy, y² in turn
+    let mut p = ws.take_dirty(out_len);
+    let mut u_y = ws.take_dirty(out_len);
+    let mut q = ws.take_dirty(out_len);
+    let mut r = ws.take_dirty(out_len);
+    let mut yy = ws.take_dirty(out_len);
+    let mut d_p = ws.take_dirty(grad_len);
+    let mut d_q = ws.take_dirty(grad_len);
+    let mut d_r = ws.take_dirty(grad_len);
+    let mut gp = ws.take_dirty(if want_grad { plane_len } else { 0 });
+    let mut gq = ws.take_dirty(if want_grad { plane_len } else { 0 });
+    let mut gr = ws.take_dirty(if want_grad { plane_len } else { 0 });
+    // Zeroed: gradients accumulate across planes.
+    let mut gacc = ws.take(if want_grad { x.len() } else { 0 });
+
+    let mut total = 0.0f64;
+    let n_out = out_len as f32;
     for pl in 0..planes {
-        let xp = Tensor::from_vec(
-            x.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
-            &[h, w],
-        );
-        let yp = Tensor::from_vec(
-            y.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
-            &[h, w],
-        );
-        let (s, gpl) = ssim_plane(&xp, &yp, &g, k, want_grad);
-        total += s as f64;
-        if let (Some(gacc), Some(gp)) = (grad.as_mut(), gpl) {
-            gacc[pl * plane_len..(pl + 1) * plane_len]
-                .iter_mut()
-                .zip(gp.data())
-                .for_each(|(a, &b)| *a += b / planes as f32);
+        let xs = &x.data()[pl * plane_len..(pl + 1) * plane_len];
+        let ys = &y.data()[pl * plane_len..(pl + 1) * plane_len];
+        conv_single_into(xs, h, w, &g, win, win, spec, 0.0, &mut p); // G*x
+        conv_single_into(ys, h, w, &g, win, win, spec, 0.0, &mut u_y); // G*y
+        for (o, &v) in prod.iter_mut().zip(xs) {
+            *o = v * v;
+        }
+        conv_single_into(&prod, h, w, &g, win, win, spec, 0.0, &mut q); // G*(x²)
+        for (o, (&a, &b)) in prod.iter_mut().zip(xs.iter().zip(ys)) {
+            *o = a * b;
+        }
+        conv_single_into(&prod, h, w, &g, win, win, spec, 0.0, &mut r); // G*(xy)
+        for (o, &v) in prod.iter_mut().zip(ys) {
+            *o = v * v;
+        }
+        conv_single_into(&prod, h, w, &g, win, win, spec, 0.0, &mut yy); // G*(y²)
+
+        let mut ssim_sum = 0.0f64;
+        for i in 0..out_len {
+            let pv = p[i];
+            let uy = u_y[i];
+            let qv = q[i];
+            let rv = r[i];
+            let vy = yy[i] - uy * uy;
+            let a1 = 2.0 * pv * uy + k.c1;
+            let a2 = 2.0 * (rv - pv * uy) + k.c2;
+            let b1 = pv * pv + uy * uy + k.c1;
+            let b2 = (qv - pv * pv) + vy + k.c2;
+            let s = (a1 * a2) / (b1 * b2);
+            ssim_sum += s as f64;
+            if want_grad {
+                // dS/dp = 2 u_y (A2 − A1)/(B1 B2) − 2 p S (1/B1 − 1/B2)
+                let dp = 2.0 * uy * (a2 - a1) / (b1 * b2) - 2.0 * pv * s * (1.0 / b1 - 1.0 / b2);
+                let dq = -s / b2;
+                let dr = 2.0 * a1 / (b1 * b2);
+                d_p[i] = dp / n_out;
+                d_q[i] = dq / n_out;
+                d_r[i] = dr / n_out;
+            }
+        }
+        let val = (ssim_sum / n_out as f64) as f32;
+        total += val as f64;
+        if want_grad {
+            // Pull the three window-statistic gradients back through the blur.
+            conv_valid_adjoint_into(&d_p, oh, ow, &g, win, win, w, &mut gp);
+            conv_valid_adjoint_into(&d_q, oh, ow, &g, win, win, w, &mut gq);
+            conv_valid_adjoint_into(&d_r, oh, ow, &g, win, win, w, &mut gr);
+            let ga = &mut gacc[pl * plane_len..(pl + 1) * plane_len];
+            for i in 0..plane_len {
+                let b = (gp[i] + gq[i] * (xs[i] * 2.0)) + gr[i] * ys[i];
+                ga[i] += b / planes as f32;
+            }
         }
     }
     let val = (total / planes as f64) as f32;
-    let grad = grad.map(|gv| Tensor::from_vec(gv, x.shape()));
+    for buf in [g, prod, p, u_y, q, r, yy, d_p, d_q, d_r, gp, gq, gr] {
+        ws.put(buf);
+    }
+    let grad = if want_grad {
+        Some(Tensor::from_vec(gacc, x.shape()))
+    } else {
+        ws.put(gacc);
+        None
+    };
     (val, grad)
-}
-
-/// SSIM of a single `[H, W]` plane; optionally also `d ssim / d x`.
-fn ssim_plane(
-    x: &Tensor,
-    y: &Tensor,
-    g: &Tensor,
-    k: SsimConstants,
-    want_grad: bool,
-) -> (f32, Option<Tensor>) {
-    let (h, w) = (x.shape()[0], x.shape()[1]);
-    let p = conv2d_valid_single(x, g); // G*x
-    let u_y = conv2d_valid_single(y, g); // G*y
-    let q = conv2d_valid_single(&x.mul(x), g); // G*(x²)
-    let r = conv2d_valid_single(&x.mul(y), g); // G*(xy)
-    let yy = conv2d_valid_single(&y.mul(y), g); // G*(y²)
-    let v_y = yy.sub(&u_y.mul(&u_y));
-
-    let n_out = p.len() as f32;
-    let mut ssim_sum = 0.0f64;
-    let mut d_p = Tensor::zeros(p.shape());
-    let mut d_q = Tensor::zeros(p.shape());
-    let mut d_r = Tensor::zeros(p.shape());
-    for i in 0..p.len() {
-        let pv = p.data()[i];
-        let uy = u_y.data()[i];
-        let qv = q.data()[i];
-        let rv = r.data()[i];
-        let vy = v_y.data()[i];
-        let a1 = 2.0 * pv * uy + k.c1;
-        let a2 = 2.0 * (rv - pv * uy) + k.c2;
-        let b1 = pv * pv + uy * uy + k.c1;
-        let b2 = (qv - pv * pv) + vy + k.c2;
-        let s = (a1 * a2) / (b1 * b2);
-        ssim_sum += s as f64;
-        if want_grad {
-            // dS/dp = 2 u_y (A2 − A1)/(B1 B2) − 2 p S (1/B1 − 1/B2)
-            let dp = 2.0 * uy * (a2 - a1) / (b1 * b2) - 2.0 * pv * s * (1.0 / b1 - 1.0 / b2);
-            let dq = -s / b2;
-            let dr = 2.0 * a1 / (b1 * b2);
-            d_p.data_mut()[i] = dp / n_out;
-            d_q.data_mut()[i] = dq / n_out;
-            d_r.data_mut()[i] = dr / n_out;
-        }
-    }
-    let val = (ssim_sum / n_out as f64) as f32;
-    if !want_grad {
-        return (val, None);
-    }
-    // Pull the three window-statistic gradients back through the blur.
-    let gp = conv2d_valid_single_adjoint(&d_p, g, h, w);
-    let gq = conv2d_valid_single_adjoint(&d_q, g, h, w);
-    let gr = conv2d_valid_single_adjoint(&d_r, g, h, w);
-    let grad = gp.add(&gq.mul(&x.scale(2.0))).add(&gr.mul(y));
-    (val, Some(grad))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conv::{conv2d_valid_single, conv2d_valid_single_adjoint};
 
     fn image(shape: &[usize], phase: f32) -> Tensor {
         Tensor::from_fn(shape, |i| 0.5 + 0.4 * ((i as f32) * 0.13 + phase).sin())
+    }
+
+    /// The pre-workspace implementation, kept verbatim as the reference the
+    /// slice-based path must match bit for bit.
+    fn ssim_impl_reference(
+        x: &Tensor,
+        y: &Tensor,
+        k: SsimConstants,
+        want_grad: bool,
+    ) -> (f32, Option<Tensor>) {
+        assert_eq!(x.shape(), y.shape(), "ssim: shape mismatch");
+        let (planes, h, w) = plane_views(x);
+        let win = fitting_window(h, w);
+        let g = gaussian_window(win, 1.5);
+        let mut total = 0.0f64;
+        let mut grad = if want_grad {
+            Some(vec![0.0f32; x.len()])
+        } else {
+            None
+        };
+        let plane_len = h * w;
+        for pl in 0..planes {
+            let xp = Tensor::from_vec(
+                x.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
+                &[h, w],
+            );
+            let yp = Tensor::from_vec(
+                y.data()[pl * plane_len..(pl + 1) * plane_len].to_vec(),
+                &[h, w],
+            );
+            let (s, gpl) = ssim_plane_reference(&xp, &yp, &g, k, want_grad);
+            total += s as f64;
+            if let (Some(gacc), Some(gp)) = (grad.as_mut(), gpl) {
+                gacc[pl * plane_len..(pl + 1) * plane_len]
+                    .iter_mut()
+                    .zip(gp.data())
+                    .for_each(|(a, &b)| *a += b / planes as f32);
+            }
+        }
+        let val = (total / planes as f64) as f32;
+        let grad = grad.map(|gv| Tensor::from_vec(gv, x.shape()));
+        (val, grad)
+    }
+
+    fn ssim_plane_reference(
+        x: &Tensor,
+        y: &Tensor,
+        g: &Tensor,
+        k: SsimConstants,
+        want_grad: bool,
+    ) -> (f32, Option<Tensor>) {
+        let (h, w) = (x.shape()[0], x.shape()[1]);
+        let p = conv2d_valid_single(x, g); // G*x
+        let u_y = conv2d_valid_single(y, g); // G*y
+        let q = conv2d_valid_single(&x.mul(x), g); // G*(x²)
+        let r = conv2d_valid_single(&x.mul(y), g); // G*(xy)
+        let yy = conv2d_valid_single(&y.mul(y), g); // G*(y²)
+        let v_y = yy.sub(&u_y.mul(&u_y));
+
+        let n_out = p.len() as f32;
+        let mut ssim_sum = 0.0f64;
+        let mut d_p = Tensor::zeros(p.shape());
+        let mut d_q = Tensor::zeros(p.shape());
+        let mut d_r = Tensor::zeros(p.shape());
+        for i in 0..p.len() {
+            let pv = p.data()[i];
+            let uy = u_y.data()[i];
+            let qv = q.data()[i];
+            let rv = r.data()[i];
+            let vy = v_y.data()[i];
+            let a1 = 2.0 * pv * uy + k.c1;
+            let a2 = 2.0 * (rv - pv * uy) + k.c2;
+            let b1 = pv * pv + uy * uy + k.c1;
+            let b2 = (qv - pv * pv) + vy + k.c2;
+            let s = (a1 * a2) / (b1 * b2);
+            ssim_sum += s as f64;
+            if want_grad {
+                let dp = 2.0 * uy * (a2 - a1) / (b1 * b2) - 2.0 * pv * s * (1.0 / b1 - 1.0 / b2);
+                let dq = -s / b2;
+                let dr = 2.0 * a1 / (b1 * b2);
+                d_p.data_mut()[i] = dp / n_out;
+                d_q.data_mut()[i] = dq / n_out;
+                d_r.data_mut()[i] = dr / n_out;
+            }
+        }
+        let val = (ssim_sum / n_out as f64) as f32;
+        if !want_grad {
+            return (val, None);
+        }
+        let gp = conv2d_valid_single_adjoint(&d_p, g, h, w);
+        let gq = conv2d_valid_single_adjoint(&d_q, g, h, w);
+        let gr = conv2d_valid_single_adjoint(&d_r, g, h, w);
+        let grad = gp.add(&gq.mul(&x.scale(2.0))).add(&gr.mul(y));
+        (val, Some(grad))
+    }
+
+    #[test]
+    fn matches_tensor_reference_bitwise() {
+        // The workspace path must reproduce the historical tensor-based
+        // implementation bit for bit — value and gradient — across ranks,
+        // window sizes (5×5 forces win=5, 12×12 win=11, 8×9 win=7 with a
+        // non-square output) and a reused dirty workspace.
+        let mut ws = Workspace::new();
+        let shapes: &[&[usize]] = &[
+            &[1, 5, 5],
+            &[3, 12, 12],
+            &[2, 8, 9],
+            &[2, 3, 10, 10],
+            &[1, 1, 11, 7],
+        ];
+        for (i, shape) in shapes.iter().enumerate() {
+            let x = image(shape, 0.3 * i as f32);
+            let y = image(shape, 1.1 + 0.2 * i as f32);
+            let (rv, rg) = ssim_impl_reference(&x, &y, SsimConstants::default(), true);
+            let (wv, wg) = ssim_with_grad_ws(&x, &y, &mut ws);
+            assert_eq!(rv.to_bits(), wv.to_bits(), "value drifted for {shape:?}");
+            let rg = rg.expect("gradient requested");
+            assert_eq!(rg.shape(), wg.shape());
+            for (j, (a, b)) in rg.data().iter().zip(wg.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "grad bit drift at {j} for {shape:?}: {a} vs {b}"
+                );
+            }
+            // Value-only path goes through the same kernels.
+            let (rv2, _) = ssim_impl_reference(&x, &y, SsimConstants::default(), false);
+            assert_eq!(rv2.to_bits(), ssim(&x, &y).to_bits());
+            ws.recycle(wg);
+        }
     }
 
     #[test]

@@ -25,6 +25,54 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Maximum rank stored without a heap allocation; everything in this
+/// workspace is rank ≤ 4 (`[N, C, H, W]`), so the `Heap` fallback is for
+/// generality only.
+const INLINE_DIMS: usize = 4;
+
+/// Shape storage for [`Tensor`]: inline for rank ≤ [`INLINE_DIMS`].
+///
+/// Keeping the common shapes inline makes wrapping a recycled `Vec<f32>` in
+/// a `Tensor` (the `Workspace::take_dirty` → `Tensor::from_vec` pattern on
+/// every hot path) completely allocation-free.
+#[derive(Clone)]
+enum Dims {
+    Inline { len: u8, d: [usize; INLINE_DIMS] },
+    Heap(Vec<usize>),
+}
+
+impl Dims {
+    #[inline]
+    fn from_slice(s: &[usize]) -> Self {
+        if s.len() <= INLINE_DIMS {
+            let mut d = [0usize; INLINE_DIMS];
+            d[..s.len()].copy_from_slice(s);
+            Dims::Inline {
+                len: s.len() as u8,
+                d,
+            }
+        } else {
+            Dims::Heap(s.to_vec())
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            Dims::Inline { len, d } => &d[..*len as usize],
+            Dims::Heap(v) => v,
+        }
+    }
+}
+
+/// Source of fresh [`Tensor::content_id`] values.
+static NEXT_TENSOR_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+#[inline]
+fn new_tensor_id() -> u64 {
+    NEXT_TENSOR_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A contiguous, row-major, `f32` n-dimensional array.
 ///
 /// `Tensor` is the single numeric currency of the whole workspace: images are
@@ -42,10 +90,23 @@ impl std::error::Error for ShapeError {}
 /// assert_eq!(t.shape(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Dims,
     data: Vec<f32>,
+    /// Content-identity token for caches keyed on tensor data (see
+    /// [`Tensor::content_id`]). A clone keeps the id (same bytes); any
+    /// `&mut` access re-stamps it.
+    id: u64,
+}
+
+impl PartialEq for Tensor {
+    /// Value equality: same shape and same element bytes. The
+    /// [`Tensor::content_id`] is deliberately ignored — two tensors built
+    /// independently from equal data compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape() && self.data == other.data
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -54,7 +115,7 @@ impl fmt::Debug for Tensor {
         write!(
             f,
             "Tensor(shape={:?}, len={}, data[..{}]={:?}{})",
-            self.shape,
+            self.shape(),
             self.data.len(),
             preview.len(),
             preview,
@@ -67,8 +128,9 @@ impl Default for Tensor {
     /// An empty rank-1 tensor with zero elements.
     fn default() -> Self {
         Tensor {
-            shape: vec![0],
+            shape: Dims::from_slice(&[0]),
             data: Vec::new(),
+            id: new_tensor_id(),
         }
     }
 }
@@ -106,8 +168,9 @@ impl Tensor {
     /// Creates a tensor of `shape` with every element set to `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         Tensor {
-            shape: shape.to_vec(),
+            shape: Dims::from_slice(shape),
             data: vec![value; numel(shape)],
+            id: new_tensor_id(),
         }
     }
 
@@ -142,8 +205,9 @@ impl Tensor {
             )));
         }
         Ok(Tensor {
-            shape: shape.to_vec(),
+            shape: Dims::from_slice(shape),
             data,
+            id: new_tensor_id(),
         })
     }
 
@@ -155,8 +219,9 @@ impl Tensor {
             data.push(f(i));
         }
         Tensor {
-            shape: shape.to_vec(),
+            shape: Dims::from_slice(shape),
             data,
+            id: new_tensor_id(),
         }
     }
 
@@ -166,12 +231,33 @@ impl Tensor {
 
     /// The dimensions of the tensor.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Number of dimensions (rank).
     pub fn ndim(&self) -> usize {
-        self.shape.len()
+        self.shape().len()
+    }
+
+    /// An opaque token identifying this tensor's current contents.
+    ///
+    /// Two tensors with the same id are guaranteed to hold the same bytes:
+    /// ids are globally unique per construction, a clone keeps the id of
+    /// its source (same bytes by definition), and every `&mut` accessor
+    /// re-stamps a fresh id before handing out mutable access. The converse
+    /// does not hold — equal data under different ids is common and fine.
+    ///
+    /// [`crate::Workspace::packed_transpose`] keys its pack cache on this,
+    /// which is what lets a weight matrix be packed once and reused across
+    /// every step of a refine loop without any staleness hazard.
+    pub fn content_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Re-stamps [`Tensor::content_id`]; called by every `&mut` accessor.
+    #[inline]
+    fn touch(&mut self) {
+        self.id = new_tensor_id();
     }
 
     /// Total number of elements.
@@ -191,6 +277,7 @@ impl Tensor {
 
     /// Mutable view of the underlying buffer (row-major).
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.touch();
         &mut self.data
     }
 
@@ -208,13 +295,13 @@ impl Tensor {
     pub fn offset(&self, index: &[usize]) -> usize {
         assert_eq!(
             index.len(),
-            self.shape.len(),
+            self.ndim(),
             "index rank {} != tensor rank {}",
             index.len(),
-            self.shape.len()
+            self.ndim()
         );
         let mut off = 0;
-        for (d, (&i, &s)) in index.iter().zip(&self.shape).enumerate() {
+        for (d, (&i, &s)) in index.iter().zip(self.shape()).enumerate() {
             assert!(i < s, "index {i} out of bounds for dim {d} of size {s}");
             off = off * s + i;
         }
@@ -237,6 +324,7 @@ impl Tensor {
     /// Panics on rank mismatch or out-of-bounds coordinates.
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
         let off = self.offset(index);
+        self.touch();
         &mut self.data[off]
     }
 
@@ -262,15 +350,16 @@ impl Tensor {
         if numel(shape) != self.data.len() {
             return Err(ShapeError::new(format!(
                 "cannot reshape {:?} ({} elements) to {:?} ({} elements)",
-                self.shape,
+                self.shape(),
                 self.data.len(),
                 shape,
                 numel(shape)
             )));
         }
         Ok(Tensor {
-            shape: shape.to_vec(),
+            shape: Dims::from_slice(shape),
             data: self.data.clone(),
+            id: new_tensor_id(),
         })
     }
 
@@ -282,13 +371,14 @@ impl Tensor {
     /// Panics if the tensor is rank-0 or `i` is out of bounds.
     pub fn index_axis0(&self, i: usize) -> Tensor {
         assert!(self.ndim() >= 1, "index_axis0 on rank-0 tensor");
-        let n = self.shape[0];
+        let n = self.shape()[0];
         assert!(i < n, "index {i} out of bounds for axis 0 of size {n}");
-        let inner: usize = self.shape[1..].iter().product();
+        let inner: usize = self.shape()[1..].iter().product();
         let data = self.data[i * inner..(i + 1) * inner].to_vec();
         Tensor {
-            shape: self.shape[1..].to_vec(),
+            shape: Dims::from_slice(&self.shape()[1..]),
             data,
+            id: new_tensor_id(),
         }
     }
 
@@ -298,10 +388,11 @@ impl Tensor {
     ///
     /// Panics if shapes are incompatible or `i` is out of bounds.
     pub fn set_axis0(&mut self, i: usize, src: &Tensor) {
-        let n = self.shape[0];
+        let n = self.shape()[0];
         assert!(i < n, "index {i} out of bounds for axis 0 of size {n}");
-        let inner: usize = self.shape[1..].iter().product();
+        let inner: usize = self.shape()[1..].iter().product();
         assert_eq!(src.len(), inner, "slice length mismatch in set_axis0");
+        self.touch();
         self.data[i * inner..(i + 1) * inner].copy_from_slice(&src.data);
     }
 
@@ -321,7 +412,11 @@ impl Tensor {
         }
         let mut shape = vec![items.len()];
         shape.extend_from_slice(&inner_shape);
-        Tensor { shape, data }
+        Tensor {
+            shape: Dims::from_slice(&shape),
+            data,
+            id: new_tensor_id(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -330,9 +425,11 @@ impl Tensor {
 
     fn assert_same_shape(&self, other: &Tensor, op: &str) {
         assert_eq!(
-            self.shape, other.shape,
+            self.shape(),
+            other.shape(),
             "{op}: shape {:?} vs {:?}",
-            self.shape, other.shape
+            self.shape(),
+            other.shape()
         );
     }
 
@@ -390,6 +487,7 @@ impl Tensor {
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&a| f(a)).collect(),
+            id: new_tensor_id(),
         }
     }
 
@@ -408,6 +506,7 @@ impl Tensor {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+            id: new_tensor_id(),
         }
     }
 
@@ -418,6 +517,7 @@ impl Tensor {
     /// `self += other`. Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
         self.assert_same_shape(other, "add_assign");
+        self.touch();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -426,6 +526,7 @@ impl Tensor {
     /// `self -= other`. Panics on shape mismatch.
     pub fn sub_assign(&mut self, other: &Tensor) {
         self.assert_same_shape(other, "sub_assign");
+        self.touch();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -434,6 +535,7 @@ impl Tensor {
     /// `self += s * other` (axpy). Panics on shape mismatch.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         self.assert_same_shape(other, "axpy");
+        self.touch();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += s * b;
         }
@@ -441,6 +543,7 @@ impl Tensor {
 
     /// `self *= s` in place.
     pub fn scale_assign(&mut self, s: f32) {
+        self.touch();
         for a in &mut self.data {
             *a *= s;
         }
@@ -448,6 +551,7 @@ impl Tensor {
 
     /// Sets every element to zero (keeps the allocation).
     pub fn fill(&mut self, value: f32) {
+        self.touch();
         for a in &mut self.data {
             *a = value;
         }
@@ -455,6 +559,7 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        self.touch();
         for a in &mut self.data {
             *a = f(*a);
         }
@@ -657,6 +762,44 @@ mod tests {
         assert!(t.all_finite());
         t.data_mut()[0] = f32::NAN;
         assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn content_id_tracks_mutation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_ne!(
+            a.content_id(),
+            b.content_id(),
+            "fresh tensors get fresh ids"
+        );
+        assert_eq!(a, b, "equality ignores the id");
+
+        let mut c = a.clone();
+        assert_eq!(
+            a.content_id(),
+            c.content_id(),
+            "a clone shares its source's id (same bytes)"
+        );
+        c.data_mut()[0] = 5.0;
+        assert_ne!(
+            a.content_id(),
+            c.content_id(),
+            "&mut access re-stamps the id"
+        );
+
+        let before = c.content_id();
+        c.fill(0.0);
+        assert_ne!(before, c.content_id());
+    }
+
+    #[test]
+    fn shapes_above_inline_rank_still_work() {
+        let t = Tensor::zeros(&[2, 1, 3, 1, 2]);
+        assert_eq!(t.shape(), &[2, 1, 3, 1, 2]);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.index_axis0(1).shape(), &[1, 3, 1, 2]);
+        assert_eq!(t.offset(&[1, 0, 2, 0, 1]), 11);
     }
 
     #[test]

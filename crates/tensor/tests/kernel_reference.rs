@@ -1,0 +1,373 @@
+//! Bit-accuracy suite for the register-blocked GEMM and conv kernels.
+//!
+//! Every optimised `_into`/`_ws` kernel in `usb_tensor` carries the same
+//! contract: each output element is produced by the **same float
+//! operations in the same (ascending-`k`) order** as a naive
+//! triple-loop, so results are bit-identical — that is what keeps every
+//! detection verdict stable across kernel rewrites. This suite pins the
+//! contract with property tests over odd and degenerate shapes (sizes
+//! straddling the `MR`×`NR` register tile, single rows/columns,
+//! non-multiples), dirty workspace buffers, warm packed panels, and the
+//! batched conv paths against their per-image equivalents.
+
+use proptest::prelude::*;
+use usb_tensor::conv::{
+    col2im_into, conv2d_forward_ws, conv2d_input_backward_ws, im2col_into, ConvSpec,
+};
+use usb_tensor::{ops, Tensor, Workspace};
+
+// ---------------------------------------------------------------------------
+// Naive references: the ascending-k accumulation the kernels must reproduce.
+// ---------------------------------------------------------------------------
+
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn naive_matmul_transa(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    // a is [k, m] column-major-for-the-product: out = aᵀ b.
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[kk * m + i] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn naive_matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    // b is [n, k]: out = a bᵀ.
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[j * k + kk];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn naive_im2col(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Vec<f32> {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; c * kh * kw * cols];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            out[row * cols + oy * ow + ox] =
+                                img[ch * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint scatter in the exact (channel, ky, kx, oy, ox) order of
+/// `col2im_strided_into` — overlapping contributions must sum in the same
+/// order for bit equality.
+fn naive_col2im(
+    cols_mat: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Vec<f32> {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            out[ch * h * w + iy as usize * w + ix as usize] +=
+                                cols_mat[row * cols + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A workspace whose pool is pre-seeded with NaN-filled buffers, so any
+/// kernel that forgets to overwrite (or pre-zero) its checkout fails loudly.
+fn dirty_workspace() -> Workspace {
+    let mut ws = Workspace::new();
+    for _ in 0..4 {
+        ws.put(vec![f32::NAN; 4096]);
+    }
+    ws
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: bit drift at flat index {i}: {g} vs {w}"
+        );
+    }
+}
+
+fn tensor_from(vals: &[f32], len: usize, lo: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| vals[i % vals.len()] + lo * (i as f32 % 3.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three GEMM orientations against their naive triple loops, over
+    /// shapes straddling the MR×NR register tile (1×1 up past 17,
+    /// non-multiples of 4 and 8 included), on dirty workspace buffers.
+    #[test]
+    fn gemm_kernels_match_naive_bitwise(
+        m in 1usize..18,
+        k in 1usize..20,
+        n in 1usize..18,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let a = tensor_from(&vals, m * k, 0.01);
+        let b = tensor_from(&vals, k * n, -0.02);
+        let bt = tensor_from(&vals, n * k, 0.03);
+        let at = tensor_from(&vals, k * m, -0.04);
+        let mut ws = dirty_workspace();
+
+        let mut out = ws.take_dirty(m * n);
+        ops::matmul_into(&a, &b, m, k, n, &mut out);
+        assert_bits_eq(&out, &naive_matmul(&a, &b, m, k, n), "matmul_into");
+
+        ops::matmul_transa_into(&at, &b, m, k, n, &mut out);
+        assert_bits_eq(&out, &naive_matmul_transa(&at, &b, m, k, n), "matmul_transa_into");
+
+        ops::matmul_transb_into(&a, &bt, m, k, n, &mut out);
+        assert_bits_eq(&out, &naive_matmul_transb(&a, &bt, m, k, n), "matmul_transb_into");
+    }
+
+    /// `x @ Wᵀ` through a packed k-major panel (the inference fast path)
+    /// equals the direct transb kernel bitwise, including on cache hits.
+    #[test]
+    fn packed_panel_matches_transb_bitwise(
+        m in 1usize..10,
+        k in 1usize..17,
+        n in 1usize..13,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let x = tensor_from(&vals, m * k, 0.01);
+        let wt = Tensor::from_vec(tensor_from(&vals, n * k, -0.02), &[n, k]);
+        let mut want = vec![0.0f32; m * n];
+        ops::matmul_transb_into(&x, wt.data(), m, k, n, &mut want);
+        let mut ws = dirty_workspace();
+        for round in 0..2 {
+            // Round 0 packs the panel, round 1 hits the content-id cache.
+            let mut got = ws.take_dirty(m * n);
+            let packed = ws.packed_transpose(&wt, n, k);
+            ops::matmul_into(&x, packed, m, k, n, &mut got);
+            assert_bits_eq(&got, &want, &format!("packed panel (round {round})"));
+            ws.put(got);
+        }
+    }
+
+    /// Unfold and fold against their naive scatter loops, including
+    /// strides and padding that push kernel taps out of bounds.
+    #[test]
+    fn im2col_col2im_match_naive_bitwise(
+        c in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        extra_h in 0usize..6,
+        extra_w in 0usize..6,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let (h, w) = (kh + extra_h, kw + extra_w);
+        let spec = ConvSpec::new(stride, pad);
+        let img = tensor_from(&vals, c * h * w, 0.05);
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let rows = c * kh * kw;
+        let cols = oh * ow;
+
+        let mut ws = dirty_workspace();
+        let mut unfolded = ws.take_dirty(rows * cols);
+        im2col_into(&img, c, h, w, kh, kw, spec, &mut unfolded);
+        assert_bits_eq(
+            &unfolded,
+            &naive_im2col(&img, c, h, w, kh, kw, spec),
+            "im2col_into",
+        );
+
+        let cols_mat = tensor_from(&vals, rows * cols, -0.03);
+        let mut folded = ws.take_dirty(c * h * w);
+        col2im_into(&cols_mat, c, h, w, kh, kw, spec, &mut folded);
+        assert_bits_eq(
+            &folded,
+            &naive_col2im(&cols_mat, c, h, w, kh, kw, spec),
+            "col2im_into",
+        );
+    }
+
+    /// The batched wide-GEMM conv forward (all images unfolded side by
+    /// side, one GEMM, packed weights) against a per-image naive
+    /// im2col + matmul + bias composition.
+    #[test]
+    fn batched_conv_forward_matches_per_image_naive(
+        n in 1usize..4,
+        ic in 1usize..4,
+        oc in 1usize..6,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        extra in 0usize..5,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        with_bias_bit in 0usize..2,
+        vals in proptest::collection::vec(-1.5f32..1.5, 8..32),
+    ) {
+        let with_bias = with_bias_bit == 1;
+        let (h, w) = (kh + extra, kw + extra);
+        let spec = ConvSpec::new(stride, pad);
+        let input = Tensor::from_vec(tensor_from(&vals, n * ic * h * w, 0.02), &[n, ic, h, w]);
+        let weight = Tensor::from_vec(tensor_from(&vals, oc * ic * kh * kw, -0.01), &[oc, ic, kh, kw]);
+        let bias = Tensor::from_vec(tensor_from(&vals, oc, 0.04), &[oc]);
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let rows = ic * kh * kw;
+        let cols = oh * ow;
+
+        // Per-image reference: unfold, W @ cols (ascending k), add bias.
+        let mut want = Vec::with_capacity(n * oc * cols);
+        for i in 0..n {
+            let img = &input.data()[i * ic * h * w..(i + 1) * ic * h * w];
+            let unfolded = naive_im2col(img, ic, h, w, kh, kw, spec);
+            let prod = naive_matmul(weight.data(), &unfolded, oc, rows, cols);
+            for ch in 0..oc {
+                for col in 0..cols {
+                    let b = if with_bias { bias.data()[ch] } else { 0.0 };
+                    want.push(prod[ch * cols + col] + b);
+                }
+            }
+        }
+
+        let mut ws = dirty_workspace();
+        for round in 0..2 {
+            // Round 1 reruns on the warm pool and packed-panel cache.
+            let got = conv2d_forward_ws(
+                &input,
+                &weight,
+                with_bias.then_some(&bias),
+                spec,
+                &mut ws,
+            );
+            prop_assert_eq!(got.shape(), &[n, oc, oh, ow]);
+            assert_bits_eq(got.data(), &want, &format!("conv forward (round {round})"));
+            ws.recycle(got);
+        }
+    }
+
+    /// The batched input backward (interleave, one wide transa GEMM,
+    /// per-image col2im) against a per-image naive Wᵀ@g + fold.
+    #[test]
+    fn batched_conv_input_backward_matches_per_image_naive(
+        n in 1usize..4,
+        ic in 1usize..4,
+        oc in 1usize..5,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        extra in 0usize..5,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        vals in proptest::collection::vec(-1.5f32..1.5, 8..32),
+    ) {
+        let (h, w) = (kh + extra, kw + extra);
+        let spec = ConvSpec::new(stride, pad);
+        let weight = Tensor::from_vec(tensor_from(&vals, oc * ic * kh * kw, 0.03), &[oc, ic, kh, kw]);
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let rows = ic * kh * kw;
+        let cols = oh * ow;
+        let grad_out = Tensor::from_vec(tensor_from(&vals, n * oc * cols, -0.02), &[n, oc, oh, ow]);
+
+        let mut want = Vec::with_capacity(n * ic * h * w);
+        for i in 0..n {
+            let go = &grad_out.data()[i * oc * cols..(i + 1) * oc * cols];
+            // Wᵀ @ g: weight is [oc, rows] row-major, so transa over oc.
+            let gcols = naive_matmul_transa(weight.data(), go, rows, oc, cols);
+            want.extend_from_slice(&naive_col2im(&gcols, ic, h, w, kh, kw, spec));
+        }
+
+        let mut ws = dirty_workspace();
+        for round in 0..2 {
+            let got = conv2d_input_backward_ws(&weight, &grad_out, h, w, spec, &mut ws);
+            prop_assert_eq!(got.shape(), &[n, ic, h, w]);
+            assert_bits_eq(got.data(), &want, &format!("conv input backward (round {round})"));
+            ws.recycle(got);
+        }
+    }
+
+    /// `transpose_into` is an exact permutation (round-trips bitwise).
+    #[test]
+    fn transpose_into_round_trips(
+        rows in 1usize..14,
+        cols in 1usize..14,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let src = tensor_from(&vals, rows * cols, 0.01);
+        let mut t = vec![0.0f32; rows * cols];
+        let mut back = vec![0.0f32; rows * cols];
+        ops::transpose_into(&src, rows, cols, &mut t);
+        ops::transpose_into(&t, cols, rows, &mut back);
+        assert_bits_eq(&back, &src, "transpose round trip");
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(t[c * rows + r].to_bits(), src[r * cols + c].to_bits());
+            }
+        }
+    }
+}

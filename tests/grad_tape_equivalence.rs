@@ -51,6 +51,11 @@ fn grad_seed(logits: &Tensor) -> Tensor {
     Tensor::from_fn(logits.shape(), |i| ((i as f32) * 0.37).sin())
 }
 
+/// [`grad_seed`] in the workspace-aware shape `input_grad_in` takes.
+fn grad_seed_ws(logits: &Tensor, _ws: &mut Workspace) -> Tensor {
+    grad_seed(logits)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -67,7 +72,7 @@ proptest! {
             let (logits_ref, grad_ref) = net.input_grad(&x, grad_seed);
             let mut tape = Tape::new();
             let mut ws = Workspace::new();
-            let (logits_cold, grad_cold) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+            let (logits_cold, grad_cold) = net.input_grad_in(&x, grad_seed_ws, &mut tape, &mut ws);
             prop_assert!(
                 logits_cold.data() == logits_ref.data(),
                 "{:?}: cold tape logits deviate from input_grad", kind
@@ -80,7 +85,7 @@ proptest! {
             // Warm pass: same tape, same workspace — must reproduce exactly.
             ws.recycle(logits_cold);
             ws.recycle(grad_cold);
-            let (logits_warm, grad_warm) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+            let (logits_warm, grad_warm) = net.input_grad_in(&x, grad_seed_ws, &mut tape, &mut ws);
             prop_assert!(
                 logits_warm.data() == logits_ref.data()
                     && grad_warm.data() == grad_ref.data(),
@@ -109,8 +114,8 @@ proptest! {
             let x = batch_for(net, n, &vals);
             // Reference from a pristine tape/workspace.
             let (_, grad_ref) =
-                net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
-            let (logits, grad) = net.input_grad_in(&x, grad_seed, &mut tape, &mut ws);
+                net.input_grad_in(&x, grad_seed_ws, &mut Tape::new(), &mut Workspace::new());
+            let (logits, grad) = net.input_grad_in(&x, grad_seed_ws, &mut tape, &mut ws);
             prop_assert!(
                 grad.data() == grad_ref.data(),
                 "{:?} (step {}): dirty tape changed the gradient", kind, step
@@ -129,7 +134,7 @@ fn shared_network_gradients_are_thread_count_invariant() {
     for (kind, net) in zoo() {
         let x = batch_for(&net, 2, &[0.15, 0.45, 0.85, 0.35]);
         let (logits_ref, grad_ref) =
-            net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
+            net.input_grad_in(&x, grad_seed_ws, &mut Tape::new(), &mut Workspace::new());
         for threads in [1usize, 2, 4] {
             let shared: &Network = &net;
             let results: Vec<(Tensor, Tensor)> = std::thread::scope(|scope| {
@@ -141,9 +146,9 @@ fn shared_network_gradients_are_thread_count_invariant() {
                             let mut ws = Workspace::new();
                             // Two rounds per thread so each also hits its
                             // own warm-tape path under contention.
-                            let first = shared.input_grad_in(x, grad_seed, &mut tape, &mut ws);
+                            let first = shared.input_grad_in(x, grad_seed_ws, &mut tape, &mut ws);
                             drop(first);
-                            shared.input_grad_in(x, grad_seed, &mut tape, &mut ws)
+                            shared.input_grad_in(x, grad_seed_ws, &mut tape, &mut ws)
                         })
                     })
                     .collect();
@@ -172,7 +177,7 @@ fn shared_network_gradients_are_thread_count_invariant() {
 fn tape_gradients_leave_parameter_gradients_untouched() {
     for (kind, mut net) in zoo() {
         let x = batch_for(&net, 1, &[0.3, 0.6, 0.9]);
-        let _ = net.input_grad_in(&x, grad_seed, &mut Tape::new(), &mut Workspace::new());
+        let _ = net.input_grad_in(&x, grad_seed_ws, &mut Tape::new(), &mut Workspace::new());
         let mut max_param_grad = 0.0f32;
         net.visit_params(&mut |s| max_param_grad = max_param_grad.max(s.grad.linf_norm()));
         assert_eq!(
