@@ -94,7 +94,7 @@ impl Attack for BadNet {
         let _ = fit(&mut model, &px, &py, tc, &mut rng);
         let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_static(
-            &mut model,
+            &model,
             &trigger,
             &data.test_images,
             &data.test_labels,

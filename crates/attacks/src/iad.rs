@@ -28,7 +28,7 @@ use usb_nn::loss::softmax_cross_entropy;
 use usb_nn::models::Architecture;
 use usb_nn::optim::{Adam, Sgd};
 use usb_nn::train::{evaluate, gather_batch, TrainConfig};
-use usb_tensor::Tensor;
+use usb_tensor::{Tensor, Workspace};
 
 /// The input-conditioned trigger generator: a small conv net mapping an
 /// image to a pattern in `[0, 1]`, blended at strength `ε`.
@@ -83,14 +83,33 @@ impl IadGenerator {
         self.width
     }
 
-    /// Generates per-input patterns `[N, C, H, W]` in `[0, 1]`.
+    /// Generates per-input patterns `[N, C, H, W]` in `[0, 1]`, recording
+    /// the caches [`IadGenerator::backward`] needs — the *training* path.
+    /// Forward-only callers should use [`IadGenerator::generate_in`].
     pub fn generate(&mut self, batch: &Tensor) -> Tensor {
         self.net.forward(batch, Mode::Train)
     }
 
-    /// Stamps a batch: `(1−ε)·x + ε·G(x)`.
-    pub fn stamp_batch(&mut self, batch: &Tensor) -> Tensor {
-        let patterns = self.generate(batch);
+    /// Generates patterns through the read-only inference path.
+    ///
+    /// Bit-identical to [`IadGenerator::generate`] — the generator is
+    /// Conv/ReLU/Sigmoid only, with no train/eval-divergent layers — but
+    /// takes `&self`, so one generator serves every thread.
+    pub fn generate_in(&self, batch: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.net.infer(batch, ws)
+    }
+
+    /// Stamps a batch: `(1−ε)·x + ε·G(x)` (read-only; allocates a
+    /// throwaway workspace — hot loops should use
+    /// [`IadGenerator::stamp_batch_in`]).
+    pub fn stamp_batch(&self, batch: &Tensor) -> Tensor {
+        self.stamp_batch_in(batch, &mut Workspace::new())
+    }
+
+    /// Stamps a batch through the inference path with a caller-owned
+    /// workspace.
+    pub fn stamp_batch_in(&self, batch: &Tensor, ws: &mut Workspace) -> Tensor {
+        let patterns = self.generate_in(batch, ws);
         blend(batch, &patterns, self.epsilon)
     }
 
@@ -253,8 +272,8 @@ impl Attack for IadAttack {
         }
         let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_dynamic(
-            &mut model,
-            &mut generator,
+            &model,
+            &generator,
             &data.test_images,
             &data.test_labels,
             self.target,

@@ -139,7 +139,7 @@ impl Attack for LatentBackdoor {
         }
         let clean_accuracy = evaluate(&model, &data.test_images, &data.test_labels);
         let asr = evaluate_asr_static(
-            &mut model,
+            &model,
             &trigger,
             &data.test_images,
             &data.test_labels,

@@ -323,6 +323,39 @@ pub fn load_victim(path: &Path) -> Result<VictimBundle, IoError> {
     read_victim(&mut f)
 }
 
+/// Decodes a bundle from an in-memory byte slice (the daemon's socket
+/// ingest path: the wire framing delivers the bundle as one payload).
+///
+/// Trailing bytes after the bundle are rejected — a network payload must
+/// be *exactly* one bundle, or the submission was corrupted in a way the
+/// per-record checksums cannot see.
+///
+/// # Errors
+///
+/// Same contract as [`read_victim`], plus [`IoError::Format`] on trailing
+/// garbage. Never panics on malformed input.
+pub fn read_victim_bytes(bytes: &[u8]) -> Result<VictimBundle, IoError> {
+    let mut cursor = bytes;
+    let bundle = read_victim(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(IoError::format(format!(
+            "victim bundle payload has {} trailing bytes",
+            cursor.len()
+        )));
+    }
+    Ok(bundle)
+}
+
+/// Content fingerprint of a serialized bundle (FNV-1a over the raw bytes).
+///
+/// The serve-layer model cache keys resident victims by this value:
+/// bit-identical submissions share one resident model, and any byte
+/// difference — different weights, recipe, or provenance — yields a new
+/// cache entry.
+pub fn bundle_fingerprint(bytes: &[u8]) -> u64 {
+    usb_tensor::io::fnv1a64(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +455,43 @@ mod tests {
         assert_eq!(back.epsilon(), 0.4);
         let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i as f32) * 0.07).cos().abs());
         assert_eq!(gen.generate(&x).data(), back.generate(&x).data());
+    }
+
+    #[test]
+    fn byte_slice_ingest_matches_reader_and_rejects_trailing_garbage() {
+        let spec = tiny_spec();
+        let data = spec.generate(5);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = train_clean_victim(&data, arch, TrainConfig::fast(), 6);
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 6,
+            config_hash: 3,
+            data_spec: spec,
+            data_seed: 5,
+        };
+        let mut buf = Vec::new();
+        write_victim(&mut buf, &mut bundle).unwrap();
+        let back = read_victim_bytes(&buf).unwrap();
+        assert_eq!(back.train_seed, 6);
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| ((i as f32) * 0.13).cos());
+        assert_eq!(
+            bundle.victim.model.predict(&x),
+            back.victim.model.predict(&x)
+        );
+        // Same bytes, same fingerprint; any byte change moves it.
+        assert_eq!(bundle_fingerprint(&buf), bundle_fingerprint(&buf));
+        let mut other = buf.clone();
+        other[buf.len() / 2] ^= 1;
+        assert_ne!(bundle_fingerprint(&buf), bundle_fingerprint(&other));
+        // Exactly-one-bundle contract: trailing bytes are corruption.
+        let mut padded = buf.clone();
+        padded.push(0);
+        match read_victim_bytes(&padded) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("trailing")),
+            Err(e) => panic!("wrong error kind for trailing garbage: {e}"),
+            Ok(_) => panic!("trailing garbage accepted"),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use usb_data::Dataset;
 use usb_nn::models::{Architecture, Network};
 use usb_nn::train::{evaluate, fit, TrainConfig};
-use usb_tensor::Tensor;
+use usb_tensor::{Tensor, Workspace};
 
 /// The trigger actually implanted into a victim (for visualisation and
 /// ASR re-evaluation).
@@ -21,7 +21,11 @@ pub enum InjectedTrigger {
 
 impl InjectedTrigger {
     /// Stamps the trigger onto a `[N, C, H, W]` batch.
-    pub fn stamp(&mut self, batch: &Tensor) -> Tensor {
+    ///
+    /// Read-only: a dynamic trigger runs its generator through the
+    /// inference path, so stamping never mutates trigger state and can be
+    /// shared by reference across threads.
+    pub fn stamp(&self, batch: &Tensor) -> Tensor {
         match self {
             InjectedTrigger::Static(t) => t.stamp_batch(batch),
             InjectedTrigger::Dynamic(g) => g.stamp_batch(batch),
@@ -119,49 +123,59 @@ pub fn train_clean_victim(
 
 /// ASR of a static trigger: the fraction of non-target test images that the
 /// model classifies as `target` once stamped.
+///
+/// Forward-only measurement: predictions run through the shared-`&Network`
+/// inference route with one reused [`Workspace`], so ASR re-evaluation can
+/// share a resident model with concurrent inspections.
 pub fn evaluate_asr_static(
-    model: &mut Network,
+    model: &Network,
     trigger: &Trigger,
     images: &Tensor,
     labels: &[usize],
     target: usize,
 ) -> f64 {
-    let n = images.shape()[0];
-    let mut total = 0usize;
-    let mut hits = 0usize;
-    let idx: Vec<usize> = (0..n).filter(|&i| labels[i] != target).collect();
-    for chunk in idx.chunks(64) {
-        let imgs: Vec<Tensor> = chunk.iter().map(|&i| images.index_axis0(i)).collect();
-        let batch = Tensor::stack(&imgs);
-        let stamped = trigger.stamp_batch(&batch);
-        let preds = model.predict(&stamped);
-        hits += preds.iter().filter(|&&p| p == target).count();
-        total += chunk.len();
-    }
-    if total == 0 {
-        0.0
-    } else {
-        hits as f64 / total as f64
-    }
+    asr_over_chunks(model, images, labels, target, |batch, _| {
+        trigger.stamp_batch(batch)
+    })
 }
 
 /// ASR of a dynamic (generator-based) trigger.
+///
+/// Like [`evaluate_asr_static`], entirely read-only: the generator's
+/// pattern pass and the classifier's prediction both go through the
+/// inference path.
 pub fn evaluate_asr_dynamic(
-    model: &mut Network,
-    generator: &mut IadGenerator,
+    model: &Network,
+    generator: &IadGenerator,
     images: &Tensor,
     labels: &[usize],
     target: usize,
 ) -> f64 {
+    asr_over_chunks(model, images, labels, target, |batch, ws| {
+        generator.stamp_batch_in(batch, ws)
+    })
+}
+
+/// Shared ASR loop: stamp each non-target chunk with `stamp`, count how
+/// often the model predicts `target`. The workspace is reused across both
+/// the stamping pass and the prediction pass of every chunk.
+fn asr_over_chunks(
+    model: &Network,
+    images: &Tensor,
+    labels: &[usize],
+    target: usize,
+    stamp: impl Fn(&Tensor, &mut Workspace) -> Tensor,
+) -> f64 {
     let n = images.shape()[0];
     let mut total = 0usize;
     let mut hits = 0usize;
+    let mut ws = Workspace::new();
     let idx: Vec<usize> = (0..n).filter(|&i| labels[i] != target).collect();
     for chunk in idx.chunks(64) {
         let imgs: Vec<Tensor> = chunk.iter().map(|&i| images.index_axis0(i)).collect();
         let batch = Tensor::stack(&imgs);
-        let stamped = generator.stamp_batch(&batch);
-        let preds = model.predict(&stamped);
+        let stamped = stamp(&batch, &mut ws);
+        let preds = model.predict_in(&stamped, &mut ws);
         hits += preds.iter().filter(|&&p| p == target).count();
         total += chunk.len();
     }

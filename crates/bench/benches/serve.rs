@@ -1,0 +1,135 @@
+//! Serve-layer benchmarks: USBP codec throughput and end-to-end daemon
+//! round trips over a real loopback socket — the warm-path number here is
+//! what `BENCH_serve.json`'s p50 should look like on this hardware, and
+//! the evicting pair shows what the resident cache saves per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usb_attacks::fixtures::{cached_victim, FixtureSpec};
+use usb_attacks::persist::{write_victim, VictimBundle};
+use usb_attacks::{Attack, BadNet};
+use usb_data::SyntheticSpec;
+use usb_eval::serve::proto::{frame_to_bytes, read_frame, Frame, SubmitRequest};
+use usb_eval::serve::{Client, ServeConfig, Server, SubmitOptions};
+use usb_nn::models::{Architecture, ModelKind};
+use usb_nn::train::TrainConfig;
+
+/// The `determinism-badnet` fixture (shared with the serve test suites)
+/// serialised as USBV bundle bytes; `data_seed` varies the bytes without
+/// retraining, which is how the eviction bench gets distinct bundles.
+fn fixture_bundle(data_seed: u64) -> Vec<u8> {
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(160)
+        .with_test_size(40)
+        .with_classes(4);
+    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+    let attack = BadNet::new(2, 1, 0.15);
+    let tc = TrainConfig::fast();
+    let fixture = FixtureSpec::new("determinism-badnet", spec, 55, 9).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    let config_hash = fixture.config_hash;
+    let (_, victim) = cached_victim(&fixture, |data| attack.execute(data, arch, tc, 9));
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: 9,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed,
+    };
+    let mut out = Vec::new();
+    write_victim(&mut out, &mut bundle).expect("serialising the fixture bundle");
+    out
+}
+
+fn opts(workers: u32) -> SubmitOptions {
+    SubmitOptions {
+        tag: 1,
+        seed: 17,
+        subset: 32,
+        workers,
+        fast: true,
+    }
+}
+
+fn connect(server: &Server) -> Client {
+    let client = Client::connect(server.local_addr()).expect("connecting to the bench daemon");
+    let _ = client.set_read_timeout(Some(Duration::from_secs(600)));
+    client
+}
+
+/// USBP codec alone: encode and decode a submit frame carrying a
+/// realistic bundle payload (everything the reader thread does per
+/// request except the socket).
+fn proto_codec(c: &mut Criterion) {
+    let bundle = fixture_bundle(55);
+    let frame = Frame::Submit(SubmitRequest {
+        tag: 1,
+        seed: 17,
+        subset: 32,
+        workers: 2,
+        fast: true,
+        bundle: bundle.clone(),
+    });
+    c.bench_function("serve/proto_encode_submit", |bench| {
+        bench.iter(|| black_box(frame_to_bytes(black_box(&frame)).unwrap()))
+    });
+    let bytes = frame_to_bytes(&frame).unwrap();
+    c.bench_function("serve/proto_decode_submit", |bench| {
+        bench.iter(|| black_box(read_frame(&mut bytes.as_slice()).unwrap()))
+    });
+}
+
+/// One warm verdict round trip: submit → progress stream → verdict, all
+/// over loopback TCP against a resident model.
+fn warm_request(c: &mut Criterion) {
+    let bundle = fixture_bundle(55);
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 16,
+        cache_capacity: 2,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding the bench daemon");
+    let mut client = connect(&server);
+    client
+        .inspect(&bundle, &opts(2), |_| {})
+        .expect("cache-warming request");
+    c.bench_function("serve/warm_request", |bench| {
+        bench.iter(|| black_box(client.inspect(&bundle, &opts(2), |_| {}).unwrap()))
+    });
+}
+
+/// Two requests that evict each other out of a capacity-1 cache: every
+/// verdict pays bundle parse + dataset regeneration on top of the
+/// inspection. Compare with `serve/warm_request` (halved — this bench
+/// does two round trips per iteration) to see what residency saves.
+fn evicting_request_pair(c: &mut Criterion) {
+    let a = fixture_bundle(55);
+    let b = fixture_bundle(56);
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 16,
+        cache_capacity: 1,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding the bench daemon");
+    let mut client = connect(&server);
+    c.bench_function("serve/evicting_request_pair", |bench| {
+        bench.iter(|| {
+            black_box(client.inspect(&a, &opts(2), |_| {}).unwrap());
+            black_box(client.inspect(&b, &opts(2), |_| {}).unwrap());
+        })
+    });
+}
+
+criterion_group! {
+    name = serve;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    targets = proto_codec, warm_request, evicting_request_pair
+}
+criterion_main!(serve);

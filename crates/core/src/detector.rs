@@ -166,6 +166,34 @@ impl UsbDetector {
             },
         )
     }
+
+    /// [`Defense::inspect`] with a per-class completion callback.
+    ///
+    /// This *is* the inspection implementation — [`Defense::inspect`]
+    /// delegates here with a no-op callback — so any observer (the serve
+    /// layer streams a progress frame per finished class) sees exactly the
+    /// verdict-producing computation: same seed derivation, same fan-out,
+    /// bit-identical outcome at any worker count. `on_class` runs on the
+    /// worker thread that finished the class, concurrently with other
+    /// workers, and classes complete in scheduling order — not class
+    /// order — so it must be `Sync` and order-tolerant.
+    pub fn inspect_with_progress(
+        &self,
+        model: &Network,
+        images: &Tensor,
+        rng: &mut StdRng,
+        on_class: impl Fn(&ClassResult) + Sync,
+    ) -> DetectionOutcome {
+        let k = model.num_classes();
+        let seeds: Vec<u64> = (0..k).map(|_| rng.gen()).collect();
+        let per_class: Vec<ClassResult> = par::par_map(self.config.workers, &seeds, |t, &seed| {
+            let mut class_rng = StdRng::seed_from_u64(seed);
+            let result = self.reverse_class(model, images, t, &mut class_rng);
+            on_class(&result);
+            result
+        });
+        DetectionOutcome::from_class_results(self.static_name(), per_class, self.min_success())
+    }
 }
 
 /// Wall time one class spent in each stage of the USB pipeline.
@@ -207,13 +235,7 @@ impl Defense for UsbDetector {
     /// so the outcome is bit-identical to a sequential scan with the same
     /// derived streams — at 1 thread or 64.
     fn inspect(&self, model: &Network, images: &Tensor, rng: &mut StdRng) -> DetectionOutcome {
-        let k = model.num_classes();
-        let seeds: Vec<u64> = (0..k).map(|_| rng.gen()).collect();
-        let per_class: Vec<ClassResult> = par::par_map(self.config.workers, &seeds, |t, &seed| {
-            let mut class_rng = StdRng::seed_from_u64(seed);
-            self.reverse_class(model, images, t, &mut class_rng)
-        });
-        DetectionOutcome::from_class_results(self.static_name(), per_class, self.min_success())
+        self.inspect_with_progress(model, images, rng, |_| {})
     }
 }
 

@@ -14,6 +14,11 @@
 //! Outputs go to stdout (paper-formatted tables) and `target/repro/`
 //! (CSV + PGM/PPM images). See EXPERIMENTS.md for the recorded
 //! paper-vs-measured comparison.
+//!
+//! The [`serve`] module turns the same engine into a resident daemon
+//! (`usb-repro serve` / `submit` / `loadgen`): victim bundles stream in
+//! over TCP, verdicts stream back, and hot models stay cached between
+//! requests.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -21,6 +26,7 @@
 pub mod figures;
 pub mod grid;
 pub mod report;
+pub mod serve;
 pub mod timing;
 
 pub use grid::{run_table, AttackChoice, CaseReport, CaseSpec, TableReport, TableSpec};

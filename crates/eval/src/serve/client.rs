@@ -1,0 +1,178 @@
+//! Client side of the USBP protocol: a thin blocking connection used by
+//! `usb-repro submit`, the load generator, and every serve test — all of
+//! them drive the real socket path, not an in-process shortcut.
+
+use super::proto::{read_frame, write_frame, Frame, ProgressEvent, SubmitRequest, WireVerdict};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use usb_tensor::io::IoError;
+
+/// What went wrong with a request, as seen by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Io(IoError),
+    /// The server answered with an error frame.
+    Server {
+        /// The error frame's correlation tag (0 when connection-level).
+        tag: u64,
+        /// The error frame's job id (0 when none was assigned).
+        job: u64,
+        /// The server's message.
+        message: String,
+    },
+    /// The server sent a frame that makes no sense at this point of the
+    /// exchange.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { tag, job, message } => {
+                write!(f, "server error (tag {tag}, job {job}): {message}")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<IoError> for ClientError {
+    fn from(e: IoError) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Options accompanying a submission (everything but the bundle bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Client-chosen correlation tag echoed by the server.
+    pub tag: u64,
+    /// Inspection seed (`usb-repro inspect` defaults to 3).
+    pub seed: u64,
+    /// Clean images to draw (`usb-repro inspect` uses 48).
+    pub subset: u32,
+    /// Per-class worker threads; 0 inherits the server default.
+    pub workers: u32,
+    /// Use the reduced detector configuration.
+    pub fast: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            tag: 1,
+            seed: 3,
+            subset: 48,
+            workers: 0,
+            fast: false,
+        }
+    }
+}
+
+/// A blocking client connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sets a read timeout so a wedged daemon cannot hang the client
+    /// forever (tests use this to turn a hang into a failure).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Ping)?;
+        match read_frame(&mut self.stream)? {
+            Frame::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends a submission without waiting for anything — callers drive
+    /// the event stream themselves with [`Client::next_frame`] (the soak
+    /// test queues several jobs per connection this way).
+    pub fn submit(&mut self, bundle: &[u8], opts: &SubmitOptions) -> Result<(), ClientError> {
+        let req = SubmitRequest {
+            tag: opts.tag,
+            seed: opts.seed,
+            subset: opts.subset,
+            workers: opts.workers,
+            fast: opts.fast,
+            bundle: bundle.to_vec(),
+        };
+        write_frame(&mut self.stream, &Frame::Submit(req))?;
+        Ok(())
+    }
+
+    /// Reads the next server frame.
+    pub fn next_frame(&mut self) -> Result<Frame, ClientError> {
+        read_frame(&mut self.stream).map_err(ClientError::from)
+    }
+
+    /// Submits a bundle and blocks until its verdict, invoking
+    /// `on_progress` for every per-class event along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the daemon answers this request with
+    /// an error frame (admission rejection, unparseable bundle, shutdown
+    /// drain), [`ClientError::Io`]/[`ClientError::Protocol`] on transport
+    /// or sequencing violations.
+    pub fn inspect(
+        &mut self,
+        bundle: &[u8],
+        opts: &SubmitOptions,
+        mut on_progress: impl FnMut(&ProgressEvent),
+    ) -> Result<WireVerdict, ClientError> {
+        self.submit(bundle, opts)?;
+        let mut job_id: Option<u64> = None;
+        loop {
+            match self.next_frame()? {
+                Frame::Accepted { tag, job, .. } if tag == opts.tag => job_id = Some(job),
+                Frame::Progress(ev) if Some(ev.job) == job_id => on_progress(&ev),
+                Frame::Verdict(v) if Some(v.job) == job_id => return Ok(v),
+                Frame::Error { tag, job, message }
+                    if tag == opts.tag || (job != 0 && Some(job) == job_id) || tag == 0 =>
+                {
+                    return Err(ClientError::Server { tag, job, message });
+                }
+                // Frames for other in-flight jobs on a shared connection
+                // are not ours to consume — but a single-request helper
+                // has no owner for them, so sequencing is broken.
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame while waiting for tag {}: {other:?}",
+                        opts.tag
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to shut down and waits for the acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Shutdown)?;
+        match read_frame(&mut self.stream)? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShutdownAck, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,752 @@
+//! The USBP wire protocol: versioned, checksummed frames carrying
+//! inspection requests and results between `usb-repro serve` and its
+//! clients.
+//!
+//! # Frame layout (protocol version 1, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic b"USBP"
+//! 4       2     u16 protocol version (currently 1)
+//! 6       1     u8 frame kind
+//! 7       1     u8 reserved (must be 0)
+//! 8       4     u32 payload length (at most MAX_PAYLOAD)
+//! 12      N     payload (kind-specific, see below)
+//! 12+N    4     u32 CRC-32 (IEEE) over bytes [6, 12+N)
+//! ```
+//!
+//! The checksum covers the kind, reserved byte, length, and payload — a
+//! bit flip anywhere past the version field is caught by the CRC, and a
+//! flip in the magic/version is caught structurally. Like every format in
+//! `PERSISTENCE.md`, readers reject bad magic, unknown versions, non-zero
+//! reserved bytes, oversized lengths, truncation, checksum mismatches,
+//! and trailing payload bytes with a clean [`IoError`] — **never a
+//! panic** — so no fuzzed input can take the daemon down.
+//!
+//! # Frame kinds
+//!
+//! | kind | direction | frame | payload |
+//! |------|-----------|-------|---------|
+//! | 0x01 | c → s | [`Frame::Ping`] | empty |
+//! | 0x02 | c → s | [`Frame::Submit`] | tag u64, seed u64, subset u32, workers u32, fast u8, bundle bytes |
+//! | 0x03 | c → s | [`Frame::Shutdown`] | empty |
+//! | 0x10 | s → c | [`Frame::Pong`] | empty |
+//! | 0x11 | s → c | [`Frame::Accepted`] | tag u64, job u64, queue_depth u32 |
+//! | 0x12 | s → c | [`Frame::Progress`] | job u64, class u32, done u32, total u32, l1 f64, success f64 |
+//! | 0x13 | s → c | [`Frame::Verdict`] | see [`WireVerdict`] |
+//! | 0x14 | s → c | [`Frame::Error`] | tag u64, job u64, message str |
+//! | 0x15 | s → c | [`Frame::ShutdownAck`] | empty |
+//!
+//! Strings use the shared u16-length-prefixed UTF-8 encoding from
+//! [`usb_tensor::io`].
+
+use std::io::{Read, Write};
+use usb_tensor::io::{
+    read_f64, read_str, read_u32, read_u64, write_f64, write_str, write_u32, write_u64, Crc32,
+    IoError,
+};
+
+/// Magic bytes opening every protocol frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"USBP";
+
+/// Current protocol version.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (bundles at repro scale are far
+/// smaller); a length header past this is rejected before any allocation.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// An inspection request as it travels over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen correlation tag, echoed in [`Frame::Accepted`] (and
+    /// in [`Frame::Error`] when the request is rejected before a job id
+    /// exists).
+    pub tag: u64,
+    /// Inspection seed — drives clean-subset drawing and the per-class
+    /// rng streams, exactly like `usb-repro inspect --seed`.
+    pub seed: u64,
+    /// Clean images to draw for inspection (`inspect` uses 48).
+    pub subset: u32,
+    /// Worker threads for the per-class scan; 0 inherits the server's
+    /// configured default. Any value yields a bit-identical verdict.
+    pub workers: u32,
+    /// Use the reduced (`fast`) detector configuration.
+    pub fast: bool,
+    /// The serialized USBV victim bundle.
+    pub bundle: Vec<u8>,
+}
+
+/// One per-class completion event, streamed while an inspection runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressEvent {
+    /// The job this event belongs to.
+    pub job: u64,
+    /// The class whose trigger reversal just finished.
+    pub class: u32,
+    /// Classes finished so far (including this one).
+    pub classes_done: u32,
+    /// Total classes in this inspection.
+    pub classes_total: u32,
+    /// Reversed-mask L1 norm of the finished class.
+    pub l1_norm: f64,
+    /// Reversed-trigger success rate of the finished class.
+    pub attack_success: f64,
+}
+
+/// Per-class detection statistics inside a [`WireVerdict`].
+///
+/// Patterns and masks travel as CRC-32 digests rather than full tensors:
+/// enough to pin bit-identity across runs without shipping megabytes per
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireClass {
+    /// Candidate target class.
+    pub class: u32,
+    /// Reversed-mask L1 norm.
+    pub l1_norm: f64,
+    /// MAD anomaly index of this class.
+    pub anomaly: f64,
+    /// Reversed-trigger success rate.
+    pub attack_success: f64,
+    /// CRC-32 of the reversed pattern tensor's raw f32 bytes.
+    pub pattern_crc: u32,
+    /// CRC-32 of the reversed mask tensor's raw f32 bytes.
+    pub mask_crc: u32,
+}
+
+/// The final answer for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVerdict {
+    /// The job this verdict answers.
+    pub job: u64,
+    /// Defense name (always "USB" for the serve pipeline).
+    pub method: String,
+    /// Per-class statistics in class order.
+    pub per_class: Vec<WireClass>,
+    /// Classes flagged as backdoor targets.
+    pub flagged: Vec<u32>,
+    /// Median of the per-class L1 norms.
+    pub median_l1: f64,
+    /// Ground truth stored in the bundle: `Some(target)` for a backdoored
+    /// victim, `None` for a clean one.
+    pub truth_target: Option<u32>,
+    /// Whether the verdict agrees with the stored ground truth (same rule
+    /// as `usb-repro inspect`'s exit code: a backdoored victim's target
+    /// must be flagged; a clean victim must not be flagged at all).
+    pub agrees: bool,
+    /// Whether the resident-model cache already held this bundle.
+    pub cache_hit: bool,
+    /// Server-side wall seconds spent producing the verdict.
+    pub seconds: f64,
+}
+
+impl WireVerdict {
+    /// `true` when at least one class was flagged.
+    pub fn is_backdoored(&self) -> bool {
+        !self.flagged.is_empty()
+    }
+}
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Liveness probe.
+    Ping,
+    /// An inspection request.
+    Submit(SubmitRequest),
+    /// Ask the daemon to shut down cleanly.
+    Shutdown,
+    /// Reply to [`Frame::Ping`].
+    Pong,
+    /// A submission passed admission control and was queued.
+    Accepted {
+        /// Echo of the request's correlation tag.
+        tag: u64,
+        /// Server-assigned job id; all later frames for this request
+        /// carry it.
+        job: u64,
+        /// Jobs already queued ahead of this one across all connections.
+        queue_depth: u32,
+    },
+    /// A per-class completion event for a running job.
+    Progress(ProgressEvent),
+    /// The final verdict for a job.
+    Verdict(WireVerdict),
+    /// A request-level (`tag`/`job` non-zero) or connection-level (both
+    /// zero) failure.
+    Error {
+        /// Correlation tag of the failed request, 0 if unknown.
+        tag: u64,
+        /// Job id of the failed request, 0 if none was assigned.
+        job: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The daemon acknowledged [`Frame::Shutdown`] and is stopping.
+    ShutdownAck,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Ping => 0x01,
+            Frame::Submit(_) => 0x02,
+            Frame::Shutdown => 0x03,
+            Frame::Pong => 0x10,
+            Frame::Accepted { .. } => 0x11,
+            Frame::Progress(_) => 0x12,
+            Frame::Verdict(_) => 0x13,
+            Frame::Error { .. } => 0x14,
+            Frame::ShutdownAck => 0x15,
+        }
+    }
+
+    fn payload(&self) -> Result<Vec<u8>, IoError> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Ping | Frame::Shutdown | Frame::Pong | Frame::ShutdownAck => {}
+            Frame::Submit(req) => {
+                write_u64(&mut p, req.tag)?;
+                write_u64(&mut p, req.seed)?;
+                write_u32(&mut p, req.subset)?;
+                write_u32(&mut p, req.workers)?;
+                p.push(u8::from(req.fast));
+                p.extend_from_slice(&req.bundle);
+            }
+            Frame::Accepted {
+                tag,
+                job,
+                queue_depth,
+            } => {
+                write_u64(&mut p, *tag)?;
+                write_u64(&mut p, *job)?;
+                write_u32(&mut p, *queue_depth)?;
+            }
+            Frame::Progress(ev) => {
+                write_u64(&mut p, ev.job)?;
+                write_u32(&mut p, ev.class)?;
+                write_u32(&mut p, ev.classes_done)?;
+                write_u32(&mut p, ev.classes_total)?;
+                write_f64(&mut p, ev.l1_norm)?;
+                write_f64(&mut p, ev.attack_success)?;
+            }
+            Frame::Verdict(v) => {
+                write_u64(&mut p, v.job)?;
+                write_str(&mut p, &v.method)?;
+                write_u32(&mut p, v.per_class.len() as u32)?;
+                for c in &v.per_class {
+                    write_u32(&mut p, c.class)?;
+                    write_f64(&mut p, c.l1_norm)?;
+                    write_f64(&mut p, c.anomaly)?;
+                    write_f64(&mut p, c.attack_success)?;
+                    write_u32(&mut p, c.pattern_crc)?;
+                    write_u32(&mut p, c.mask_crc)?;
+                }
+                write_u32(&mut p, v.flagged.len() as u32)?;
+                for f in &v.flagged {
+                    write_u32(&mut p, *f)?;
+                }
+                write_f64(&mut p, v.median_l1)?;
+                match v.truth_target {
+                    None => p.push(0),
+                    Some(t) => {
+                        p.push(1);
+                        write_u32(&mut p, t)?;
+                    }
+                }
+                p.push(u8::from(v.agrees));
+                p.push(u8::from(v.cache_hit));
+                write_f64(&mut p, v.seconds)?;
+            }
+            Frame::Error { tag, job, message } => {
+                write_u64(&mut p, *tag)?;
+                write_u64(&mut p, *job)?;
+                write_str(&mut p, message)?;
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// Encodes one frame into its wire bytes.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] when the payload would exceed
+/// [`MAX_PAYLOAD`] (e.g. an oversized bundle — callers should split or
+/// reject long before this).
+pub fn frame_to_bytes(frame: &Frame) -> Result<Vec<u8>, IoError> {
+    let payload = frame.payload()?;
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(IoError::format(format!(
+            "frame payload of {} bytes exceeds the {} byte protocol cap",
+            payload.len(),
+            MAX_PAYLOAD
+        )));
+    }
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.push(frame.kind());
+    out.push(0); // reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let mut crc = Crc32::new();
+    crc.update(&out[6..]);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    Ok(out)
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), IoError> {
+    let bytes = frame_to_bytes(frame)?;
+    w.write_all(&bytes).map_err(IoError::from)
+}
+
+fn parse_submit(p: &mut &[u8]) -> Result<SubmitRequest, IoError> {
+    let tag = read_u64(p)?;
+    let seed = read_u64(p)?;
+    let subset = read_u32(p)?;
+    let workers = read_u32(p)?;
+    let fast = read_flag(p, "submit fast flag")?;
+    if subset == 0 {
+        return Err(IoError::format("submit requests 0 clean samples"));
+    }
+    Ok(SubmitRequest {
+        tag,
+        seed,
+        subset,
+        workers,
+        fast,
+        bundle: std::mem::take(p).to_vec(),
+    })
+}
+
+fn parse_verdict(p: &mut &[u8]) -> Result<WireVerdict, IoError> {
+    let job = read_u64(p)?;
+    let method = read_str(p)?;
+    let k = read_u32(p)? as usize;
+    // A verdict never carries more classes than its payload has bytes —
+    // reject implausible counts before reserving memory for them.
+    if k > p.len() {
+        return Err(IoError::format(format!(
+            "verdict claims {k} classes in a {} byte payload",
+            p.len()
+        )));
+    }
+    let mut per_class = Vec::with_capacity(k);
+    for _ in 0..k {
+        per_class.push(WireClass {
+            class: read_u32(p)?,
+            l1_norm: read_f64(p)?,
+            anomaly: read_f64(p)?,
+            attack_success: read_f64(p)?,
+            pattern_crc: read_u32(p)?,
+            mask_crc: read_u32(p)?,
+        });
+    }
+    let nf = read_u32(p)? as usize;
+    if nf > k {
+        return Err(IoError::format(format!(
+            "verdict flags {nf} of {k} classes"
+        )));
+    }
+    let mut flagged = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        flagged.push(read_u32(p)?);
+    }
+    let median_l1 = read_f64(p)?;
+    let truth_target = match read_byte(p, "verdict truth tag")? {
+        0 => None,
+        1 => Some(read_u32(p)?),
+        other => {
+            return Err(IoError::format(format!(
+                "unknown verdict truth tag {other}"
+            )))
+        }
+    };
+    let agrees = read_flag(p, "verdict agreement flag")?;
+    let cache_hit = read_flag(p, "verdict cache flag")?;
+    let seconds = read_f64(p)?;
+    Ok(WireVerdict {
+        job,
+        method,
+        per_class,
+        flagged,
+        median_l1,
+        truth_target,
+        agrees,
+        cache_hit,
+        seconds,
+    })
+}
+
+fn read_byte(p: &mut &[u8], what: &str) -> Result<u8, IoError> {
+    let mut b = [0u8; 1];
+    p.read_exact(&mut b)
+        .map_err(|_| IoError::format(format!("{what} is missing (truncated payload)")))?;
+    Ok(b[0])
+}
+
+fn read_flag(p: &mut &[u8], what: &str) -> Result<bool, IoError> {
+    match read_byte(p, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(IoError::format(format!("{what} has value {other}"))),
+    }
+}
+
+fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, IoError> {
+    let mut p = payload;
+    let frame = match kind {
+        0x01 => Frame::Ping,
+        0x02 => Frame::Submit(parse_submit(&mut p)?),
+        0x03 => Frame::Shutdown,
+        0x10 => Frame::Pong,
+        0x11 => Frame::Accepted {
+            tag: read_u64(&mut p)?,
+            job: read_u64(&mut p)?,
+            queue_depth: read_u32(&mut p)?,
+        },
+        0x12 => Frame::Progress(ProgressEvent {
+            job: read_u64(&mut p)?,
+            class: read_u32(&mut p)?,
+            classes_done: read_u32(&mut p)?,
+            classes_total: read_u32(&mut p)?,
+            l1_norm: read_f64(&mut p)?,
+            attack_success: read_f64(&mut p)?,
+        }),
+        0x13 => Frame::Verdict(parse_verdict(&mut p)?),
+        0x14 => Frame::Error {
+            tag: read_u64(&mut p)?,
+            job: read_u64(&mut p)?,
+            message: read_str(&mut p)?,
+        },
+        0x15 => Frame::ShutdownAck,
+        other => return Err(IoError::format(format!("unknown frame kind 0x{other:02x}"))),
+    };
+    if !p.is_empty() {
+        return Err(IoError::format(format!(
+            "frame kind 0x{kind:02x} payload has {} trailing bytes",
+            p.len()
+        )));
+    }
+    Ok(frame)
+}
+
+/// Reads one frame, or `None` on a clean end-of-stream (the peer closed
+/// the connection *between* frames — not an error).
+///
+/// # Errors
+///
+/// [`IoError::Format`] on any malformed frame: bad magic or version,
+/// non-zero reserved byte, oversized length header, checksum mismatch,
+/// truncation *inside* a frame, unparseable payload, or trailing payload
+/// bytes. [`IoError::Io`] only for genuine transport failures.
+pub fn read_frame_or_eof(r: &mut impl Read) -> Result<Option<Frame>, IoError> {
+    let mut header = [0u8; 12];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(IoError::format(format!(
+                    "connection closed {got} bytes into a frame header"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(IoError::from(e)),
+        }
+    }
+    if header[0..4] != FRAME_MAGIC {
+        return Err(IoError::format(format!(
+            "bad frame magic {:02x?} (expected {:02x?})",
+            &header[0..4],
+            FRAME_MAGIC
+        )));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTO_VERSION {
+        return Err(IoError::format(format!(
+            "unsupported protocol version {version} (this daemon speaks {PROTO_VERSION})"
+        )));
+    }
+    let kind = header[6];
+    if header[7] != 0 {
+        return Err(IoError::format(format!(
+            "reserved frame byte is 0x{:02x}, must be 0",
+            header[7]
+        )));
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(IoError::format(format!(
+            "frame length header claims {len} bytes (protocol cap {MAX_PAYLOAD})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let mut crc = Crc32::new();
+    crc.update(&header[6..]);
+    crc.update(&payload);
+    let computed = crc.finish();
+    let stored = u32::from_le_bytes(crc_bytes);
+    if computed != stored {
+        return Err(IoError::format(format!(
+            "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    parse_payload(kind, &payload).map(Some)
+}
+
+/// Reads one frame, treating end-of-stream as an error (for client-side
+/// reads that are still waiting for an answer).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, IoError> {
+    read_frame_or_eof(r)?
+        .ok_or_else(|| IoError::format("connection closed while waiting for a frame"))
+}
+
+/// Builds the wire form of a [`usb_defenses::DetectionOutcome`] plus its context.
+///
+/// Tensor digests use CRC-32 over the raw little-endian f32 bytes, so two
+/// verdicts have equal digests exactly when the reversed triggers match
+/// bit for bit.
+pub fn verdict_from_outcome(
+    job: u64,
+    outcome: &usb_defenses::DetectionOutcome,
+    truth_target: Option<u32>,
+    cache_hit: bool,
+    seconds: f64,
+) -> WireVerdict {
+    let tensor_crc = |t: &usb_tensor::Tensor| {
+        let mut crc = Crc32::new();
+        for v in t.data() {
+            crc.update(&v.to_le_bytes());
+        }
+        crc.finish()
+    };
+    let per_class: Vec<WireClass> = outcome
+        .per_class
+        .iter()
+        .map(|c| WireClass {
+            class: c.class as u32,
+            l1_norm: c.l1_norm,
+            anomaly: outcome.anomaly_indices[c.class],
+            attack_success: c.attack_success,
+            pattern_crc: tensor_crc(&c.pattern),
+            mask_crc: tensor_crc(&c.mask),
+        })
+        .collect();
+    let flagged: Vec<u32> = outcome.flagged.iter().map(|&f| f as u32).collect();
+    let agrees = match truth_target {
+        Some(t) => flagged.contains(&t),
+        None => flagged.is_empty(),
+    };
+    WireVerdict {
+        job,
+        method: outcome.method.to_owned(),
+        per_class,
+        flagged,
+        median_l1: outcome.median_l1,
+        truth_target,
+        agrees,
+        cache_hit,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_verdict() -> WireVerdict {
+        WireVerdict {
+            job: 42,
+            method: "USB".to_owned(),
+            per_class: vec![
+                WireClass {
+                    class: 0,
+                    l1_norm: 51.25,
+                    anomaly: 0.4,
+                    attack_success: 0.25,
+                    pattern_crc: 0xDEAD_BEEF,
+                    mask_crc: 0x1234_5678,
+                },
+                WireClass {
+                    class: 1,
+                    l1_norm: 4.5,
+                    anomaly: -3.2,
+                    attack_success: 0.97,
+                    pattern_crc: 7,
+                    mask_crc: 8,
+                },
+            ],
+            flagged: vec![1],
+            median_l1: 27.875,
+            truth_target: Some(1),
+            agrees: true,
+            cache_hit: false,
+            seconds: 1.5,
+        }
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Ping,
+            Frame::Submit(SubmitRequest {
+                tag: 9,
+                seed: 3,
+                subset: 48,
+                workers: 2,
+                fast: true,
+                bundle: (0..=255u8).collect(),
+            }),
+            Frame::Shutdown,
+            Frame::Pong,
+            Frame::Accepted {
+                tag: 9,
+                job: 42,
+                queue_depth: 3,
+            },
+            Frame::Progress(ProgressEvent {
+                job: 42,
+                class: 5,
+                classes_done: 2,
+                classes_total: 10,
+                l1_norm: 12.5,
+                attack_success: 0.875,
+            }),
+            Frame::Verdict(sample_verdict()),
+            Frame::Error {
+                tag: 9,
+                job: 0,
+                message: "queue full".to_owned(),
+            },
+            Frame::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips_bit_exactly() {
+        for frame in all_frames() {
+            let bytes = frame_to_bytes(&frame).unwrap();
+            let back = read_frame(&mut bytes.as_slice()).unwrap();
+            assert_eq!(back, frame);
+            // Re-encoding the decoded frame reproduces the bytes — the
+            // encoding is canonical, which is what lets tests compare
+            // verdicts by their wire bytes.
+            assert_eq!(frame_to_bytes(&back).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&frame_to_bytes(f).unwrap());
+        }
+        let mut r = stream.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(read_frame_or_eof(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_clean_errors() {
+        let bytes = frame_to_bytes(&all_frames()[1]).unwrap();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            match read_frame(&mut bad.as_slice()) {
+                Err(IoError::Format(_)) => {}
+                Err(e) => panic!("flip at {pos}: unexpected error kind {e}"),
+                // A flip inside the Submit payload is caught by the CRC;
+                // nothing may decode.
+                Ok(f) => panic!("flip at {pos} still decoded {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_clean_error() {
+        let bytes = frame_to_bytes(&Frame::Accepted {
+            tag: 1,
+            job: 2,
+            queue_depth: 0,
+        })
+        .unwrap();
+        for len in 1..bytes.len() {
+            match read_frame_or_eof(&mut &bytes[..len]) {
+                Err(IoError::Format(_)) => {}
+                Err(e) => panic!("prefix {len}: unexpected error kind {e}"),
+                Ok(f) => panic!("prefix {len} decoded {f:?}"),
+            }
+        }
+        // Zero bytes is the one clean case: end of stream between frames.
+        assert!(read_frame_or_eof(&mut &bytes[..0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected_before_allocation() {
+        let mut bytes = frame_to_bytes(&Frame::Ping).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut bytes.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("protocol cap"), "{msg}"),
+            other => panic!("oversized length accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_version_are_rejected() {
+        let mut bad_kind = frame_to_bytes(&Frame::Ping).unwrap();
+        bad_kind[6] = 0x7F;
+        // Fix up the checksum so only the kind is wrong.
+        let mut crc = Crc32::new();
+        let end = bad_kind.len() - 4;
+        crc.update(&bad_kind[6..end]);
+        let digest = crc.finish().to_le_bytes();
+        bad_kind[end..].copy_from_slice(&digest);
+        match read_frame(&mut bad_kind.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("unknown frame kind"), "{msg}"),
+            other => panic!("unknown kind accepted: {other:?}"),
+        }
+
+        let mut bad_version = frame_to_bytes(&Frame::Ping).unwrap();
+        bad_version[4] = 0xFF;
+        match read_frame(&mut bad_version.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("unknown version accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_with_zero_subset_is_rejected() {
+        let frame = Frame::Submit(SubmitRequest {
+            tag: 1,
+            seed: 1,
+            subset: 1,
+            workers: 0,
+            fast: false,
+            bundle: vec![1, 2, 3],
+        });
+        let mut bytes = frame_to_bytes(&frame).unwrap();
+        // Patch subset (offset 12 header + 16 tag/seed) to zero and redo
+        // the checksum, leaving everything else intact.
+        bytes[28..32].copy_from_slice(&0u32.to_le_bytes());
+        let end = bytes.len() - 4;
+        let mut crc = Crc32::new();
+        crc.update(&bytes[6..end]);
+        let digest = crc.finish().to_le_bytes();
+        bytes[end..].copy_from_slice(&digest);
+        match read_frame(&mut bytes.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("0 clean samples"), "{msg}"),
+            other => panic!("zero subset accepted: {other:?}"),
+        }
+    }
+}

@@ -17,6 +17,7 @@
 
 use universal_soldier::eval::grid::{run_table, table5, DefenseSuite};
 use universal_soldier::eval::{format_table, write_csv};
+use universal_soldier::nn::models::network_clone_count;
 use universal_soldier::tensor::par;
 
 fn main() {
@@ -28,9 +29,17 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let suite = DefenseSuite::fast();
+    // Victim training legitimately builds models; inspection must not copy
+    // them. The whole sweep — training, per-class fan-out, ASR scoring —
+    // goes through the shared-`&Network` infer/tape routes, so the clone
+    // counter stays exactly where it started.
+    let clones_before = network_clone_count();
     let report = run_table(&spec, 2, &suite, |line| println!("{line}"));
+    let clones = network_clone_count() - clones_before;
     print!("\n{}", format_table(&report));
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    println!("network clones made by the sweep: {clones}");
+    assert_eq!(clones, 0, "the sweep must share victims by reference");
     let path = std::path::Path::new("target/repro/example_sweep.csv");
     match write_csv(&report, path) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -4,8 +4,13 @@
 //! victim must produce bit-identical per-class L1 norms, or experiment
 //! tables and CI both stop being reproducible.
 
+mod serve_util;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
+use universal_soldier::eval::serve::proto::verdict_from_outcome;
+use universal_soldier::eval::serve::{Client, ServeConfig, Server, SubmitOptions};
 use universal_soldier::nn::models::network_clone_count;
 use universal_soldier::prelude::*;
 
@@ -164,4 +169,74 @@ fn usb_inspect_spawns_zero_network_clones() {
         "inspect cloned the victim {} times; the fan-out must share one &Network",
         after - before
     );
+}
+
+#[test]
+fn daemon_verdicts_are_bit_identical_to_offline_inspection() {
+    // The serve layer's reproducibility contract: submitting a bundle to
+    // a warm daemon — any number of times, at any worker count — must
+    // yield the exact verdict `usb-repro inspect` computes offline. The
+    // daemon replays the offline pipeline (seeded rng → clean subset →
+    // per-class rng streams) against its resident copy of the model, so
+    // every float and every trigger CRC has to match bit-for-bit.
+    let (data, victim) = small_victim();
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    let truth = victim.target().map(|t| t as u32);
+
+    let config = ServeConfig {
+        workers: 1,
+        max_pending: 8,
+        cache_capacity: 2,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+
+    for (i, workers) in [1usize, 2, 4].into_iter().enumerate() {
+        // The offline reference: exactly what `usb-repro inspect` runs.
+        let mut rng = StdRng::seed_from_u64(17);
+        let (clean_x, _) = data.clean_subset(32, &mut rng);
+        let outcome =
+            UsbDetector::fast_with_workers(workers).inspect(&victim.model, &clean_x, &mut rng);
+        let offline = verdict_from_outcome(0, &outcome, truth, false, 0.0);
+
+        // The same request twice: the first of the whole test misses the
+        // resident cache, everything after hits it — and neither state is
+        // allowed to perturb a single bit of the verdict.
+        for round in 0..2u64 {
+            let opts = SubmitOptions {
+                tag: i as u64 * 10 + round + 1,
+                seed: 17,
+                subset: 32,
+                workers: workers as u32,
+                fast: true,
+            };
+            let wire = client
+                .inspect(&bundle, &opts, |_| {})
+                .expect("daemon inspection");
+            assert_eq!(
+                wire.per_class, offline.per_class,
+                "per-class results diverged from offline at {workers} workers (round {round})"
+            );
+            assert_eq!(
+                wire.flagged, offline.flagged,
+                "flagged classes diverged at {workers} workers (round {round})"
+            );
+            assert_eq!(
+                wire.median_l1.to_bits(),
+                offline.median_l1.to_bits(),
+                "median L1 diverged at {workers} workers (round {round})"
+            );
+            assert_eq!(wire.truth_target, truth);
+            assert_eq!(wire.agrees, offline.agrees);
+        }
+    }
+    let stats = server.stop();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "only the very first request may parse the bundle"
+    );
+    assert_eq!(stats.cache_hits, 5, "every later request must stay warm");
 }

@@ -1,0 +1,162 @@
+//! Pins the daemon's bounded-memory contract with a counting global
+//! allocator: live heap bytes are tracked process-wide (the daemon
+//! allocates on reader, scheduler, and inspection-worker threads, so the
+//! thread-local counter of `crates/core/tests/refine_alloc.rs` would miss
+//! almost everything), and the suite asserts that
+//!
+//! * repeated submissions of the **same** bundle re-use the resident
+//!   model — live bytes stop growing once the cache is warm, and the
+//!   hit/miss ledger shows one parse total;
+//! * a stream of **distinct** bundles cannot grow the cache past its
+//!   configured capacity — the LRU evicts, `resident_models` stays at the
+//!   cap, and live bytes stay bounded.
+//!
+//! Everything runs in ONE `#[test]` so no concurrent test traffic
+//! pollutes the live-byte readings; this file is its own test binary for
+//! the same reason.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+use universal_soldier::eval::serve::{Client, ServeConfig, Server, SubmitOptions};
+
+mod serve_util;
+
+/// Live heap bytes across every thread (allocations minus deallocations).
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+#[test]
+fn resident_cache_keeps_daemon_memory_bounded() {
+    const CAPACITY: usize = 2;
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 8,
+        cache_capacity: CAPACITY,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+    let submit = |client: &mut Client, tag: u64, bundle: &[u8]| {
+        let opts = SubmitOptions {
+            tag,
+            seed: 17,
+            subset: 32,
+            workers: 2,
+            fast: true,
+        };
+        client
+            .inspect(bundle, &opts, |_| {})
+            .expect("daemon inspection")
+    };
+
+    // --- Phase 1: the same bundle over and over -------------------------
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    // Two warm-up requests: the first parses the bundle and regenerates
+    // the dataset into the resident cache, the second covers lazy one-time
+    // setup on the warm path (workspace pools, formatting machinery).
+    let first = submit(&mut client, 1, &bundle);
+    assert!(!first.cache_hit, "the very first request must miss");
+    let second = submit(&mut client, 2, &bundle);
+    assert!(second.cache_hit, "the repeat request must stay resident");
+
+    const REPEATS: u64 = 8;
+    let warm_baseline = live_bytes();
+    for i in 0..REPEATS {
+        let v = submit(&mut client, 10 + i, &bundle);
+        assert!(v.cache_hit, "repeat {i} fell out of the resident cache");
+    }
+    let growth = live_bytes() - warm_baseline;
+    // One resident entry (model + regenerated dataset) is a few hundred
+    // KiB; if warm requests leaked even one entry-sized thing each, eight
+    // repeats would blow far past this bound. Transient inspection
+    // buffers are freed before `inspect` returns, so the steady state is
+    // near-zero growth.
+    assert!(
+        growth < (1 << 20),
+        "8 warm same-bundle requests grew live heap by {growth} bytes — \
+         the warm path must not accumulate per-request state"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, 1, "one parse for the repeated bundle");
+    assert_eq!(stats.cache_hits, 1 + REPEATS);
+
+    // --- Phase 2: distinct bundles past the cache capacity --------------
+    // Each variant carries a different data-regeneration seed, so each has
+    // distinct bytes (a distinct fingerprint) and forces a cache miss.
+    const DISTINCT: u64 = 4;
+    let bounded_baseline = live_bytes();
+    for k in 0..DISTINCT {
+        let variant = serve_util::bundle_bytes(1000 + k);
+        let v = submit(&mut client, 100 + k, &variant);
+        assert!(!v.cache_hit, "variant {k} has fresh bytes: must miss");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, 1 + DISTINCT);
+    assert!(
+        stats.resident_models <= CAPACITY as u64,
+        "{} models resident with capacity {CAPACITY}: the LRU failed to evict",
+        stats.resident_models
+    );
+    // Streaming more distinct bundles than the cache holds must not grow
+    // memory linearly with the stream: everything past the cap is evicted.
+    // Allow capacity entries' worth of slack (generously sized) on top of
+    // the warm baseline.
+    let growth = live_bytes() - bounded_baseline;
+    assert!(
+        growth < (CAPACITY as i64) * (4 << 20),
+        "{DISTINCT} distinct bundles grew live heap by {growth} bytes with a \
+         {CAPACITY}-entry cache — eviction is not releasing memory"
+    );
+
+    // The evicted-and-resubmitted original bundle misses again (it was
+    // pushed out by the variants), which is exactly the bounded-memory
+    // trade: re-parse cost, not unbounded growth.
+    let v = submit(&mut client, 200, &bundle);
+    assert!(!v.cache_hit, "the original bundle should have been evicted");
+    let stats = server.stop();
+    assert!(stats.resident_models <= CAPACITY as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}

@@ -1,0 +1,241 @@
+//! Protocol fault injection against a live daemon: every malformed input
+//! the wire can carry — bit flips, truncation at every prefix length,
+//! oversized length headers, mid-message disconnects — must produce a
+//! clean per-connection error (an error frame when the socket is still
+//! writable, a plain close otherwise) and must never panic a worker or
+//! wedge the daemon. After every barrage the daemon still answers a
+//! well-formed submission on a fresh connection.
+//!
+//! The codec-level versions of these properties live in
+//! `usb_eval::serve::proto`'s unit tests; this suite drives the real
+//! accept/reader/scheduler threads through real sockets.
+
+mod serve_util;
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+use universal_soldier::eval::serve::proto::{frame_to_bytes, Frame, SubmitRequest, MAX_PAYLOAD};
+use universal_soldier::eval::serve::{Client, ClientError, ServeConfig, Server, SubmitOptions};
+
+/// Generous bound on how long the daemon may take to drop a poisoned
+/// connection; hitting it means the daemon wedged, which is the failure
+/// this suite exists to catch.
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn start_server() -> Server {
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 8,
+        cache_capacity: 2,
+    };
+    Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon")
+}
+
+/// A submit frame whose *framing* is valid but whose bundle payload is
+/// junk — the right raw material for corruption tests (small, and even
+/// delivered intact it only ever produces a polite error frame).
+fn junk_submit_frame() -> Vec<u8> {
+    frame_to_bytes(&Frame::Submit(SubmitRequest {
+        tag: 7,
+        seed: 3,
+        subset: 8,
+        workers: 1,
+        fast: true,
+        bundle: b"not a victim bundle".to_vec(),
+    }))
+    .expect("encoding a submit frame")
+}
+
+/// Reads until the server closes the connection, panicking if it takes
+/// longer than [`DEADLINE`] — a wedged daemon turns into a test failure,
+/// not a hang.
+fn drain_until_close(stream: &mut TcpStream) -> Vec<u8> {
+    stream
+        .set_read_timeout(Some(DEADLINE))
+        .expect("setting a read timeout");
+    let mut drained = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return drained,
+            Ok(n) => drained.extend_from_slice(&buf[..n]),
+            // A reset is a close too: the server tore the connection down
+            // with bytes of ours still unread (it rejected the frame
+            // before consuming all of it), so the kernel answers RST
+            // instead of FIN. What this helper guards against is a
+            // *wedge*, which surfaces as the read timing out.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                return drained;
+            }
+            Err(e) => panic!("daemon neither answered nor closed the connection: {e}"),
+        }
+    }
+}
+
+/// A full, well-formed request must still round-trip — the daemon
+/// survived whatever the test threw at it.
+fn assert_daemon_still_serves(addr: SocketAddr, bundle: &[u8]) {
+    let mut client = Client::connect(addr).expect("connecting after the fault barrage");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+    client.ping().expect("daemon must still answer pings");
+    let opts = SubmitOptions {
+        tag: 99,
+        seed: 17,
+        subset: 32,
+        workers: 2,
+        fast: true,
+    };
+    let verdict = client
+        .inspect(bundle, &opts, |_| {})
+        .expect("daemon must still inspect after surviving malformed input");
+    assert_eq!(
+        verdict.per_class.len(),
+        4,
+        "the fixture victim has 4 classes"
+    );
+}
+
+#[test]
+fn single_byte_corruption_at_every_position_is_survived() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let frame = junk_submit_frame();
+
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x40;
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&corrupt).expect("write corrupted frame");
+        let _ = stream.shutdown(Shutdown::Write);
+        // Clean outcome: maybe an error frame, then a close. Never a hang.
+        drain_until_close(&mut stream);
+    }
+
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    assert_daemon_still_serves(addr, &bundle);
+    let stats = server.stop();
+    assert!(
+        stats.protocol_errors >= frame.len() as u64,
+        "every corrupted frame must be counted as a protocol error \
+         (got {} for {} frames)",
+        stats.protocol_errors,
+        frame.len()
+    );
+}
+
+#[test]
+fn truncation_at_every_prefix_length_is_survived() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let frame = junk_submit_frame();
+
+    for len in 0..frame.len() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&frame[..len]).expect("write prefix");
+        let _ = stream.shutdown(Shutdown::Write);
+        drain_until_close(&mut stream);
+    }
+
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    assert_daemon_still_serves(addr, &bundle);
+    drop(server);
+}
+
+#[test]
+fn oversized_length_header_is_rejected() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // A header promising MAX_PAYLOAD + 1 bytes: must be rejected from the
+    // 12-byte header alone (no 64 MiB allocation, no waiting for a
+    // payload that will never come).
+    let mut header = Vec::new();
+    header.extend_from_slice(b"USBP");
+    header.extend_from_slice(&1u16.to_le_bytes());
+    header.push(0x02);
+    header.push(0);
+    header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&header).expect("write oversized header");
+    // Note: the write half stays open — rejection must come from the
+    // header itself, not from our EOF.
+    drain_until_close(&mut stream);
+
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    assert_daemon_still_serves(addr, &bundle);
+    drop(server);
+}
+
+#[test]
+fn mid_message_disconnects_do_not_disturb_other_clients() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let frame = junk_submit_frame();
+
+    // Several clients vanish mid-frame without so much as a FIN handshake
+    // courtesy; each costs the daemon one reader thread, nothing more.
+    for cut in [3usize, 11, 13, frame.len() / 2, frame.len() - 1] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&frame[..cut])
+            .expect("write partial frame");
+        drop(stream);
+    }
+
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    assert_daemon_still_serves(addr, &bundle);
+    drop(server);
+}
+
+#[test]
+fn garbage_bundle_payload_gets_an_error_frame_and_the_connection_survives() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+
+    // A perfectly framed submission carrying garbage where the USBV
+    // bundle should be: admission accepts it (framing is fine), the
+    // scheduler rejects it with an error frame, and — crucially — the
+    // connection stays usable.
+    let opts = SubmitOptions {
+        tag: 1,
+        seed: 17,
+        subset: 32,
+        workers: 1,
+        fast: true,
+    };
+    match client.inspect(b"USBV but not really", &opts, |_| {}) {
+        Err(ClientError::Server { tag, message, .. }) => {
+            assert_eq!(tag, 1, "the error frame must echo the request tag");
+            assert!(
+                message.contains("bundle rejected"),
+                "unexpected error message: {message}"
+            );
+        }
+        Err(other) => panic!("expected a server error frame, got {other}"),
+        Ok(_) => panic!("a garbage bundle cannot produce a verdict"),
+    }
+
+    // Same connection, real bundle: the worker did not wedge.
+    let opts = SubmitOptions { tag: 2, ..opts };
+    let verdict = client
+        .inspect(&bundle, &opts, |_| {})
+        .expect("the connection must survive a rejected bundle");
+    assert_eq!(verdict.per_class.len(), 4);
+    let stats = server.stop();
+    assert_eq!(stats.failed, 1, "exactly one job failed (the garbage one)");
+    assert_eq!(stats.completed, 1, "the real job completed");
+}

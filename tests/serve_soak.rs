@@ -1,0 +1,229 @@
+//! Concurrency soak for the inspection daemon: several clients hammer
+//! one server at once, and the suite pins the three properties that make
+//! multi-tenancy work — fair scheduling (a flooding client cannot starve
+//! single-request tenants), request/response correlation (every verdict
+//! maps back to exactly one submitted tag), and the shared-`&Network`
+//! contract (the scheduler clones no model, no matter how many jobs run).
+
+mod serve_util;
+
+use std::time::{Duration, Instant};
+use universal_soldier::eval::serve::{Client, Frame, ServeConfig, Server, SubmitOptions};
+use universal_soldier::nn::models::network_clone_count;
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let client = Client::connect(addr).expect("connecting to the daemon");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+    client
+}
+
+fn opts(tag: u64) -> SubmitOptions {
+    SubmitOptions {
+        tag,
+        seed: 17,
+        subset: 32,
+        workers: 2,
+        fast: true,
+    }
+}
+
+#[test]
+fn flooding_client_cannot_starve_single_request_tenants() {
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 8,
+        cache_capacity: 2,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
+    let addr = server.local_addr();
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+
+    // Warm the resident cache so every measured job costs the same.
+    connect(addr)
+        .inspect(&bundle, &opts(1), |_| {})
+        .expect("cache-warming request");
+
+    // Client A floods: six jobs queued back to back on one connection
+    // *before* the single-request tenants even connect, so its queue is
+    // full when they arrive. Submitting from this thread (not a spawned
+    // one) removes the race between the flood and the tenants.
+    const FLOOD: u64 = 6;
+    let mut flood_client = connect(addr);
+    for i in 0..FLOOD {
+        flood_client
+            .submit(&bundle, &opts(100 + i))
+            .expect("queueing a flood job");
+    }
+
+    let (a_last_done, b_done, c_done) = std::thread::scope(|scope| {
+        // The flood client drains its own event stream, proving along
+        // the way that every verdict correlates to exactly one tag.
+        let a = scope.spawn(move || {
+            let mut client = flood_client;
+            let mut tag_of_job = std::collections::HashMap::new();
+            let mut verdict_tags = Vec::new();
+            let mut last_done = None;
+            while verdict_tags.len() < FLOOD as usize {
+                match client.next_frame().expect("flood client event stream") {
+                    Frame::Accepted { tag, job, .. } => {
+                        assert!(
+                            tag_of_job.insert(job, tag).is_none(),
+                            "job id {job} assigned twice"
+                        );
+                    }
+                    Frame::Progress(ev) => {
+                        assert!(
+                            tag_of_job.contains_key(&ev.job),
+                            "progress for a job this connection never submitted"
+                        );
+                    }
+                    Frame::Verdict(v) => {
+                        let tag = *tag_of_job
+                            .get(&v.job)
+                            .expect("verdict for a job this connection never submitted");
+                        verdict_tags.push(tag);
+                        last_done = Some(Instant::now());
+                    }
+                    other => panic!("unexpected frame on the flood connection: {other:?}"),
+                }
+            }
+            verdict_tags.sort_unstable();
+            assert_eq!(
+                verdict_tags,
+                (100..100 + FLOOD).collect::<Vec<u64>>(),
+                "every flood tag must get exactly one verdict"
+            );
+            last_done.expect("the flood saw at least one verdict")
+        });
+
+        // B and C arrive *after* the flood is queued and want one verdict
+        // each. Round-robin scheduling must interleave them ahead of the
+        // flood's tail instead of making them wait out all six jobs.
+        let bundle_ref = &bundle;
+        let single_tenant = move |tag: u64| {
+            let mut client = connect(addr);
+            let verdict = client
+                .inspect(bundle_ref, &opts(tag), |_| {})
+                .expect("single-request tenant");
+            assert_eq!(verdict.per_class.len(), 4);
+            Instant::now()
+        };
+        let b = scope.spawn(move || single_tenant(200));
+        let c = scope.spawn(move || single_tenant(300));
+
+        (
+            a.join().expect("flood client"),
+            b.join().expect("tenant B"),
+            c.join().expect("tenant C"),
+        )
+    });
+
+    assert!(
+        b_done < a_last_done,
+        "tenant B waited out the whole flood: fair scheduling is broken"
+    );
+    assert!(
+        c_done < a_last_done,
+        "tenant C waited out the whole flood: fair scheduling is broken"
+    );
+    let stats = server.stop();
+    assert_eq!(stats.completed, 1 + FLOOD + 2);
+    assert_eq!(stats.rejected, 0, "nothing here should trip admission");
+    assert_eq!(stats.cache_misses, 1, "one parse, then resident forever");
+}
+
+#[test]
+fn admission_control_rejects_past_the_pending_cap_and_recovers() {
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 1,
+        cache_capacity: 2,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
+    let addr = server.local_addr();
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+
+    // Two back-to-back submissions against a cap of one pending job: the
+    // first is admitted, the second bounces with an error frame echoing
+    // its tag — and the first still completes untouched.
+    let mut client = connect(addr);
+    client.submit(&bundle, &opts(1)).expect("first submission");
+    client.submit(&bundle, &opts(2)).expect("second submission");
+    let mut accepted = 0u32;
+    let mut rejected_tags = Vec::new();
+    let mut verdicts = 0u32;
+    while verdicts == 0 || accepted > verdicts {
+        match client.next_frame().expect("event stream") {
+            Frame::Accepted { .. } => accepted += 1,
+            Frame::Progress(_) => {}
+            Frame::Verdict(_) => verdicts += 1,
+            Frame::Error { tag, job, message } => {
+                assert_eq!(job, 0, "a rejection precedes job assignment");
+                assert!(
+                    message.contains("pending"),
+                    "unexpected rejection message: {message}"
+                );
+                rejected_tags.push(tag);
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert_eq!(accepted, 1);
+    assert_eq!(rejected_tags, vec![2], "the overflow tag must bounce");
+
+    // The connection is not poisoned: with the queue drained, the same
+    // client submits again and gets a verdict.
+    let verdict = client
+        .inspect(&bundle, &opts(3), |_| {})
+        .expect("post-rejection submission");
+    assert_eq!(verdict.per_class.len(), 4);
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn daemon_scheduler_spawns_zero_network_clones() {
+    // The scheduler answers every job against its resident model by
+    // reference: parse once on the cache miss, then share `&Network`
+    // across the per-class fan-out of every subsequent job. (The counter
+    // is process-wide, so — as in tests/determinism.rs — no test in this
+    // binary may exercise `Network::clone`.)
+    let config = ServeConfig {
+        workers: 2,
+        max_pending: 8,
+        cache_capacity: 2,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
+    let addr = server.local_addr();
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+
+    let mut client = connect(addr);
+    // Warm-up covers the parse path plus any lazy one-time setup.
+    client
+        .inspect(&bundle, &opts(1), |_| {})
+        .expect("warm-up request");
+    let before = network_clone_count();
+    for (i, workers) in [1u32, 2, 4].into_iter().enumerate() {
+        let opts = SubmitOptions {
+            tag: 10 + i as u64,
+            workers,
+            ..opts(0)
+        };
+        let verdict = client
+            .inspect(&bundle, &opts, |_| {})
+            .expect("measured request");
+        assert_eq!(verdict.per_class.len(), 4);
+        assert!(verdict.cache_hit, "warm requests must stay resident");
+    }
+    let after = network_clone_count();
+    assert_eq!(
+        after - before,
+        0,
+        "the daemon cloned the victim {} times; jobs must share the resident &Network",
+        after - before
+    );
+    drop(server);
+}

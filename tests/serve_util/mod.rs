@@ -1,0 +1,73 @@
+//! Shared fixtures for the serve-layer integration suites. Every suite
+//! drives a real daemon over a real loopback socket, and they all need
+//! the same thing to feed it: a victim bundle as raw USBV bytes.
+//!
+//! The victim is the `determinism-badnet` fixture (4-class BasicCnn,
+//! `TrainConfig::fast`) shared with `tests/determinism.rs` — trained once
+//! into the `target/fixtures/` disk cache, loaded bit-exactly by every
+//! suite afterwards.
+
+#![allow(dead_code)] // each test binary uses a different subset of this
+
+use universal_soldier::attacks::persist::write_victim;
+use universal_soldier::prelude::*;
+
+/// The training data seed baked into the fixture (and therefore the
+/// data-regeneration seed a faithful bundle should carry).
+pub const FIXTURE_DATA_SEED: u64 = 55;
+
+/// The fixture's training seed.
+pub const FIXTURE_TRAIN_SEED: u64 = 9;
+
+fn fixture_spec() -> FixtureSpec {
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(160)
+        .with_test_size(40)
+        .with_classes(4);
+    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+    let attack = BadNet::new(2, 1, 0.15);
+    let tc = TrainConfig::fast();
+    FixtureSpec::new(
+        "determinism-badnet",
+        spec,
+        FIXTURE_DATA_SEED,
+        FIXTURE_TRAIN_SEED,
+    )
+    .with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ])
+}
+
+/// The fixture victim and the dataset it was trained on, through the disk
+/// cache (trained on the first-ever run, loaded bit-exactly afterwards).
+pub fn small_victim() -> (Dataset, Victim) {
+    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+    let attack = BadNet::new(2, 1, 0.15);
+    let tc = TrainConfig::fast();
+    cached_victim(&fixture_spec(), |data| attack.execute(data, arch, tc, 9))
+}
+
+/// Serialises the fixture victim as USBV bundle bytes carrying the given
+/// data-regeneration seed. `FIXTURE_DATA_SEED` reproduces the training
+/// dataset (what the determinism suite wants); any other value still
+/// parses and inspects fine but yields distinct bundle bytes — the memory
+/// suite uses that to stream "different" models at the resident cache
+/// without training more than one victim.
+pub fn bundle_bytes(data_seed: u64) -> Vec<u8> {
+    let fixture = fixture_spec();
+    let config_hash = fixture.config_hash;
+    let (_, victim) = small_victim();
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: FIXTURE_TRAIN_SEED,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed,
+    };
+    let mut out = Vec::new();
+    write_victim(&mut out, &mut bundle).expect("serialising the fixture bundle cannot fail");
+    out
+}
