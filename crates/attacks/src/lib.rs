@@ -14,6 +14,10 @@
 //!   input, trained jointly with the classifier under diversity and
 //!   cross-trigger losses. Non-patch, input-specific — the attack that
 //!   defeats NC-style defenses in the paper's Table 3.
+//! * [`MultiBadNet`] — several simultaneous all-to-one backdoors (APG-style,
+//!   Wang et al.): a distinct trigger per target class implanted in one
+//!   poisoned training run, with an optional full-image low-`L∞` blended
+//!   trigger mode.
 //!
 //! All attacks implement [`Attack`] and produce a [`Victim`]: a trained
 //! network plus ground truth (clean or backdoored-with-target) that the
@@ -47,6 +51,7 @@ mod badnet;
 pub mod fixtures;
 mod iad;
 mod latent;
+mod multi;
 pub mod persist;
 mod trigger;
 mod victim;
@@ -54,8 +59,9 @@ mod victim;
 pub use badnet::BadNet;
 pub use iad::{IadAttack, IadGenerator};
 pub use latent::LatentBackdoor;
+pub use multi::MultiBadNet;
 pub use trigger::{Trigger, TriggerSpec};
 pub use victim::{
-    evaluate_asr_dynamic, evaluate_asr_static, train_clean_victim, Attack, GroundTruth,
-    InjectedTrigger, Victim,
+    evaluate_asr_dynamic, evaluate_asr_static, train_clean_victim, Attack, BackdoorImplant,
+    GroundTruth, InjectedTrigger, Victim,
 };

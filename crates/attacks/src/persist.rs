@@ -9,11 +9,11 @@
 //! verdict on a loaded victim is bit-identical to the verdict on the
 //! in-memory one.
 //!
-//! # Bundle layout (format version 1, little-endian)
+//! # Bundle layout (format version 2, little-endian)
 //!
 //! ```text
 //! 4   magic b"USBV"
-//! 2   u16 format version (currently 1)
+//! 2   u16 format version (currently 2)
 //! 8   u64 training seed
 //! 8   u64 config hash (caller-defined fingerprint, see usb_attacks::fixtures)
 //!     dataset spec: name str, u32 channels/height/width/classes/train/test,
@@ -21,16 +21,28 @@
 //! 8   u64 dataset generation seed
 //!     network blob (usb_nn::serde layout)
 //! 8   f64 clean accuracy
-//! 1   u8 ground-truth tag (0 clean, 1 backdoored)
-//!   if backdoored:
+//! 1   u8 ground-truth tag (0 clean, 1 backdoored, 2 multi-backdoored)
+//!   if backdoored (tag 1):
 //!     4   u32 target class
 //!     8   f64 measured ASR
-//!         attack name str ("badnet" | "latent" | "iad")
+//!         attack name str ("badnet" | "latent" | "iad" | "multi-badnet")
 //!     1   u8 trigger tag (0 static, 1 dynamic)
 //!       static:  pattern tensor record + mask tensor record
 //!       dynamic: u32 channels, u32 gen width, f32 epsilon,
 //!                u32 state count, per tensor: kind str + tensor record
+//!   if multi-backdoored (tag 2):
+//!         attack name str ("multi-badnet")
+//!     4   u32 implant count (≥ 2)
+//!       per implant, in strictly ascending target order:
+//!         4   u32 target class
+//!         8   f64 measured ASR
+//!         1   u8 trigger tag + payload (as above)
 //! ```
+//!
+//! Version 2 added ground-truth tag 2; readers are exact (a v1 reader
+//! rejects every v2 bundle and vice versa), so the tag addition bumped the
+//! format version per the PERSISTENCE.md policy. Stale v1 fixture files
+//! simply miss the cache and retrain.
 //!
 //! Strings and tensor records use the [`usb_tensor::io`] encodings; every
 //! tensor carries its own CRC-32, so payload corruption anywhere in the
@@ -38,7 +50,7 @@
 
 use crate::iad::IadGenerator;
 use crate::trigger::Trigger;
-use crate::victim::{GroundTruth, InjectedTrigger, Victim};
+use crate::victim::{BackdoorImplant, GroundTruth, InjectedTrigger, Victim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
@@ -56,7 +68,7 @@ use usb_tensor::io::{
 pub const VICTIM_MAGIC: [u8; 4] = *b"USBV";
 
 /// Current victim-bundle format version.
-pub const VICTIM_VERSION: u16 = 1;
+pub const VICTIM_VERSION: u16 = 2;
 
 /// A victim plus the provenance needed to reproduce or re-inspect it.
 pub struct VictimBundle {
@@ -108,6 +120,7 @@ fn attack_static_name(name: &str) -> Result<&'static str, IoError> {
         "badnet" => "badnet",
         "latent" => "latent",
         "iad" => "iad",
+        "multi-badnet" => "multi-badnet",
         other => {
             return Err(IoError::format(format!(
                 "unknown attack family {other:?} in victim bundle"
@@ -181,6 +194,41 @@ fn read_generator(r: &mut impl Read) -> Result<IadGenerator, IoError> {
     }
 }
 
+fn write_trigger(w: &mut impl Write, trigger: &mut InjectedTrigger) -> Result<(), IoError> {
+    match trigger {
+        InjectedTrigger::Static(t) => {
+            w.write_all(&[0u8])?;
+            write_tensor(w, t.pattern())?;
+            write_tensor(w, t.mask())
+        }
+        InjectedTrigger::Dynamic(g) => {
+            w.write_all(&[1u8])?;
+            write_generator(w, g)
+        }
+    }
+}
+
+fn read_trigger(r: &mut impl Read) -> Result<InjectedTrigger, IoError> {
+    let mut ttag = [0u8; 1];
+    r.read_exact(&mut ttag)?;
+    match ttag[0] {
+        0 => {
+            let pattern = read_tensor(r)?;
+            let mask = read_tensor(r)?;
+            if pattern.ndim() != 3 || mask.ndim() != 2 || pattern.shape()[1..] != *mask.shape() {
+                return Err(IoError::format(format!(
+                    "trigger records are inconsistent: pattern {:?}, mask {:?}",
+                    pattern.shape(),
+                    mask.shape()
+                )));
+            }
+            Ok(InjectedTrigger::Static(Trigger::new(pattern, mask)))
+        }
+        1 => Ok(InjectedTrigger::Dynamic(read_generator(r)?)),
+        other => Err(IoError::format(format!("unknown trigger tag {other}"))),
+    }
+}
+
 /// Serializes a victim bundle.
 ///
 /// Takes `&mut` because network state visitation shares the mutable
@@ -206,17 +254,18 @@ pub fn write_victim(w: &mut impl Write, bundle: &mut VictimBundle) -> Result<(),
             write_u32(w, *target as u32)?;
             write_f64(w, *asr)?;
             write_str(w, attack)?;
-            match trigger {
-                InjectedTrigger::Static(t) => {
-                    w.write_all(&[0u8])?;
-                    write_tensor(w, t.pattern())?;
-                    write_tensor(w, t.mask())
-                }
-                InjectedTrigger::Dynamic(g) => {
-                    w.write_all(&[1u8])?;
-                    write_generator(w, g)
-                }
+            write_trigger(w, trigger)
+        }
+        GroundTruth::MultiBackdoored { implants, attack } => {
+            w.write_all(&[2u8])?;
+            write_str(w, attack)?;
+            write_u32(w, implants.len() as u32)?;
+            for implant in implants {
+                write_u32(w, implant.target as u32)?;
+                write_f64(w, implant.asr)?;
+                write_trigger(w, &mut implant.trigger)?;
             }
+            Ok(())
         }
     }
 }
@@ -245,35 +294,40 @@ pub fn read_victim(r: &mut impl Read) -> Result<VictimBundle, IoError> {
             let target = read_u32(r)? as usize;
             let asr = read_f64(r)?;
             let attack = attack_static_name(&read_str(r)?)?;
-            let mut ttag = [0u8; 1];
-            r.read_exact(&mut ttag)?;
-            let trigger = match ttag[0] {
-                0 => {
-                    let pattern = read_tensor(r)?;
-                    let mask = read_tensor(r)?;
-                    if pattern.ndim() != 3
-                        || mask.ndim() != 2
-                        || pattern.shape()[1..] != *mask.shape()
-                    {
-                        return Err(IoError::format(format!(
-                            "trigger records are inconsistent: pattern {:?}, mask {:?}",
-                            pattern.shape(),
-                            mask.shape()
-                        )));
-                    }
-                    InjectedTrigger::Static(Trigger::new(pattern, mask))
-                }
-                1 => InjectedTrigger::Dynamic(read_generator(r)?),
-                other => {
-                    return Err(IoError::format(format!("unknown trigger tag {other}")));
-                }
-            };
+            let trigger = read_trigger(r)?;
             GroundTruth::Backdoored {
                 target,
                 asr,
                 trigger,
                 attack,
             }
+        }
+        2 => {
+            let attack = attack_static_name(&read_str(r)?)?;
+            let count = read_u32(r)? as usize;
+            if !(2..=4096).contains(&count) {
+                return Err(IoError::format(format!(
+                    "multi-backdoor implant count {count} is implausible (want 2..=4096)"
+                )));
+            }
+            let mut implants = Vec::with_capacity(count);
+            for _ in 0..count {
+                let target = read_u32(r)? as usize;
+                let asr = read_f64(r)?;
+                let trigger = read_trigger(r)?;
+                implants.push(BackdoorImplant {
+                    target,
+                    asr,
+                    trigger,
+                });
+            }
+            if implants.windows(2).any(|w| w[0].target >= w[1].target) {
+                return Err(IoError::format(
+                    "multi-backdoor implants are not in strictly ascending target order"
+                        .to_string(),
+                ));
+            }
+            GroundTruth::MultiBackdoored { implants, attack }
         }
         other => {
             return Err(IoError::format(format!("unknown ground-truth tag {other}")));
@@ -443,6 +497,126 @@ mod tests {
         };
         assert_eq!(a.pattern().data(), b.pattern().data());
         assert_eq!(a.mask().data(), b.mask().data());
+    }
+
+    #[test]
+    fn multi_backdoor_bundle_roundtrips_every_implant() {
+        let spec = tiny_spec();
+        let data = spec.generate(9);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = crate::multi::MultiBadNet::new(2, vec![0, 3], 0.15).execute(
+            &data,
+            arch,
+            TrainConfig::fast(),
+            12,
+        );
+        let asr = victim.asr();
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 12,
+            config_hash: 4,
+            data_spec: spec,
+            data_seed: 9,
+        };
+        let mut back = roundtrip(&mut bundle);
+        assert_eq!(back.victim.targets(), vec![0, 3]);
+        assert_eq!(back.victim.target(), None);
+        assert_eq!(back.victim.asr(), asr);
+        let (ours, theirs) = match (&bundle.victim.ground_truth, &back.victim.ground_truth) {
+            (
+                GroundTruth::MultiBackdoored {
+                    implants: a,
+                    attack: na,
+                },
+                GroundTruth::MultiBackdoored {
+                    implants: b,
+                    attack: nb,
+                },
+            ) => {
+                assert_eq!(na, nb);
+                (a, b)
+            }
+            _ => panic!("expected multi-backdoored ground truth on both sides"),
+        };
+        for (x, y) in ours.iter().zip(theirs) {
+            assert_eq!(x.target, y.target);
+            assert_eq!(x.asr, y.asr);
+            let (InjectedTrigger::Static(tx), InjectedTrigger::Static(ty)) =
+                (&x.trigger, &y.trigger)
+            else {
+                panic!("expected static triggers");
+            };
+            assert_eq!(tx.pattern().data(), ty.pattern().data());
+            assert_eq!(tx.mask().data(), ty.mask().data());
+        }
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| ((i as f32) * 0.19).sin());
+        let ya = bundle.victim.model.forward(&x, Mode::Eval);
+        let yb = back.victim.model.forward(&x, Mode::Eval);
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn multi_backdoor_bundle_corruption_is_a_clean_error() {
+        let spec = tiny_spec();
+        let data = spec.generate(10);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = crate::multi::MultiBadNet::new(2, vec![1, 2], 0.15).execute(
+            &data,
+            arch,
+            TrainConfig::fast(),
+            13,
+        );
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 13,
+            config_hash: 5,
+            data_spec: spec,
+            data_seed: 10,
+        };
+        let mut buf = Vec::new();
+        write_victim(&mut buf, &mut bundle).unwrap();
+        for pos in (0..buf.len()).step_by(buf.len() / 23) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x55;
+            let _ = read_victim(&mut bad.as_slice()); // must not panic
+        }
+        for len in (0..buf.len()).step_by(buf.len() / 17) {
+            match read_victim(&mut &buf[..len]) {
+                Err(IoError::Format(_)) => {}
+                Err(e) => panic!("unexpected error kind at {len}: {e}"),
+                Ok(_) => panic!("truncated bundle of {len} bytes decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn blended_trigger_bundle_roundtrips_fractional_mask() {
+        let spec = tiny_spec();
+        let data = spec.generate(11);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = crate::multi::MultiBadNet::new(2, vec![2], 0.2)
+            .with_blend(0.15)
+            .execute(&data, arch, TrainConfig::fast(), 14);
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 14,
+            config_hash: 6,
+            data_spec: spec,
+            data_seed: 11,
+        };
+        let back = roundtrip(&mut bundle);
+        // A single-target blended victim persists through the classic tag.
+        assert_eq!(back.victim.target(), Some(2));
+        let GroundTruth::Backdoored {
+            trigger: InjectedTrigger::Static(t),
+            attack,
+            ..
+        } = &back.victim.ground_truth
+        else {
+            panic!("expected a static single-target ground truth");
+        };
+        assert_eq!(*attack, "multi-badnet");
+        assert_eq!(t.mask().data(), vec![0.15f32; 144], "fractional mask");
     }
 
     #[test]

@@ -89,6 +89,36 @@ impl Trigger {
         Trigger { pattern, mask }
     }
 
+    /// A full-image blended trigger with a low `L∞` budget: a random
+    /// pattern in `[0, 1]` alpha-blended into *every* pixel at constant
+    /// strength `alpha`. The per-pixel perturbation is bounded by `alpha`
+    /// (`|x·(1−α) + p·α − x| ≤ α`), so the stamp is visually faint — the
+    /// "blended injection" end of the trigger spectrum, as opposed to the
+    /// high-contrast local patch of [`Trigger::random_patch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)` or any dimension is zero.
+    pub fn random_blended(
+        channels: usize,
+        h: usize,
+        w: usize,
+        alpha: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "Trigger: blend alpha must be in (0, 1)"
+        );
+        assert!(channels > 0 && h > 0 && w > 0, "Trigger: empty image");
+        let mut pattern = Tensor::zeros(&[channels, h, w]);
+        for v in pattern.data_mut() {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        let mask = Tensor::full(&[h, w], alpha);
+        Trigger { pattern, mask }
+    }
+
     /// The trigger pattern `[C, H, W]`.
     pub fn pattern(&self) -> &Tensor {
         &self.pattern
@@ -205,6 +235,40 @@ mod tests {
         let a = Trigger::random_patch(TriggerSpec::patch(2), 1, 16, 16, &mut rng);
         let b = Trigger::random_patch(TriggerSpec::patch(2), 1, 16, 16, &mut rng);
         assert_ne!(a.mask().data(), b.mask().data(), "positions should differ");
+    }
+
+    #[test]
+    fn blended_trigger_respects_the_linf_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let alpha = 0.15f32;
+        let t = Trigger::random_blended(3, 12, 12, alpha, &mut rng);
+        assert_eq!(t.pattern().shape(), &[3, 12, 12]);
+        assert!((t.mask_l1() - f64::from(alpha) * 144.0).abs() < 1e-4);
+        // Stamping moves every pixel by at most alpha, regardless of the
+        // background value.
+        for bg in [0.0f32, 0.4, 1.0] {
+            let img = Tensor::full(&[3, 12, 12], bg);
+            let stamped = t.stamp_image(&img);
+            let max_dev = stamped
+                .data()
+                .iter()
+                .zip(img.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_dev <= alpha + 1e-6,
+                "stamp exceeded the L-inf budget: {max_dev}"
+            );
+        }
+    }
+
+    #[test]
+    fn blended_trigger_is_deterministic_per_seed() {
+        let a = Trigger::random_blended(1, 8, 8, 0.2, &mut StdRng::seed_from_u64(6));
+        let b = Trigger::random_blended(1, 8, 8, 0.2, &mut StdRng::seed_from_u64(6));
+        let c = Trigger::random_blended(1, 8, 8, 0.2, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_ne!(a.pattern().data(), c.pattern().data());
     }
 
     #[test]

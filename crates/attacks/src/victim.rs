@@ -33,6 +33,18 @@ impl InjectedTrigger {
     }
 }
 
+/// One implanted backdoor inside a multi-target victim: its target class,
+/// its own trigger, and the ASR measured for that trigger alone.
+#[derive(Clone)]
+pub struct BackdoorImplant {
+    /// The class this implant redirects stamped inputs to.
+    pub target: usize,
+    /// Attack success rate of this implant's trigger on the test split.
+    pub asr: f64,
+    /// The trigger carried by this implant.
+    pub trigger: InjectedTrigger,
+}
+
 /// What was actually done to a victim model — the label the detection
 /// metrics are scored against.
 #[derive(Clone)]
@@ -50,6 +62,15 @@ pub enum GroundTruth {
         /// Attack family name ("badnet", "latent", "iad").
         attack: &'static str,
     },
+    /// Several simultaneous all-to-one backdoors, each with its own
+    /// trigger and target class (always two or more implants; an attack
+    /// planting one target reports plain [`GroundTruth::Backdoored`]).
+    MultiBackdoored {
+        /// The implants, in ascending target-class order.
+        implants: Vec<BackdoorImplant>,
+        /// Attack family name ("multi-badnet").
+        attack: &'static str,
+    },
 }
 
 /// A trained victim: the model plus its ground truth.
@@ -64,24 +85,46 @@ pub struct Victim {
 }
 
 impl Victim {
-    /// `true` when the ground truth is a backdoor.
+    /// `true` when the ground truth carries at least one backdoor.
     pub fn is_backdoored(&self) -> bool {
-        matches!(self.ground_truth, GroundTruth::Backdoored { .. })
+        !matches!(self.ground_truth, GroundTruth::Clean)
     }
 
-    /// The implanted target class, if any.
+    /// The implanted target class when there is *exactly one* (the paper's
+    /// single-target setting). Multi-backdoor victims return `None`; use
+    /// [`Victim::targets`] for the full implanted set.
     pub fn target(&self) -> Option<usize> {
         match &self.ground_truth {
-            GroundTruth::Clean => None,
+            GroundTruth::Clean | GroundTruth::MultiBackdoored { .. } => None,
             GroundTruth::Backdoored { target, .. } => Some(*target),
         }
     }
 
-    /// Attack success rate (0 for clean models).
+    /// Every implanted target class, in ascending order (empty for clean
+    /// models) — the ground-truth set that `score_outcome`-style scoring
+    /// compares the flagged set against.
+    pub fn targets(&self) -> Vec<usize> {
+        match &self.ground_truth {
+            GroundTruth::Clean => Vec::new(),
+            GroundTruth::Backdoored { target, .. } => vec![*target],
+            GroundTruth::MultiBackdoored { implants, .. } => {
+                let mut t: Vec<usize> = implants.iter().map(|i| i.target).collect();
+                t.sort_unstable();
+                t
+            }
+        }
+    }
+
+    /// Attack success rate: 0 for clean models, the measured ASR for a
+    /// single-target victim, and the mean per-implant ASR for a
+    /// multi-backdoor victim.
     pub fn asr(&self) -> f64 {
         match &self.ground_truth {
             GroundTruth::Clean => 0.0,
             GroundTruth::Backdoored { asr, .. } => *asr,
+            GroundTruth::MultiBackdoored { implants, .. } => {
+                implants.iter().map(|i| i.asr).sum::<f64>() / implants.len() as f64
+            }
         }
     }
 }
@@ -212,6 +255,42 @@ mod tests {
         assert!(!victim.is_backdoored());
         assert_eq!(victim.target(), None);
         assert_eq!(victim.asr(), 0.0);
+    }
+
+    #[test]
+    fn multi_backdoored_ground_truth_reports_the_target_set() {
+        let data = SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(40)
+            .with_test_size(20)
+            .with_classes(4)
+            .generate(5);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let base = train_clean_victim(&data, arch, TrainConfig::fast(), 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let implant = |target: usize, asr: f64, rng: &mut StdRng| BackdoorImplant {
+            target,
+            asr,
+            trigger: InjectedTrigger::Static(crate::trigger::Trigger::random_patch(
+                crate::trigger::TriggerSpec::patch(2),
+                1,
+                12,
+                12,
+                rng,
+            )),
+        };
+        let victim = Victim {
+            model: base.model,
+            clean_accuracy: base.clean_accuracy,
+            ground_truth: GroundTruth::MultiBackdoored {
+                implants: vec![implant(1, 0.9, &mut rng), implant(3, 0.7, &mut rng)],
+                attack: "multi-badnet",
+            },
+        };
+        assert!(victim.is_backdoored());
+        assert_eq!(victim.target(), None, "no single target on a multi victim");
+        assert_eq!(victim.targets(), vec![1, 3]);
+        assert!((victim.asr() - 0.8).abs() < 1e-12, "mean per-implant ASR");
     }
 
     #[test]

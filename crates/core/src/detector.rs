@@ -276,7 +276,7 @@ mod tests {
                 .map(|c| c.l1_norm)
                 .collect::<Vec<_>>()
         );
-        let verdict = score_outcome(&outcome, Some(4));
+        let verdict = score_outcome(&outcome, &[4]);
         assert!(
             outcome.flagged.contains(&4),
             "wrong target: {:?}",

@@ -10,6 +10,10 @@
 //! * [`Tabor`] — Guo et al. (ICDM 2020): Neural Cleanse plus explicit
 //!   regularisers (elastic-net mask size, total-variation smoothness of the
 //!   mask and of the masked pattern).
+//! * [`Ulp`] — Universal Litmus Patterns (Kolouri et al., CVPR 2020): no
+//!   reverse engineering at all — a learned bank of probe images plus a
+//!   logistic meta-classifier over the pooled softmax response, trained on
+//!   cached clean/backdoored surrogate pairs.
 //! * [`DetectionOutcome`] / [`ModelVerdict`] / [`TargetClassCall`] — the
 //!   verdict types every defense (including USB in `usb-core`) produces, and
 //!   the scoring used by the paper's *Model Detection* and *Target Class
@@ -42,11 +46,13 @@
 mod nc;
 mod tabor;
 mod trigger_var;
+mod ulp;
 mod verdict;
 
 pub use nc::{NcConfig, NeuralCleanse};
 pub use tabor::{Tabor, TaborConfig};
 pub use trigger_var::{total_variation_with_grad, TriggerVar};
+pub use ulp::{Ulp, UlpConfig};
 pub use verdict::{
     score_outcome, ClassResult, Defense, DetectionOutcome, ModelVerdict, TargetClassCall,
 };

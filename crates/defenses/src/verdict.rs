@@ -38,7 +38,14 @@ pub struct DetectionOutcome {
     pub per_class: Vec<ClassResult>,
     /// Per-class anomaly indices (MAD-based).
     pub anomaly_indices: Vec<f64>,
-    /// Classes flagged as backdoor targets.
+    /// Per-class backdoor confidence: the MAD distance of the class's log
+    /// L1 norm *below* the median (`0.0` for classes at or above it). A
+    /// flagged class always scores above the anomaly threshold; the score
+    /// grows monotonically as the class's norm separates further from the
+    /// clean cluster, so multi-target victims get one comparable number
+    /// per implanted class.
+    pub confidences: Vec<f64>,
+    /// Classes flagged as backdoor targets (ascending class order).
     pub flagged: Vec<usize>,
     /// Median of the per-class L1 norms.
     pub median_l1: f64,
@@ -77,6 +84,11 @@ impl DetectionOutcome {
         let log_norms: Vec<f64> = norms.iter().map(|&n| n.max(LOG_FLOOR).ln()).collect();
         let report = flag_small_outliers(&log_norms, DEFAULT_ANOMALY_THRESHOLD);
         let median = median(&norms);
+        let confidences: Vec<f64> = log_norms
+            .iter()
+            .zip(&report.indices)
+            .map(|(&log_n, &idx)| if log_n < report.median { idx } else { 0.0 })
+            .collect();
         let flagged: Vec<usize> = report
             .flagged
             .into_iter()
@@ -87,6 +99,7 @@ impl DetectionOutcome {
             method,
             per_class,
             anomaly_indices: report.indices,
+            confidences,
             flagged,
             median_l1: median,
         }
@@ -136,32 +149,40 @@ pub struct ModelVerdict {
     pub target_call: TargetClassCall,
 }
 
-/// Scores an outcome against ground truth (`None` = clean model,
-/// `Some(t)` = backdoored with target `t`).
-pub fn score_outcome(outcome: &DetectionOutcome, truth: Option<usize>) -> ModelVerdict {
+/// Scores an outcome against a ground-truth *set* of implanted target
+/// classes: empty = clean model, one entry = the paper's single-target
+/// setting, several = a multi-backdoor victim.
+///
+/// For a backdoored ground truth the target-class call generalises the
+/// paper's Table 1 wording to sets: `Correct` when the flagged set equals
+/// the implanted set exactly, `CorrectSet` when every implanted class is
+/// flagged but clean classes ride along, `Wrong` when any implanted class
+/// is missed while something else is flagged.
+pub fn score_outcome(outcome: &DetectionOutcome, truth: &[usize]) -> ModelVerdict {
     let called = outcome.is_backdoored();
-    match truth {
-        None => ModelVerdict {
+    if truth.is_empty() {
+        return ModelVerdict {
             called_backdoored: called,
             model_detection_correct: !called,
             target_call: TargetClassCall::NotApplicable,
-        },
-        Some(t) => {
-            let target_call = if !called {
-                TargetClassCall::NotApplicable
-            } else if outcome.flagged == [t] {
-                TargetClassCall::Correct
-            } else if outcome.flagged.contains(&t) {
-                TargetClassCall::CorrectSet
-            } else {
-                TargetClassCall::Wrong
-            };
-            ModelVerdict {
-                called_backdoored: called,
-                model_detection_correct: called,
-                target_call,
-            }
-        }
+        };
+    }
+    let mut want = truth.to_vec();
+    want.sort_unstable();
+    want.dedup();
+    let target_call = if !called {
+        TargetClassCall::NotApplicable
+    } else if outcome.flagged == want {
+        TargetClassCall::Correct
+    } else if want.iter().all(|t| outcome.flagged.contains(t)) {
+        TargetClassCall::CorrectSet
+    } else {
+        TargetClassCall::Wrong
+    };
+    ModelVerdict {
+        called_backdoored: called,
+        model_detection_correct: called,
+        target_call,
     }
 }
 
@@ -261,11 +282,11 @@ mod tests {
     #[test]
     fn scoring_clean_truth() {
         let o = outcome_with_norms(&[50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0]);
-        let v = score_outcome(&o, None);
+        let v = score_outcome(&o, &[]);
         assert!(v.model_detection_correct);
         assert_eq!(v.target_call, TargetClassCall::NotApplicable);
         let bad = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
-        let v = score_outcome(&bad, None);
+        let v = score_outcome(&bad, &[]);
         assert!(!v.model_detection_correct, "false positive must be scored");
     }
 
@@ -273,14 +294,11 @@ mod tests {
     fn scoring_backdoored_truth() {
         let o = outcome_with_norms(&[50.0, 52.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
         assert_eq!(
-            score_outcome(&o, Some(2)).target_call,
+            score_outcome(&o, &[2]).target_call,
             TargetClassCall::Correct
         );
-        assert_eq!(
-            score_outcome(&o, Some(5)).target_call,
-            TargetClassCall::Wrong
-        );
-        assert!(score_outcome(&o, Some(2)).model_detection_correct);
+        assert_eq!(score_outcome(&o, &[5]).target_call, TargetClassCall::Wrong);
+        assert!(score_outcome(&o, &[2]).model_detection_correct);
     }
 
     #[test]
@@ -288,16 +306,177 @@ mod tests {
         let o = outcome_with_norms(&[50.0, 3.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
         assert_eq!(o.flagged, vec![1, 2]);
         assert_eq!(
-            score_outcome(&o, Some(2)).target_call,
+            score_outcome(&o, &[2]).target_call,
             TargetClassCall::CorrectSet
+        );
+    }
+
+    #[test]
+    fn scoring_multi_target_truth() {
+        // Two genuinely small norms: a 2-target victim's profile.
+        let o = outcome_with_norms(&[50.0, 3.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        assert_eq!(o.flagged, vec![1, 2]);
+        // Exact set match (order and duplicates in the truth don't matter).
+        assert_eq!(
+            score_outcome(&o, &[2, 1]).target_call,
+            TargetClassCall::Correct
+        );
+        assert_eq!(
+            score_outcome(&o, &[1, 2, 1]).target_call,
+            TargetClassCall::Correct
+        );
+        // One implanted class missed entirely → Wrong, not CorrectSet.
+        assert_eq!(
+            score_outcome(&o, &[1, 5]).target_call,
+            TargetClassCall::Wrong
         );
     }
 
     #[test]
     fn missed_backdoor_is_not_applicable() {
         let o = outcome_with_norms(&[50.0, 54.0, 46.0, 49.0, 52.0, 47.0, 50.0, 55.0, 48.0, 51.0]);
-        let v = score_outcome(&o, Some(3));
+        let v = score_outcome(&o, &[3]);
         assert!(!v.model_detection_correct);
         assert_eq!(v.target_call, TargetClassCall::NotApplicable);
+    }
+
+    #[test]
+    fn confidences_mark_flagged_classes_only() {
+        let o = outcome_with_norms(&[50.0, 3.0, 4.0, 49.0, 51.0, 48.0, 50.0, 53.0, 49.0, 51.0]);
+        assert_eq!(o.confidences.len(), 10);
+        for &c in &o.flagged {
+            assert!(
+                o.confidences[c] > DEFAULT_ANOMALY_THRESHOLD,
+                "flagged class {c} must score above the anomaly threshold"
+            );
+        }
+        for (c, &conf) in o.confidences.iter().enumerate() {
+            if !o.flagged.contains(&c) {
+                assert!(
+                    conf <= DEFAULT_ANOMALY_THRESHOLD,
+                    "clean class {c} scored {conf}"
+                );
+            }
+        }
+        // The deeper outlier is the more confident call.
+        assert!(o.confidences[1] > o.confidences[2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds an outcome from raw L1 norms with perfect attack success, so
+    /// only the MAD statistics decide what gets flagged.
+    fn outcome_from(norms: &[f64]) -> DetectionOutcome {
+        let per_class = norms
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| ClassResult {
+                class: c,
+                l1_norm: n,
+                attack_success: 1.0,
+                pattern: Tensor::zeros(&[1, 2, 2]),
+                mask: Tensor::zeros(&[2, 2]),
+            })
+            .collect();
+        DetectionOutcome::from_class_results("usb", per_class, 0.5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// 0, 1, 2, or 3 planted small outliers among 12 classes are
+        /// recovered exactly, over randomised log-norm cluster spreads.
+        #[test]
+        fn planted_outliers_are_recovered(
+            base in 3.5f64..4.5,
+            spread in 0.01f64..0.08,
+            jitter in proptest::collection::vec(-1.0f64..1.0, 12),
+            k in 0usize..4,
+        ) {
+            let norms: Vec<f64> = jitter
+                .iter()
+                .enumerate()
+                .map(|(c, &j)| {
+                    if c < k {
+                        // An implanted class: a factor e^3.5 below the cluster.
+                        (base - 3.5 + j * spread).exp()
+                    } else {
+                        (base + j * spread).exp()
+                    }
+                })
+                .collect();
+            let o = outcome_from(&norms);
+            prop_assert_eq!(&o.flagged, &(0..k).collect::<Vec<_>>());
+            for (c, &norm) in norms.iter().enumerate() {
+                if c < k {
+                    prop_assert!(o.confidences[c] > DEFAULT_ANOMALY_THRESHOLD);
+                } else {
+                    prop_assert!(
+                        norm >= 0.5 * o.median_l1,
+                        "clean class {} fell below the relative bar", c
+                    );
+                }
+            }
+        }
+
+        /// Confidence grows strictly with the outlier's separation from the
+        /// clean cluster (same cluster, deeper implant → larger score).
+        #[test]
+        fn confidence_is_monotone_in_separation(
+            base in 3.5f64..4.5,
+            spread in 0.01f64..0.08,
+            jitter in proptest::collection::vec(-1.0f64..1.0, 11),
+            depth in 1.0f64..3.0,
+            gap in 0.5f64..2.0,
+        ) {
+            let cluster: Vec<f64> = jitter.iter().map(|&j| (base + j * spread).exp()).collect();
+            let with_outlier = |d: f64| {
+                let mut norms = cluster.clone();
+                norms.push((base - d).exp());
+                outcome_from(&norms)
+            };
+            let shallow = with_outlier(depth);
+            let deep = with_outlier(depth + gap);
+            prop_assert!(deep.confidences[11] > shallow.confidences[11]);
+        }
+
+        /// Flags and confidences are equivariant under class permutation:
+        /// rotating the norm profile rotates the verdict with it.
+        #[test]
+        fn verdict_is_permutation_invariant(
+            base in 3.5f64..4.5,
+            spread in 0.01f64..0.08,
+            jitter in proptest::collection::vec(-1.0f64..1.0, 12),
+            k in 1usize..4,
+            rot in 0usize..12,
+        ) {
+            let norms: Vec<f64> = jitter
+                .iter()
+                .enumerate()
+                .map(|(c, &j)| {
+                    let shift = if c < k { -3.5 } else { 0.0 };
+                    (base + shift + j * spread).exp()
+                })
+                .collect();
+            let n = norms.len();
+            let rotated: Vec<f64> = (0..n).map(|c| norms[(c + rot) % n]).collect();
+            let o = outcome_from(&norms);
+            let r = outcome_from(&rotated);
+            let mut expect: Vec<usize> = o
+                .flagged
+                .iter()
+                .map(|&c| (c + n - rot) % n)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(&r.flagged, &expect);
+            for c in 0..n {
+                let back = (c + rot) % n;
+                prop_assert!((r.confidences[c] - o.confidences[back]).abs() < 1e-12);
+            }
+        }
     }
 }

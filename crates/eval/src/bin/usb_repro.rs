@@ -10,7 +10,7 @@
 //! usb-repro submit  --shutdown [--addr A]
 //! usb-repro loadgen [PATH] [--clients N] [--requests N] [--fast] [--out PATH]
 //!
-//! experiments: table1 table2 table3 table4 table5 table6 table7
+//! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              fig1 fig2 fig3 fig4 fig5 fig6 headline transfer all
 //! ```
 //!
@@ -156,7 +156,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: usb-repro <table1..table7|fig1..fig6|headline|transfer|all> \
+    "usage: usb-repro <table1..table8|fig1..fig6|headline|transfer|all> \
      [--models N] [--fast] [--out DIR]\n       \
      usb-repro timing [--json] [--compare BASELINE.json] [--models N] [--fast] [--out DIR]\n       \
      usb-repro save [--out PATH] [--fast] [--seed N]\n       \
@@ -279,21 +279,28 @@ fn run_inspect(options: &Options) -> Result<(), String> {
     } else {
         "clean"
     };
+    let truth = bundle.victim.targets();
     println!(
-        "verdict: {verdict} (flagged {:?}); ground truth: {:?}",
-        outcome.flagged,
-        bundle.victim.target()
+        "verdict: {verdict} (flagged {:?}); ground truth targets: {truth:?}",
+        outcome.flagged
     );
-    match bundle.victim.target() {
-        Some(t) if !outcome.flagged.contains(&t) => Err(format!(
-            "inspection missed the implanted target class {t} (flagged {:?})",
+    let missed: Vec<usize> = truth
+        .iter()
+        .copied()
+        .filter(|t| !outcome.flagged.contains(t))
+        .collect();
+    if !missed.is_empty() {
+        Err(format!(
+            "inspection missed implanted target classes {missed:?} (flagged {:?})",
             outcome.flagged
-        )),
-        None if outcome.is_backdoored() => Err(format!(
+        ))
+    } else if truth.is_empty() && outcome.is_backdoored() {
+        Err(format!(
             "inspection flagged {:?} on a clean victim",
             outcome.flagged
-        )),
-        _ => Ok(()),
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -360,8 +367,8 @@ fn run_submit(options: &Options) -> Result<(), String> {
         "clean"
     };
     println!(
-        "verdict: {verdict_word} (flagged {:?}, median L1 {:.2}); ground truth: {:?}",
-        verdict.flagged, verdict.median_l1, verdict.truth_target
+        "verdict: {verdict_word} (flagged {:?}, median L1 {:.2}); ground truth targets: {:?}",
+        verdict.flagged, verdict.median_l1, verdict.truth_targets
     );
     println!(
         "served by {} in {:.2}s ({})",
@@ -380,7 +387,7 @@ fn run_submit(options: &Options) -> Result<(), String> {
     } else {
         Err(format!(
             "daemon verdict disagrees with ground truth (flagged {:?}, truth {:?})",
-            verdict.flagged, verdict.truth_target
+            verdict.flagged, verdict.truth_targets
         ))
     }
 }
@@ -473,13 +480,14 @@ fn run_one(id: &str, options: &Options, suite: &DefenseSuite) -> Result<(), Stri
         "serve" => run_serve(options)?,
         "submit" => run_submit(options)?,
         "loadgen" => run_loadgen_cmd(options)?,
-        "table1" | "table2" | "table3" | "table4" | "table5" | "table6" => {
+        "table1" | "table2" | "table3" | "table4" | "table5" | "table6" | "table8" => {
             let spec = match id {
                 "table1" => grid::table1(),
                 "table2" => grid::table2(),
                 "table3" => grid::table3(),
                 "table4" => grid::table4(),
                 "table5" => grid::table5(),
+                "table8" => grid::table8(),
                 _ => grid::table6(),
             };
             let report = grid::run_table(&spec, options.models, suite, progress);
@@ -598,8 +606,8 @@ fn main() -> ExitCode {
     };
     let ids: Vec<&str> = if options.experiment == "all" {
         vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2",
-            "fig3", "fig4", "fig5", "fig6", "headline", "transfer",
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig1",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "headline", "transfer",
         ]
     } else {
         vec![options.experiment.as_str()]

@@ -3,11 +3,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use usb_attacks::{train_clean_victim, Attack, BadNet, IadAttack, LatentBackdoor, Victim};
+use usb_attacks::{
+    train_clean_victim, Attack, BadNet, IadAttack, LatentBackdoor, MultiBadNet, Victim,
+};
 use usb_core::{UsbConfig, UsbDetector};
 use usb_data::SyntheticSpec;
 use usb_defenses::{
-    score_outcome, Defense, NcConfig, NeuralCleanse, Tabor, TaborConfig, TargetClassCall,
+    score_outcome, Defense, NcConfig, NeuralCleanse, Tabor, TaborConfig, TargetClassCall, Ulp,
+    UlpConfig,
 };
 use usb_nn::models::{Architecture, ModelKind};
 use usb_nn::train::TrainConfig;
@@ -30,6 +33,21 @@ pub enum AttackChoice {
     },
     /// Input-aware dynamic backdoor (full-image trigger).
     Iad,
+    /// Several simultaneous all-to-one backdoors, one patch trigger per
+    /// target class, implanted in a single poisoned training run.
+    MultiBadNet {
+        /// Patch side length in pixels.
+        trigger: usize,
+        /// Number of simultaneous target classes (clamped to the dataset's
+        /// class count at training time).
+        targets: usize,
+    },
+    /// Single-target blended trigger: a full-image random pattern alpha-mixed
+    /// into the input under a low `L∞` budget.
+    Blended {
+        /// Blend ratio in `(0, 1)`; also the per-pixel `L∞` budget.
+        alpha: f32,
+    },
 }
 
 impl AttackChoice {
@@ -43,6 +61,12 @@ impl AttackChoice {
                 format!("Latent Backdoor ({trigger}x{trigger} trigger)")
             }
             AttackChoice::Iad => "Input Aware Dynamic (full-image trigger)".to_owned(),
+            AttackChoice::MultiBadNet { trigger, targets } => {
+                format!("Multi-target Backdoored ({targets} targets, {trigger}x{trigger} trigger)")
+            }
+            AttackChoice::Blended { alpha } => {
+                format!("Blended Backdoored (alpha {alpha})")
+            }
         }
     }
 }
@@ -149,6 +173,8 @@ pub struct DefenseSuite {
     pub tabor: Tabor,
     /// Universal Soldier.
     pub usb: UsbDetector,
+    /// Universal Litmus Patterns.
+    pub ulp: Ulp,
 }
 
 impl DefenseSuite {
@@ -158,6 +184,7 @@ impl DefenseSuite {
             nc: NeuralCleanse::new(NcConfig::standard()),
             tabor: Tabor::new(TaborConfig::standard()),
             usb: UsbDetector::new(UsbConfig::standard()),
+            ulp: Ulp::new(UlpConfig::standard()),
         }
     }
 
@@ -167,6 +194,7 @@ impl DefenseSuite {
             nc: NeuralCleanse::fast(),
             tabor: Tabor::fast(),
             usb: UsbDetector::fast(),
+            ulp: Ulp::fast(),
         }
     }
 }
@@ -184,6 +212,16 @@ pub fn train_victim(spec: &TableSpec, case: &CaseSpec, seed: u64) -> Victim {
         AttackChoice::Latent { trigger } => LatentBackdoor::new(trigger, target, case.poison_rate)
             .execute(&data, arch, spec.train, seed),
         AttackChoice::Iad => IadAttack::new(target).execute(&data, arch, spec.train, seed),
+        AttackChoice::MultiBadNet { trigger, targets } => {
+            let k = spec.dataset.num_classes;
+            let count = targets.min(k);
+            let classes: Vec<usize> = (0..count).map(|i| (target + i) % k).collect();
+            MultiBadNet::new(trigger, classes, case.poison_rate)
+                .execute(&data, arch, spec.train, seed)
+        }
+        AttackChoice::Blended { alpha } => MultiBadNet::new(2, vec![target], case.poison_rate)
+            .with_blend(alpha)
+            .execute(&data, arch, spec.train, seed),
     }
 }
 
@@ -219,14 +257,17 @@ fn run_model(
     let data = spec.dataset.generate(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xdefe_15e5);
     let (clean_x, _) = data.clean_subset(spec.defense_samples, &mut rng);
-    let truth = victim.target();
-    let defenses: [&dyn Defense; 3] = [&suite.nc, &suite.tabor, &suite.usb];
+    let truth = victim.targets();
+    // ULP must come LAST: it never consumes the shared rng, so appending it
+    // keeps the NC/TABOR/USB random streams (and thus all seed-tuned
+    // results) byte-identical to the three-defense grid.
+    let defenses: [&dyn Defense; 4] = [&suite.nc, &suite.tabor, &suite.usb, &suite.ulp];
     let mut per_defense = Vec::with_capacity(defenses.len());
     for defense in defenses {
         let t0 = std::time::Instant::now();
         let outcome = defense.inspect(&victim.model, &clean_x, &mut rng);
         let dt = t0.elapsed().as_secs_f64();
-        let verdict = score_outcome(&outcome, truth);
+        let verdict = score_outcome(&outcome, &truth);
         per_defense.push((dt, outcome.reported_l1(), verdict));
         progress(&format!(
             "[{}]   {} -> {} (flagged {:?}, L1 {:.2}, {:.1}s)",
@@ -249,7 +290,7 @@ fn run_model(
     }
 }
 
-/// Runs a full table: `models_per_case` victims per case, all three
+/// Runs a full table: `models_per_case` victims per case, all four
 /// defenses on each, scored and aggregated.
 ///
 /// The victims of a case run **in parallel** on the [`usb_tensor::par`]
@@ -288,6 +329,10 @@ pub fn run_table(
                 },
                 MethodCell {
                     method: "USB",
+                    ..MethodCell::default()
+                },
+                MethodCell {
+                    method: "ULP",
                     ..MethodCell::default()
                 },
             ],
@@ -479,9 +524,55 @@ pub fn table6() -> TableSpec {
     }
 }
 
-/// All tables in paper order.
+/// Table 8: the attack-scenario matrix — single-target, multi-target, and
+/// blended-trigger backdoors on MNIST-like + ResNet-18, all four defenses.
+pub fn table8() -> TableSpec {
+    TableSpec {
+        id: "table8",
+        title: "Attack scenario matrix on MNIST (ResNet-18)".to_owned(),
+        dataset: SyntheticSpec::mnist()
+            .with_size(12)
+            .with_train_size(400)
+            .with_test_size(100),
+        model: ModelKind::ResNet18,
+        width: 4,
+        train: TrainConfig::new(20),
+        cases: vec![
+            CaseSpec {
+                attack: AttackChoice::Clean,
+                poison_rate: 0.15,
+            },
+            CaseSpec {
+                attack: AttackChoice::BadNet { trigger: 2 },
+                poison_rate: 0.15,
+            },
+            CaseSpec {
+                attack: AttackChoice::MultiBadNet {
+                    trigger: 2,
+                    targets: 2,
+                },
+                poison_rate: 0.15,
+            },
+            CaseSpec {
+                attack: AttackChoice::Blended { alpha: 0.15 },
+                poison_rate: 0.15,
+            },
+        ],
+        defense_samples: 48,
+    }
+}
+
+/// All tables in paper order, plus the scenario matrix.
 pub fn all_tables() -> Vec<TableSpec> {
-    vec![table1(), table2(), table3(), table4(), table5(), table6()]
+    vec![
+        table1(),
+        table2(),
+        table3(),
+        table4(),
+        table5(),
+        table6(),
+        table8(),
+    ]
 }
 
 #[cfg(test)]
@@ -507,6 +598,17 @@ mod tests {
         );
         assert_eq!(AttackChoice::Clean.label(), "Clean");
         assert!(AttackChoice::Iad.label().contains("Input Aware"));
+        assert_eq!(
+            AttackChoice::MultiBadNet {
+                trigger: 2,
+                targets: 2
+            }
+            .label(),
+            "Multi-target Backdoored (2 targets, 2x2 trigger)"
+        );
+        assert!(AttackChoice::Blended { alpha: 0.15 }
+            .label()
+            .contains("Blended"));
     }
 
     #[test]
@@ -526,5 +628,67 @@ mod tests {
         let victim = train_victim(&spec, &case, 3);
         assert!(victim.is_backdoored());
         assert_eq!(victim.target(), Some(3)); // seed % classes
+    }
+
+    #[test]
+    fn multi_target_victim_implants_consecutive_classes() {
+        let spec = TableSpec {
+            dataset: SyntheticSpec::mnist()
+                .with_size(12)
+                .with_train_size(80)
+                .with_test_size(20)
+                .with_classes(4),
+            train: TrainConfig::fast(),
+            ..table5()
+        };
+        let case = CaseSpec {
+            attack: AttackChoice::MultiBadNet {
+                trigger: 2,
+                targets: 2,
+            },
+            poison_rate: 0.15,
+        };
+        let victim = train_victim(&spec, &case, 3);
+        assert!(victim.is_backdoored());
+        // base = seed % classes = 3, so targets {3, (3+1)%4} = {0, 3}.
+        assert_eq!(victim.targets(), vec![0, 3]);
+        assert_eq!(victim.target(), None);
+    }
+
+    #[test]
+    fn blended_victim_is_single_target() {
+        let spec = TableSpec {
+            dataset: SyntheticSpec::mnist()
+                .with_size(12)
+                .with_train_size(80)
+                .with_test_size(20)
+                .with_classes(4),
+            train: TrainConfig::fast(),
+            ..table5()
+        };
+        let case = CaseSpec {
+            attack: AttackChoice::Blended { alpha: 0.15 },
+            poison_rate: 0.15,
+        };
+        let victim = train_victim(&spec, &case, 3);
+        assert!(victim.is_backdoored());
+        assert_eq!(victim.targets(), vec![3]);
+    }
+
+    #[test]
+    fn scenario_matrix_covers_all_three_backdoor_shapes() {
+        let spec = table8();
+        assert!(spec
+            .cases
+            .iter()
+            .any(|c| matches!(c.attack, AttackChoice::BadNet { .. })));
+        assert!(spec
+            .cases
+            .iter()
+            .any(|c| matches!(c.attack, AttackChoice::MultiBadNet { .. })));
+        assert!(spec
+            .cases
+            .iter()
+            .any(|c| matches!(c.attack, AttackChoice::Blended { .. })));
     }
 }

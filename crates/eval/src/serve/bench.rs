@@ -124,7 +124,7 @@ pub fn run_loadgen(
         if !verdict.agrees {
             return Err(format!(
                 "verdict disagrees with ground truth (flagged {:?}, truth {:?})",
-                verdict.flagged, verdict.truth_target
+                verdict.flagged, verdict.truth_targets
             ));
         }
         t0.elapsed().as_secs_f64() * 1e3

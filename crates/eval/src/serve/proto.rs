@@ -2,18 +2,28 @@
 //! inspection requests and results between `usb-repro serve` and its
 //! clients.
 //!
-//! # Frame layout (protocol version 1, little-endian)
+//! # Frame layout (protocol version 2, little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic b"USBP"
-//! 4       2     u16 protocol version (currently 1)
+//! 4       2     u16 protocol version (1 or 2)
 //! 6       1     u8 frame kind
 //! 7       1     u8 reserved (must be 0)
 //! 8       4     u32 payload length (at most MAX_PAYLOAD)
 //! 12      N     payload (kind-specific, see below)
 //! 12+N    4     u32 CRC-32 (IEEE) over bytes [6, 12+N)
 //! ```
+//!
+//! Version 2 is a purely additive extension of version 1: the only frame
+//! whose payload changed is [`Frame::Verdict`], which gains a multi-target
+//! ground-truth set and per-class confidence scores *appended after* the
+//! complete v1 layout. The legacy single-target slot is still written
+//! (`Some(t)` exactly when the truth set has one element) so v1 readers
+//! decode v2 verdicts of single-target bundles unchanged, and this reader
+//! still accepts v1 frames (the appended fields default to the legacy
+//! slot / empty). The v2 parser cross-checks the legacy slot against the
+//! appended set and rejects inconsistent frames.
 //!
 //! The checksum covers the kind, reserved byte, length, and payload — a
 //! bit flip anywhere past the version field is caught by the CRC, and a
@@ -49,8 +59,11 @@ use usb_tensor::io::{
 /// Magic bytes opening every protocol frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"USBP";
 
-/// Current protocol version.
-pub const PROTO_VERSION: u16 = 1;
+/// Current protocol version (written on every outgoing frame).
+pub const PROTO_VERSION: u16 = 2;
+
+/// Oldest protocol version this reader still accepts.
+pub const MIN_PROTO_VERSION: u16 = 1;
 
 /// Upper bound on a frame payload (bundles at repro scale are far
 /// smaller); a length header past this is rejected before any allocation.
@@ -128,12 +141,18 @@ pub struct WireVerdict {
     pub flagged: Vec<u32>,
     /// Median of the per-class L1 norms.
     pub median_l1: f64,
-    /// Ground truth stored in the bundle: `Some(target)` for a backdoored
-    /// victim, `None` for a clean one.
-    pub truth_target: Option<u32>,
+    /// Ground truth stored in the bundle: the ascending set of implanted
+    /// target classes, empty for a clean victim. Single-target victims
+    /// have exactly one element here (and fill the legacy v1 wire slot).
+    pub truth_targets: Vec<u32>,
+    /// Per-class confidence scores in class order (MAD distance below the
+    /// log-norm median; 0 for unflagged classes). Empty when the producer
+    /// predates protocol v2.
+    pub confidences: Vec<f64>,
     /// Whether the verdict agrees with the stored ground truth (same rule
-    /// as `usb-repro inspect`'s exit code: a backdoored victim's target
-    /// must be flagged; a clean victim must not be flagged at all).
+    /// as `usb-repro inspect`'s exit code: every implanted target of a
+    /// backdoored victim must be flagged; a clean victim must not be
+    /// flagged at all).
     pub agrees: bool,
     /// Whether the resident-model cache already held this bundle.
     pub cache_hit: bool,
@@ -145,6 +164,15 @@ impl WireVerdict {
     /// `true` when at least one class was flagged.
     pub fn is_backdoored(&self) -> bool {
         !self.flagged.is_empty()
+    }
+
+    /// The legacy v1 single-target slot: `Some(t)` exactly when the truth
+    /// set has one element.
+    pub fn legacy_truth_target(&self) -> Option<u32> {
+        match self.truth_targets.as_slice() {
+            [t] => Some(*t),
+            _ => None,
+        }
     }
 }
 
@@ -248,7 +276,9 @@ impl Frame {
                     write_u32(&mut p, *f)?;
                 }
                 write_f64(&mut p, v.median_l1)?;
-                match v.truth_target {
+                // Legacy v1 slot, kept so v1 readers decode single-target
+                // verdicts unchanged.
+                match v.legacy_truth_target() {
                     None => p.push(0),
                     Some(t) => {
                         p.push(1);
@@ -258,6 +288,16 @@ impl Frame {
                 p.push(u8::from(v.agrees));
                 p.push(u8::from(v.cache_hit));
                 write_f64(&mut p, v.seconds)?;
+                // v2 extension: the full truth set and per-class
+                // confidences, appended after the complete v1 layout.
+                write_u32(&mut p, v.truth_targets.len() as u32)?;
+                for t in &v.truth_targets {
+                    write_u32(&mut p, *t)?;
+                }
+                write_u32(&mut p, v.confidences.len() as u32)?;
+                for c in &v.confidences {
+                    write_f64(&mut p, *c)?;
+                }
             }
             Frame::Error { tag, job, message } => {
                 write_u64(&mut p, *tag)?;
@@ -323,7 +363,7 @@ fn parse_submit(p: &mut &[u8]) -> Result<SubmitRequest, IoError> {
     })
 }
 
-fn parse_verdict(p: &mut &[u8]) -> Result<WireVerdict, IoError> {
+fn parse_verdict(p: &mut &[u8], version: u16) -> Result<WireVerdict, IoError> {
     let job = read_u64(p)?;
     let method = read_str(p)?;
     let k = read_u32(p)? as usize;
@@ -369,13 +409,53 @@ fn parse_verdict(p: &mut &[u8]) -> Result<WireVerdict, IoError> {
     let agrees = read_flag(p, "verdict agreement flag")?;
     let cache_hit = read_flag(p, "verdict cache flag")?;
     let seconds = read_f64(p)?;
+    let (truth_targets, confidences) = if version >= 2 {
+        let nt = read_u32(p)? as usize;
+        if nt > p.len() {
+            return Err(IoError::format(format!(
+                "verdict claims {nt} truth targets in {} remaining bytes",
+                p.len()
+            )));
+        }
+        let mut truth_targets = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            truth_targets.push(read_u32(p)?);
+        }
+        // The legacy slot is redundant in v2 — reject frames where the
+        // two disagree rather than silently trusting either.
+        let expected_legacy = match truth_targets.as_slice() {
+            [t] => Some(*t),
+            _ => None,
+        };
+        if truth_target != expected_legacy {
+            return Err(IoError::format(format!(
+                "verdict legacy truth slot {truth_target:?} contradicts \
+                 the v2 truth set {truth_targets:?}"
+            )));
+        }
+        let nc = read_u32(p)? as usize;
+        if nc != 0 && nc != k {
+            return Err(IoError::format(format!(
+                "verdict carries {nc} confidences for {k} classes"
+            )));
+        }
+        let mut confidences = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            confidences.push(read_f64(p)?);
+        }
+        (truth_targets, confidences)
+    } else {
+        // v1 frame: synthesize the set from the legacy slot.
+        (truth_target.into_iter().collect(), Vec::new())
+    };
     Ok(WireVerdict {
         job,
         method,
         per_class,
         flagged,
         median_l1,
-        truth_target,
+        truth_targets,
+        confidences,
         agrees,
         cache_hit,
         seconds,
@@ -397,7 +477,7 @@ fn read_flag(p: &mut &[u8], what: &str) -> Result<bool, IoError> {
     }
 }
 
-fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, IoError> {
+fn parse_payload(kind: u8, version: u16, payload: &[u8]) -> Result<Frame, IoError> {
     let mut p = payload;
     let frame = match kind {
         0x01 => Frame::Ping,
@@ -417,7 +497,7 @@ fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, IoError> {
             l1_norm: read_f64(&mut p)?,
             attack_success: read_f64(&mut p)?,
         }),
-        0x13 => Frame::Verdict(parse_verdict(&mut p)?),
+        0x13 => Frame::Verdict(parse_verdict(&mut p, version)?),
         0x14 => Frame::Error {
             tag: read_u64(&mut p)?,
             job: read_u64(&mut p)?,
@@ -468,9 +548,10 @@ pub fn read_frame_or_eof(r: &mut impl Read) -> Result<Option<Frame>, IoError> {
         )));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(IoError::format(format!(
-            "unsupported protocol version {version} (this daemon speaks {PROTO_VERSION})"
+            "unsupported protocol version {version} (this daemon speaks \
+             {MIN_PROTO_VERSION} through {PROTO_VERSION})"
         )));
     }
     let kind = header[6];
@@ -500,7 +581,7 @@ pub fn read_frame_or_eof(r: &mut impl Read) -> Result<Option<Frame>, IoError> {
             "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
         )));
     }
-    parse_payload(kind, &payload).map(Some)
+    parse_payload(kind, version, &payload).map(Some)
 }
 
 /// Reads one frame, treating end-of-stream as an error (for client-side
@@ -512,13 +593,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, IoError> {
 
 /// Builds the wire form of a [`usb_defenses::DetectionOutcome`] plus its context.
 ///
-/// Tensor digests use CRC-32 over the raw little-endian f32 bytes, so two
-/// verdicts have equal digests exactly when the reversed triggers match
-/// bit for bit.
+/// `truth_targets` is the ascending implanted-target set from the bundle's
+/// ground truth (empty for a clean victim). Tensor digests use CRC-32 over
+/// the raw little-endian f32 bytes, so two verdicts have equal digests
+/// exactly when the reversed triggers match bit for bit.
 pub fn verdict_from_outcome(
     job: u64,
     outcome: &usb_defenses::DetectionOutcome,
-    truth_target: Option<u32>,
+    truth_targets: &[u32],
     cache_hit: bool,
     seconds: f64,
 ) -> WireVerdict {
@@ -542,9 +624,10 @@ pub fn verdict_from_outcome(
         })
         .collect();
     let flagged: Vec<u32> = outcome.flagged.iter().map(|&f| f as u32).collect();
-    let agrees = match truth_target {
-        Some(t) => flagged.contains(&t),
-        None => flagged.is_empty(),
+    let agrees = if truth_targets.is_empty() {
+        flagged.is_empty()
+    } else {
+        truth_targets.iter().all(|t| flagged.contains(t))
     };
     WireVerdict {
         job,
@@ -552,7 +635,8 @@ pub fn verdict_from_outcome(
         per_class,
         flagged,
         median_l1: outcome.median_l1,
-        truth_target,
+        truth_targets: truth_targets.to_vec(),
+        confidences: outcome.confidences.clone(),
         agrees,
         cache_hit,
         seconds,
@@ -587,10 +671,19 @@ mod tests {
             ],
             flagged: vec![1],
             median_l1: 27.875,
-            truth_target: Some(1),
+            truth_targets: vec![1],
+            confidences: vec![0.0, 3.2],
             agrees: true,
             cache_hit: false,
             seconds: 1.5,
+        }
+    }
+
+    fn multi_target_verdict() -> WireVerdict {
+        WireVerdict {
+            flagged: vec![0, 1],
+            truth_targets: vec![0, 1],
+            ..sample_verdict()
         }
     }
 
@@ -621,6 +714,7 @@ mod tests {
                 attack_success: 0.875,
             }),
             Frame::Verdict(sample_verdict()),
+            Frame::Verdict(multi_target_verdict()),
             Frame::Error {
                 tag: 9,
                 job: 0,
@@ -722,6 +816,121 @@ mod tests {
         match read_frame(&mut bad_version.as_slice()) {
             Err(IoError::Format(msg)) => assert!(msg.contains("version"), "{msg}"),
             other => panic!("unknown version accepted: {other:?}"),
+        }
+    }
+
+    /// The exact protocol-v1 encoding of a verdict: the v2 layout minus
+    /// the appended truth set and confidences.
+    fn encode_verdict_v1(v: &WireVerdict) -> Vec<u8> {
+        let mut p = Vec::new();
+        write_u64(&mut p, v.job).unwrap();
+        write_str(&mut p, &v.method).unwrap();
+        write_u32(&mut p, v.per_class.len() as u32).unwrap();
+        for c in &v.per_class {
+            write_u32(&mut p, c.class).unwrap();
+            write_f64(&mut p, c.l1_norm).unwrap();
+            write_f64(&mut p, c.anomaly).unwrap();
+            write_f64(&mut p, c.attack_success).unwrap();
+            write_u32(&mut p, c.pattern_crc).unwrap();
+            write_u32(&mut p, c.mask_crc).unwrap();
+        }
+        write_u32(&mut p, v.flagged.len() as u32).unwrap();
+        for f in &v.flagged {
+            write_u32(&mut p, *f).unwrap();
+        }
+        write_f64(&mut p, v.median_l1).unwrap();
+        match v.legacy_truth_target() {
+            None => p.push(0),
+            Some(t) => {
+                p.push(1);
+                write_u32(&mut p, t).unwrap();
+            }
+        }
+        p.push(u8::from(v.agrees));
+        p.push(u8::from(v.cache_hit));
+        write_f64(&mut p, v.seconds).unwrap();
+        p
+    }
+
+    /// Frames a payload by hand with an arbitrary version, with a valid
+    /// CRC, bypassing the (always-current-version) production writer.
+    fn raw_frame(version: u16, kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.push(kind);
+        out.push(0);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        let mut crc = Crc32::new();
+        crc.update(&out[6..]);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v1_verdict_frames_still_decode() {
+        let v2 = sample_verdict();
+        let bytes = raw_frame(1, 0x13, &encode_verdict_v1(&v2));
+        let expected = WireVerdict {
+            confidences: Vec::new(), // v1 producers predate confidences
+            ..v2
+        };
+        assert_eq!(
+            read_frame(&mut bytes.as_slice()).unwrap(),
+            Frame::Verdict(expected)
+        );
+    }
+
+    #[test]
+    fn v1_decode_of_a_clean_verdict_has_an_empty_truth_set() {
+        let v2 = WireVerdict {
+            truth_targets: Vec::new(),
+            confidences: Vec::new(),
+            agrees: false,
+            ..sample_verdict()
+        };
+        let bytes = raw_frame(1, 0x13, &encode_verdict_v1(&v2));
+        match read_frame(&mut bytes.as_slice()).unwrap() {
+            Frame::Verdict(w) => assert!(w.truth_targets.is_empty()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_truth_slot_mismatch_is_rejected() {
+        // A two-element truth set must leave the legacy slot empty; a
+        // frame claiming both Some(0) and {0, 1} is inconsistent.
+        let multi = multi_target_verdict();
+        let mut p = encode_verdict_v1(&sample_verdict()); // legacy Some(1)
+        p.truncate(p.len() - 10); // drop agrees + cache + seconds
+        p.push(u8::from(multi.agrees));
+        p.push(u8::from(multi.cache_hit));
+        write_f64(&mut p, multi.seconds).unwrap();
+        write_u32(&mut p, 2).unwrap();
+        write_u32(&mut p, 0).unwrap();
+        write_u32(&mut p, 1).unwrap();
+        write_u32(&mut p, 0).unwrap(); // no confidences
+        let bytes = raw_frame(2, 0x13, &p);
+        match read_frame(&mut bytes.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("contradicts"), "{msg}"),
+            other => panic!("inconsistent truth accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_confidence_vectors_are_rejected() {
+        // Confidences are all-or-nothing: one value for two classes is a
+        // malformed frame, not a best-effort decode.
+        let mut p = encode_verdict_v1(&sample_verdict());
+        write_u32(&mut p, 1).unwrap();
+        write_u32(&mut p, 1).unwrap(); // truth set {1}, matches legacy
+        write_u32(&mut p, 1).unwrap(); // 1 confidence for 2 classes
+        write_f64(&mut p, 3.2).unwrap();
+        let bytes = raw_frame(2, 0x13, &p);
+        match read_frame(&mut bytes.as_slice()) {
+            Err(IoError::Format(msg)) => assert!(msg.contains("confidences"), "{msg}"),
+            other => panic!("partial confidences accepted: {other:?}"),
         }
     }
 

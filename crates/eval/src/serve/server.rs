@@ -710,8 +710,14 @@ fn run_job(job: &Job, cache: &mut ResidentCache, shared: &Arc<Shared>) -> Frame 
             }),
         );
     });
-    let truth = resident.bundle.victim.target().map(|t| t as u32);
-    let verdict = verdict_from_outcome(job.job, &outcome, truth, hit, t0.elapsed().as_secs_f64());
+    let truth: Vec<u32> = resident
+        .bundle
+        .victim
+        .targets()
+        .into_iter()
+        .map(|t| t as u32)
+        .collect();
+    let verdict = verdict_from_outcome(job.job, &outcome, &truth, hit, t0.elapsed().as_secs_f64());
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     Frame::Verdict(verdict)
 }

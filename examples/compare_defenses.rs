@@ -1,5 +1,5 @@
-//! Head-to-head: Neural Cleanse vs TABOR vs USB on one backdoored and one
-//! clean victim — a one-model slice of the paper's Table 1.
+//! Head-to-head: Neural Cleanse vs TABOR vs USB vs ULP on one backdoored
+//! and one clean victim — a one-model slice of the paper's Table 1.
 //!
 //! ```text
 //! cargo run --release --example compare_defenses
@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 use universal_soldier::prelude::*;
 
-fn report(name: &str, outcome: &DetectionOutcome, truth: Option<usize>, seconds: f64) {
+fn report(name: &str, outcome: &DetectionOutcome, truth: &[usize], seconds: f64) {
     let verdict = score_outcome(outcome, truth);
     println!(
         "  {name:<6} called {:<10} flagged {:?} (reported L1 {:.2}, {:.1}s) -> {}",
@@ -73,7 +73,11 @@ fn main() {
     let nc = NeuralCleanse::new(NcConfig::standard());
     let tabor = Tabor::new(TaborConfig::standard());
     let usb = UsbDetector::new(UsbConfig::standard());
-    let suite: [(&str, &dyn Defense); 3] = [("NC", &nc), ("TABOR", &tabor), ("USB", &usb)];
+    let ulp = Ulp::new(UlpConfig::standard());
+    // ULP last: it never draws from the shared rng, so the NC/TABOR/USB
+    // streams stay identical to the three-defense comparison.
+    let suite: [(&str, &dyn Defense); 4] =
+        [("NC", &nc), ("TABOR", &tabor), ("USB", &usb), ("ULP", &ulp)];
 
     println!(
         "\n--- backdoored victim (true target: {:?}) ---",
@@ -85,7 +89,7 @@ fn main() {
         report(
             name,
             &outcome,
-            backdoored.target(),
+            &backdoored.targets(),
             t0.elapsed().as_secs_f64(),
         );
     }
@@ -94,6 +98,6 @@ fn main() {
     for (name, defense) in suite {
         let t0 = Instant::now();
         let outcome = defense.inspect(&clean.model, &clean_x, &mut rng);
-        report(name, &outcome, None, t0.elapsed().as_secs_f64());
+        report(name, &outcome, &[], t0.elapsed().as_secs_f64());
     }
 }

@@ -93,8 +93,8 @@ pub mod prelude {
     pub use usb_attacks::fixtures::{cached_victim, FixtureSpec};
     pub use usb_attacks::persist::{load_victim, save_victim, VictimBundle};
     pub use usb_attacks::{
-        train_clean_victim, Attack, BadNet, GroundTruth, IadAttack, InjectedTrigger,
-        LatentBackdoor, Trigger, TriggerSpec, Victim,
+        train_clean_victim, Attack, BackdoorImplant, BadNet, GroundTruth, IadAttack,
+        InjectedTrigger, LatentBackdoor, MultiBadNet, Trigger, TriggerSpec, Victim,
     };
     pub use usb_core::{
         deepfool, refine_uap, targeted_uap, transfer_uap, DeepfoolConfig, RefineConfig, UapConfig,
@@ -103,7 +103,7 @@ pub mod prelude {
     pub use usb_data::{Dataset, SyntheticSpec};
     pub use usb_defenses::{
         score_outcome, Defense, DetectionOutcome, ModelVerdict, NcConfig, NeuralCleanse, Tabor,
-        TaborConfig, TargetClassCall,
+        TaborConfig, TargetClassCall, Ulp, UlpConfig,
     };
     pub use usb_nn::models::{Architecture, ModelKind, Network};
     pub use usb_nn::train::TrainConfig;

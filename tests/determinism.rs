@@ -90,6 +90,46 @@ fn victim_training_is_deterministic_for_equal_seeds() {
 }
 
 #[test]
+fn multi_target_and_blended_fixtures_match_fresh_retraining() {
+    // The new recipe shapes — multi-target and blended-trigger — must be
+    // just as cache-transparent as BadNet: a victim loaded from its USBV
+    // fixture file is bit-indistinguishable from one trained from scratch
+    // with the same seeds.
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(160)
+        .with_test_size(40)
+        .with_classes(4);
+    let arch = small_arch();
+    let tc = TrainConfig::fast();
+    let recipes: [(&str, MultiBadNet); 2] = [
+        ("determinism-multi", MultiBadNet::new(2, vec![0, 2], 0.2)),
+        (
+            "determinism-blended",
+            MultiBadNet::new(2, vec![1], 0.2).with_blend(0.2),
+        ),
+    ];
+    for (key, attack) in recipes {
+        let fixture = FixtureSpec::new(key, spec.clone(), 55, 9).with_config(&[
+            &format!("{arch:?}"),
+            &format!("{attack:?}"),
+            &format!("{tc:?}"),
+        ]);
+        let (data, cached) =
+            cached_victim(&fixture, |data| attack.clone().execute(data, arch, tc, 9));
+        let fresh = attack.execute(&data, arch, tc, 9);
+        assert_eq!(cached.targets(), fresh.targets(), "{key}: targets");
+        assert_eq!(cached.asr(), fresh.asr(), "{key}: asr");
+        let x = data.test_images.clone();
+        assert_eq!(
+            cached.model.predict(&x),
+            fresh.model.predict(&x),
+            "{key}: cached and freshly trained victims must predict identically"
+        );
+    }
+}
+
+#[test]
 fn usb_inspect_is_invariant_to_worker_thread_count() {
     // The parallel per-class engine derives one rng stream per class from
     // the inspection seed *before* fanning out, so the verdict must be a
@@ -181,7 +221,7 @@ fn daemon_verdicts_are_bit_identical_to_offline_inspection() {
     // every float and every trigger CRC has to match bit-for-bit.
     let (data, victim) = small_victim();
     let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
-    let truth = victim.target().map(|t| t as u32);
+    let truth: Vec<u32> = victim.targets().into_iter().map(|t| t as u32).collect();
 
     let config = ServeConfig {
         workers: 1,
@@ -200,7 +240,7 @@ fn daemon_verdicts_are_bit_identical_to_offline_inspection() {
         let (clean_x, _) = data.clean_subset(32, &mut rng);
         let outcome =
             UsbDetector::fast_with_workers(workers).inspect(&victim.model, &clean_x, &mut rng);
-        let offline = verdict_from_outcome(0, &outcome, truth, false, 0.0);
+        let offline = verdict_from_outcome(0, &outcome, &truth, false, 0.0);
 
         // The same request twice: the first of the whole test misses the
         // resident cache, everything after hits it — and neither state is
@@ -229,7 +269,11 @@ fn daemon_verdicts_are_bit_identical_to_offline_inspection() {
                 offline.median_l1.to_bits(),
                 "median L1 diverged at {workers} workers (round {round})"
             );
-            assert_eq!(wire.truth_target, truth);
+            assert_eq!(wire.truth_targets, truth);
+            assert_eq!(
+                wire.confidences, offline.confidences,
+                "per-class confidences diverged at {workers} workers (round {round})"
+            );
             assert_eq!(wire.agrees, offline.agrees);
         }
     }

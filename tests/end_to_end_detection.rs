@@ -54,7 +54,7 @@ fn usb_detects_badnet_end_to_end() {
         "USB flagged {:?}, expected target 3",
         outcome.flagged
     );
-    let verdict = score_outcome(&outcome, victim.target());
+    let verdict = score_outcome(&outcome, &victim.targets());
     assert!(verdict.model_detection_correct);
     assert!(matches!(
         verdict.target_call,
@@ -77,7 +77,7 @@ fn usb_does_not_flag_clean_model_end_to_end() {
     let (clean_x, _) = data.clean_subset(48, &mut rng);
     let usb = UsbDetector::fast();
     let outcome = usb.inspect(&victim.model, &clean_x, &mut rng);
-    let verdict = score_outcome(&outcome, None);
+    let verdict = score_outcome(&outcome, &[]);
     assert!(
         verdict.model_detection_correct,
         "false positive: flagged {:?} with norms {:?}",

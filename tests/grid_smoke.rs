@@ -43,7 +43,7 @@ fn mini_table_runs_and_reports() {
     );
     assert_eq!(report.cases.len(), 1);
     let case = &report.cases[0];
-    assert_eq!(case.cells.len(), 3, "NC, TABOR, USB");
+    assert_eq!(case.cells.len(), 4, "NC, TABOR, USB, ULP");
     assert!(case.mean_accuracy > 0.7, "victim under-trained");
     assert!(case.mean_asr > 0.7, "attack failed");
     for cell in &case.cells {
@@ -51,11 +51,13 @@ fn mini_table_runs_and_reports() {
         assert!(cell.mean_l1.is_finite() && cell.mean_l1 >= 0.0);
         assert!(cell.seconds > 0.0);
     }
-    // USB must be the fastest method (Table 7's ordering).
+    // USB must beat the reverse-engineering baselines (Table 7's
+    // ordering). ULP is excluded from the race: its first inspection of a
+    // new input signature pays one-off litmus-bank training.
     let seconds: Vec<f64> = case.cells.iter().map(|c| c.seconds).collect();
     assert!(
         seconds[2] < seconds[0] && seconds[2] < seconds[1],
-        "USB should be fastest: NC {:.1}s TABOR {:.1}s USB {:.1}s",
+        "USB should beat NC and TABOR: NC {:.1}s TABOR {:.1}s USB {:.1}s",
         seconds[0],
         seconds[1],
         seconds[2]
@@ -65,9 +67,42 @@ fn mini_table_runs_and_reports() {
     let text = format_table(&report);
     assert!(text.contains("Backdoored (2x2 trigger)"));
     assert!(text.contains("USB"));
+    assert!(text.contains("ULP"));
     let path = std::env::temp_dir().join("usb_grid_smoke").join("t.csv");
     write_csv(&report, &path).unwrap();
     let csv = std::fs::read_to_string(&path).unwrap();
-    assert_eq!(csv.lines().count(), 4, "header + 3 method rows");
+    assert_eq!(csv.lines().count(), 5, "header + 4 method rows");
     std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn mini_multi_target_row_runs_and_reports() {
+    // One multi-target row through the full grid harness: two implanted
+    // classes, all four defenses, aggregates structurally sound.
+    let spec = TableSpec {
+        cases: vec![CaseSpec {
+            attack: AttackChoice::MultiBadNet {
+                trigger: 2,
+                targets: 2,
+            },
+            poison_rate: 0.15,
+        }],
+        ..tiny_spec()
+    };
+    let suite = DefenseSuite::fast();
+    let report = run_table(&spec, 1, &suite, |_| {});
+    assert_eq!(report.cases.len(), 1);
+    let case = &report.cases[0];
+    assert_eq!(case.cells.len(), 4, "NC, TABOR, USB, ULP");
+    assert!(case.mean_accuracy > 0.6, "victim under-trained");
+    assert!(case.mean_asr > 0.6, "mean ASR over both implants too low");
+    for cell in &case.cells {
+        assert_eq!(cell.called_clean + cell.called_backdoored, 1);
+        assert!(cell.mean_l1.is_finite() && cell.mean_l1 >= 0.0);
+        // Set semantics: the verdict tallies land in exactly one bucket
+        // (or none, when the defense calls the model clean).
+        assert!(cell.correct + cell.correct_set + cell.wrong <= 1);
+    }
+    let text = format_table(&report);
+    assert!(text.contains("Multi-target Backdoored (2 targets, 2x2 trigger)"));
 }

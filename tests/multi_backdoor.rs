@@ -1,0 +1,169 @@
+//! End-to-end detection of *multiple simultaneous backdoors*: a 2-target
+//! `MultiBadNet` victim must have **both** implanted classes flagged (and
+//! no clean class), bit-identically at any worker count, while a clean
+//! victim of the same shape flags nothing. This is the PR's acceptance
+//! scenario for the generalized multi-outlier MAD verdict.
+
+mod serve_util;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use universal_soldier::attacks::persist::write_victim;
+use universal_soldier::eval::serve::proto::verdict_from_outcome;
+use universal_soldier::eval::serve::{Client, ServeConfig, Server, SubmitOptions};
+use universal_soldier::prelude::*;
+
+/// The two implanted target classes, ascending (the order `targets()` and
+/// `flagged` both report).
+const TARGETS: [usize; 2] = [1, 4];
+
+const DATA_SEED: u64 = 71;
+const TRAIN_SEED: u64 = 7;
+
+fn spec() -> SyntheticSpec {
+    SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(240)
+        .with_test_size(60)
+        .with_classes(6)
+}
+
+fn arch() -> Architecture {
+    Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4)
+}
+
+fn multi_fixture() -> FixtureSpec {
+    let arch = arch();
+    let attack = MultiBadNet::new(2, TARGETS.to_vec(), 0.15);
+    let tc = TrainConfig::new(20);
+    FixtureSpec::new("multi-badnet-2target", spec(), DATA_SEED, TRAIN_SEED).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ])
+}
+
+/// The 2-target victim, through the `target/fixtures/` disk cache.
+fn multi_victim() -> (Dataset, Victim) {
+    cached_victim(&multi_fixture(), |data| {
+        MultiBadNet::new(2, TARGETS.to_vec(), 0.15).execute(
+            data,
+            arch(),
+            TrainConfig::new(20),
+            TRAIN_SEED,
+        )
+    })
+}
+
+fn clean_victim() -> (Dataset, Victim) {
+    let arch = arch();
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new("multi-badnet-clean", spec(), DATA_SEED, 13).with_config(&[
+        &format!("{arch:?}"),
+        "clean",
+        &format!("{tc:?}"),
+    ]);
+    cached_victim(&fixture, |data| train_clean_victim(data, arch, tc, 13))
+}
+
+#[test]
+fn two_target_victim_flags_exactly_both_implanted_classes() {
+    let (data, victim) = multi_victim();
+    assert!(victim.clean_accuracy > 0.7, "victim under-trained");
+    assert!(victim.asr() > 0.7, "mean ASR over both implants too low");
+    assert_eq!(victim.targets(), TARGETS.to_vec());
+
+    // Bit-identity across worker counts: the per-class scan partitions
+    // differently at 1/2/4 workers, yet every float of the outcome — and
+    // therefore the flagged set and confidences — must match.
+    let mut reference = None;
+    for workers in [1usize, 2, 4] {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (clean_x, _) = data.clean_subset(48, &mut rng);
+        let outcome =
+            UsbDetector::fast_with_workers(workers).inspect(&victim.model, &clean_x, &mut rng);
+        assert_eq!(
+            outcome.flagged,
+            TARGETS.to_vec(),
+            "flagged set at {workers} workers"
+        );
+        // Flagged classes clear the MAD anomaly threshold; clean classes
+        // sit well under it (sub-median jitter yields small positive
+        // confidences, never a threshold-crossing one).
+        for (class, &conf) in outcome.confidences.iter().enumerate() {
+            if TARGETS.contains(&class) {
+                assert!(conf > 2.0, "class {class} flagged at confidence {conf}");
+            } else {
+                assert!(conf < 2.0, "clean class {class} has confidence {conf}");
+            }
+        }
+        let verdict = score_outcome(&outcome, &victim.targets());
+        assert!(verdict.called_backdoored);
+        assert!(matches!(verdict.target_call, TargetClassCall::Correct));
+        // CRC-digested wire form pins bit-identity of every tensor.
+        let wire = verdict_from_outcome(0, &outcome, &[1, 4], false, 0.0);
+        match &reference {
+            None => reference = Some(wire),
+            Some(r) => assert_eq!(&wire, r, "outcome diverged at {workers} workers"),
+        }
+    }
+}
+
+#[test]
+fn clean_model_of_the_same_shape_flags_nothing() {
+    let (data, victim) = clean_victim();
+    assert!(victim.clean_accuracy > 0.7, "victim under-trained");
+    let mut rng = StdRng::seed_from_u64(23);
+    let (clean_x, _) = data.clean_subset(48, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&victim.model, &clean_x, &mut rng);
+    assert!(
+        outcome.flagged.is_empty(),
+        "false positives on a clean model: {:?}",
+        outcome.flagged
+    );
+    let verdict = score_outcome(&outcome, &[]);
+    assert!(verdict.model_detection_correct);
+}
+
+#[test]
+fn daemon_reports_the_multi_target_truth_set_over_the_wire() {
+    // The serve layer end to end on a multi-backdoored bundle: the v2
+    // Verdict frame must carry both ground-truth targets, per-class
+    // confidences, and the same agreement rule as offline inspection.
+    let fixture = multi_fixture();
+    let config_hash = fixture.config_hash;
+    let (_, victim) = multi_victim();
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: TRAIN_SEED,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed: DATA_SEED,
+    };
+    let mut bytes = Vec::new();
+    write_victim(&mut bytes, &mut bundle).expect("serialising the multi-target bundle");
+
+    let server =
+        Server::start(("127.0.0.1", 0), ServeConfig::default()).expect("binding a loopback daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+    let opts = SubmitOptions {
+        tag: 1,
+        seed: 23,
+        subset: 48,
+        workers: 0,
+        fast: true,
+    };
+    let wire = client
+        .inspect(&bytes, &opts, |_| {})
+        .expect("daemon inspection");
+    assert_eq!(wire.truth_targets, vec![1, 4]);
+    assert_eq!(wire.flagged, vec![1, 4]);
+    assert_eq!(wire.confidences.len(), 6, "one confidence per class");
+    assert!(wire.agrees);
+    client.shutdown_server().expect("daemon shutdown");
+    server.stop();
+}

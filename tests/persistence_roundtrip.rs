@@ -167,6 +167,104 @@ fn loaded_victim_inspection_is_bit_identical_to_in_memory() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The multi-target extension of the criterion above: a 2-target
+/// `MultiBadNet` victim survives USBV v2 save → load with its full
+/// implant set, and inspecting the loaded model is bit-identical.
+#[test]
+fn loaded_multi_target_victim_inspection_is_bit_identical() {
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(160)
+        .with_test_size(40)
+        .with_classes(4);
+    let data = spec.generate(78);
+    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+    let attack = MultiBadNet::new(2, vec![0, 2], 0.2);
+    let victim = attack.execute(&data, arch, TrainConfig::fast(), 21);
+    assert_eq!(victim.targets(), vec![0, 2]);
+
+    let dir = std::env::temp_dir().join(format!("usb_multi_roundtrip_{}", std::process::id()));
+    let path = dir.join("victim.usbv");
+    let mut bundle = VictimBundle {
+        victim: victim.clone(),
+        train_seed: 21,
+        config_hash: 0,
+        data_spec: spec,
+        data_seed: 78,
+    };
+    save_victim(&path, &mut bundle).unwrap();
+    let loaded = load_victim(&path).unwrap();
+    assert_eq!(loaded.victim.targets(), vec![0, 2]);
+    assert_eq!(loaded.victim.asr(), victim.asr());
+
+    let inspect = |model: &Network| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (clean_x, _) = data.clean_subset(32, &mut rng);
+        UsbDetector::fast().inspect(model, &clean_x, &mut rng)
+    };
+    let mem = inspect(&victim.model);
+    let disk = inspect(&loaded.victim.model);
+    assert_eq!(mem.flagged, disk.flagged, "flagged classes diverged");
+    assert_eq!(mem.anomaly_indices, disk.anomaly_indices);
+    assert_eq!(mem.confidences, disk.confidences);
+    for (a, b) in mem.per_class.iter().zip(&disk.per_class) {
+        assert_eq!(a.l1_norm, b.l1_norm, "class {} norm diverged", a.class);
+        assert_eq!(a.pattern.data(), b.pattern.data());
+        assert_eq!(a.mask.data(), b.mask.data());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Blended-trigger recipe: the fractional alpha mask survives save → load
+/// and the loaded model inspects bit-identically.
+#[test]
+fn loaded_blended_victim_inspection_is_bit_identical() {
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(160)
+        .with_test_size(40)
+        .with_classes(4);
+    let data = spec.generate(79);
+    let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(6);
+    let attack = MultiBadNet::new(2, vec![1], 0.2).with_blend(0.2);
+    let victim = attack.execute(&data, arch, TrainConfig::fast(), 22);
+    assert_eq!(victim.targets(), vec![1]);
+
+    let dir = std::env::temp_dir().join(format!("usb_blend_roundtrip_{}", std::process::id()));
+    let path = dir.join("victim.usbv");
+    let mut bundle = VictimBundle {
+        victim: victim.clone(),
+        train_seed: 22,
+        config_hash: 0,
+        data_spec: spec,
+        data_seed: 79,
+    };
+    save_victim(&path, &mut bundle).unwrap();
+    let loaded = load_victim(&path).unwrap();
+    // The full-image alpha mask is fractional everywhere — exactly the
+    // payload a binary-mask assumption would corrupt.
+    if let GroundTruth::Backdoored {
+        trigger: InjectedTrigger::Static(t),
+        ..
+    } = &loaded.victim.ground_truth
+    {
+        assert!(t.mask().data().iter().all(|&m| m == 0.2));
+    } else {
+        panic!("blended single-target victim lost its static ground truth");
+    }
+
+    let inspect = |model: &Network| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (clean_x, _) = data.clean_subset(32, &mut rng);
+        UsbDetector::fast().inspect(model, &clean_x, &mut rng)
+    };
+    let mem = inspect(&victim.model);
+    let disk = inspect(&loaded.victim.model);
+    assert_eq!(mem.flagged, disk.flagged);
+    assert_eq!(mem.anomaly_indices, disk.anomaly_indices);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Warm-cache contract: the second request for the same fixture must not
 /// invoke the trainer, and must hand back a bit-identical victim.
 #[test]

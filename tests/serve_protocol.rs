@@ -15,8 +15,11 @@ mod serve_util;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
-use universal_soldier::eval::serve::proto::{frame_to_bytes, Frame, SubmitRequest, MAX_PAYLOAD};
+use universal_soldier::eval::serve::proto::{
+    frame_to_bytes, read_frame, Frame, SubmitRequest, WireClass, WireVerdict, MAX_PAYLOAD,
+};
 use universal_soldier::eval::serve::{Client, ClientError, ServeConfig, Server, SubmitOptions};
+use universal_soldier::tensor::io::Crc32;
 
 /// Generous bound on how long the daemon may take to drop a poisoned
 /// connection; hitting it means the daemon wedged, which is the failure
@@ -192,6 +195,116 @@ fn mid_message_disconnects_do_not_disturb_other_clients() {
 
     let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
     assert_daemon_still_serves(addr, &bundle);
+    drop(server);
+}
+
+/// A v2 verdict carrying the full multi-target extension: two flagged
+/// classes, a two-element truth set, and per-class confidences.
+fn extended_verdict() -> WireVerdict {
+    let class = |c: u32, l1: f64, anomaly: f64| WireClass {
+        class: c,
+        l1_norm: l1,
+        anomaly,
+        attack_success: 0.95,
+        pattern_crc: 0x1000 + c,
+        mask_crc: 0x2000 + c,
+    };
+    WireVerdict {
+        job: 7,
+        method: "USB".to_owned(),
+        per_class: vec![
+            class(0, 3.5, 3.4),
+            class(1, 13.0, 0.1),
+            class(2, 3.7, 3.3),
+            class(3, 14.2, 0.4),
+        ],
+        flagged: vec![0, 2],
+        median_l1: 13.6,
+        truth_targets: vec![0, 2],
+        confidences: vec![3.4, 0.1, 3.3, 0.0],
+        agrees: true,
+        cache_hit: true,
+        seconds: 0.25,
+    }
+}
+
+/// Recomputes a frame's trailing CRC after an in-place mutation, so the
+/// payload bytes — not the checksum — are what the parser judges.
+fn fix_crc(bytes: &mut [u8]) {
+    let end = bytes.len() - 4;
+    let mut crc = Crc32::new();
+    crc.update(&bytes[6..end]);
+    let digest = crc.finish().to_le_bytes();
+    bytes[end..].copy_from_slice(&digest);
+}
+
+#[test]
+fn extended_verdict_frame_roundtrips_bit_exactly() {
+    let frame = Frame::Verdict(extended_verdict());
+    let bytes = frame_to_bytes(&frame).expect("encoding the extended verdict");
+    let back = read_frame(&mut bytes.as_slice()).expect("decoding the extended verdict");
+    assert_eq!(back, frame);
+    assert_eq!(
+        frame_to_bytes(&back).expect("re-encoding"),
+        bytes,
+        "the v2 encoding must be canonical"
+    );
+}
+
+#[test]
+fn corruption_over_the_v2_extension_fields_never_panics() {
+    // The appended truth set + confidences are the last bytes of the
+    // payload. Flip each one — with the CRC patched up so the corruption
+    // reaches the parser — and require a clean decode or a clean error,
+    // never a panic or a hang.
+    let bytes = frame_to_bytes(&Frame::Verdict(extended_verdict())).unwrap();
+    // extension = u32 count + 2×u32 targets + u32 count + 4×f64 = 48 bytes,
+    // immediately before the 4-byte CRC.
+    let ext_start = bytes.len() - 4 - 48;
+    for pos in ext_start..bytes.len() - 4 {
+        for bit in [0x01u8, 0x40, 0x80] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= bit;
+            fix_crc(&mut bad);
+            match read_frame(&mut bad.as_slice()) {
+                // Flips in the float payload may still decode (different
+                // confidences); structural flips must error cleanly.
+                Ok(Frame::Verdict(_)) | Err(_) => {}
+                Ok(other) => panic!("flip at {pos} changed the frame kind: {other:?}"),
+            }
+        }
+    }
+    // Without the CRC fix-up every flip must die at the checksum.
+    let mut bad = bytes.clone();
+    bad[ext_start] ^= 0x40;
+    assert!(read_frame(&mut bad.as_slice()).is_err());
+}
+
+#[test]
+fn live_daemon_accepts_v1_frames() {
+    // A client speaking protocol v1 (no extension fields) pings the
+    // daemon: the hand-built v1 frame must be accepted and answered.
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let mut v1_ping = Vec::new();
+    v1_ping.extend_from_slice(b"USBP");
+    v1_ping.extend_from_slice(&1u16.to_le_bytes());
+    v1_ping.push(0x01); // Ping
+    v1_ping.push(0);
+    v1_ping.extend_from_slice(&0u32.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&v1_ping[6..]);
+    v1_ping.extend_from_slice(&crc.finish().to_le_bytes());
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(DEADLINE))
+        .expect("setting a read timeout");
+    stream.write_all(&v1_ping).expect("write v1 ping");
+    let reply = read_frame(&mut stream).expect("daemon must answer a v1 ping");
+    assert_eq!(reply, Frame::Pong);
+    drop(stream);
     drop(server);
 }
 
