@@ -9,11 +9,11 @@
 //! verdict on a loaded victim is bit-identical to the verdict on the
 //! in-memory one.
 //!
-//! # Bundle layout (format version 2, little-endian)
+//! # Bundle layout (format version 3, little-endian)
 //!
 //! ```text
 //! 4   magic b"USBV"
-//! 2   u16 format version (currently 2)
+//! 2   u16 format version (currently 3)
 //! 8   u64 training seed
 //! 8   u64 config hash (caller-defined fingerprint, see usb_attacks::fixtures)
 //!     dataset spec: name str, u32 channels/height/width/classes/train/test,
@@ -39,10 +39,19 @@
 //!         1   u8 trigger tag + payload (as above)
 //! ```
 //!
-//! Version 2 added ground-truth tag 2; readers are exact (a v1 reader
-//! rejects every v2 bundle and vice versa), so the tag addition bumped the
-//! format version per the PERSISTENCE.md policy. Stale v1 fixture files
-//! simply miss the cache and retrain.
+//! Version 2 added ground-truth tag 2; version 3 carries the USBN-v2
+//! network blob, whose header gained a weight-dtype byte and whose GEMM
+//! weights may be stored as f16 or Q8 records ([`write_victim_dtype`]).
+//! Readers are exact (a v2 reader rejects every v3 bundle and vice versa),
+//! so the embedded-format change bumped the bundle version per the
+//! PERSISTENCE.md policy. Stale fixture files simply miss the cache and
+//! retrain.
+//!
+//! The model payload of an f32 bundle remains bit-exact. A low-precision
+//! bundle is smaller on disk and resident (the loaded network keeps the
+//! quantized payload and dequantizes on the fly) at the cost of bounded
+//! rounding error in the weights; the trigger/ground-truth records always
+//! stay f32.
 //!
 //! Strings and tensor records use the [`usb_tensor::io`] encodings; every
 //! tensor carries its own CRC-32, so payload corruption anywhere in the
@@ -58,17 +67,18 @@ use std::io::{Read, Write};
 use std::path::Path;
 use usb_data::SyntheticSpec;
 use usb_nn::layer::Layer;
-use usb_nn::serde::{read_network, write_network};
+use usb_nn::serde::{read_network, write_network, write_network_dtype};
 use usb_tensor::io::{
     expect_magic, expect_version, read_f32, read_f64, read_str, read_tensor, read_u32, read_u64,
     write_f32, write_f64, write_str, write_tensor, write_u16, write_u32, write_u64, IoError,
 };
+use usb_tensor::Dtype;
 
 /// Magic bytes opening a victim bundle.
 pub const VICTIM_MAGIC: [u8; 4] = *b"USBV";
 
 /// Current victim-bundle format version.
-pub const VICTIM_VERSION: u16 = 2;
+pub const VICTIM_VERSION: u16 = 3;
 
 /// A victim plus the provenance needed to reproduce or re-inspect it.
 pub struct VictimBundle {
@@ -229,18 +239,42 @@ fn read_trigger(r: &mut impl Read) -> Result<InjectedTrigger, IoError> {
     }
 }
 
-/// Serializes a victim bundle.
+/// Serializes a victim bundle, preserving the model's current weight
+/// storage (an f32 model writes f32 records, a quantized model writes its
+/// payload verbatim).
 ///
 /// Takes `&mut` because network state visitation shares the mutable
 /// parameter plumbing; nothing is modified.
 pub fn write_victim(w: &mut impl Write, bundle: &mut VictimBundle) -> Result<(), IoError> {
+    write_victim_inner(w, bundle, None)
+}
+
+/// Serializes a victim bundle with the model's GEMM weights stored as
+/// `dtype`, quantizing on the fly (the in-memory model is unchanged). See
+/// [`usb_nn::serde::write_network_dtype`] for the re-quantization rules.
+pub fn write_victim_dtype(
+    w: &mut impl Write,
+    bundle: &mut VictimBundle,
+    dtype: Dtype,
+) -> Result<(), IoError> {
+    write_victim_inner(w, bundle, Some(dtype))
+}
+
+fn write_victim_inner(
+    w: &mut impl Write,
+    bundle: &mut VictimBundle,
+    dtype: Option<Dtype>,
+) -> Result<(), IoError> {
     w.write_all(&VICTIM_MAGIC)?;
     write_u16(w, VICTIM_VERSION)?;
     write_u64(w, bundle.train_seed)?;
     write_u64(w, bundle.config_hash)?;
     write_spec(w, &bundle.data_spec)?;
     write_u64(w, bundle.data_seed)?;
-    write_network(w, &mut bundle.victim.model)?;
+    match dtype {
+        None => write_network(w, &mut bundle.victim.model)?,
+        Some(d) => write_network_dtype(w, &mut bundle.victim.model, d)?,
+    }
     write_f64(w, bundle.victim.clean_accuracy)?;
     match &mut bundle.victim.ground_truth {
         GroundTruth::Clean => w.write_all(&[0u8]).map_err(IoError::from),
@@ -350,6 +384,24 @@ pub fn read_victim(r: &mut impl Read) -> Result<VictimBundle, IoError> {
 /// a temporary sibling file and renaming so concurrent readers never see a
 /// half-written bundle.
 pub fn save_victim(path: &Path, bundle: &mut VictimBundle) -> Result<(), IoError> {
+    save_victim_inner(path, bundle, None)
+}
+
+/// [`save_victim`] with the model's GEMM weights stored as `dtype`
+/// (`usb_repro save --dtype` lands here).
+pub fn save_victim_dtype(
+    path: &Path,
+    bundle: &mut VictimBundle,
+    dtype: Dtype,
+) -> Result<(), IoError> {
+    save_victim_inner(path, bundle, Some(dtype))
+}
+
+fn save_victim_inner(
+    path: &Path,
+    bundle: &mut VictimBundle,
+    dtype: Option<Dtype>,
+) -> Result<(), IoError> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
@@ -361,7 +413,7 @@ pub fn save_victim(path: &Path, bundle: &mut VictimBundle) -> Result<(), IoError
     let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     let result = (|| {
         let mut f = fs::File::create(&tmp)?;
-        write_victim(&mut f, bundle)?;
+        write_victim_inner(&mut f, bundle, dtype)?;
         f.sync_all()?;
         fs::rename(&tmp, path).map_err(IoError::from)
     })();
@@ -369,6 +421,21 @@ pub fn save_victim(path: &Path, bundle: &mut VictimBundle) -> Result<(), IoError
         fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// Reads the weight-storage dtype out of a serialized bundle without
+/// decoding the model: the USBV header fields are parsed up to the
+/// embedded network blob, then its header dtype byte is returned. The
+/// cheap sniff `usb_repro inspect`/`submit` use for the verdict line.
+pub fn peek_weight_dtype(bytes: &[u8]) -> Result<Dtype, IoError> {
+    let mut r = bytes;
+    expect_magic(&mut r, &VICTIM_MAGIC, "victim bundle")?;
+    expect_version(&mut r, VICTIM_VERSION, "victim bundle")?;
+    let _train_seed = read_u64(&mut r)?;
+    let _config_hash = read_u64(&mut r)?;
+    let _spec = read_spec(&mut r)?;
+    let _data_seed = read_u64(&mut r)?;
+    usb_nn::serde::peek_weight_dtype(&mut r)
 }
 
 /// Loads a bundle from `path`.
@@ -617,6 +684,47 @@ mod tests {
         };
         assert_eq!(*attack, "multi-badnet");
         assert_eq!(t.mask().data(), vec![0.15f32; 144], "fractional mask");
+    }
+
+    #[test]
+    fn quantized_bundle_is_smaller_and_loads_quantized() {
+        let spec = tiny_spec();
+        let data = spec.generate(21);
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 4).with_width(4);
+        let victim = BadNet::new(2, 1, 0.2).execute(&data, arch, TrainConfig::fast(), 22);
+        let mut bundle = VictimBundle {
+            victim,
+            train_seed: 22,
+            config_hash: 9,
+            data_spec: spec,
+            data_seed: 21,
+        };
+        let mut f32_buf = Vec::new();
+        write_victim(&mut f32_buf, &mut bundle).unwrap();
+        assert_eq!(peek_weight_dtype(&f32_buf).unwrap(), Dtype::F32);
+
+        for dtype in [Dtype::F16, Dtype::Q8] {
+            let mut buf = Vec::new();
+            write_victim_dtype(&mut buf, &mut bundle, dtype).unwrap();
+            assert!(
+                buf.len() < f32_buf.len(),
+                "{dtype} bundle {} not smaller than f32 {}",
+                buf.len(),
+                f32_buf.len()
+            );
+            assert_eq!(peek_weight_dtype(&buf).unwrap(), dtype);
+            let mut back = read_victim_bytes(&buf).unwrap();
+            assert_eq!(back.victim.model.weight_dtype(), Some(dtype));
+            assert_eq!(back.victim.target(), Some(1));
+            let x = Tensor::from_fn(&[2, 1, 12, 12], |i| ((i as f32) * 0.31).sin());
+            let mut ws = usb_tensor::Workspace::new();
+            assert!(back.victim.model.infer(&x, &mut ws).all_finite());
+            // Re-serializing a loaded quantized bundle is byte-identical:
+            // the payload survives the roundtrip untouched.
+            let mut again = Vec::new();
+            write_victim(&mut again, &mut back).unwrap();
+            assert_eq!(again, buf, "{dtype} bundle must re-serialize verbatim");
+        }
     }
 
     #[test]

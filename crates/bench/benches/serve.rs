@@ -91,7 +91,7 @@ fn warm_request(c: &mut Criterion) {
     let config = ServeConfig {
         workers: 2,
         max_pending: 16,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding the bench daemon");
     let mut client = connect(&server);
@@ -103,7 +103,8 @@ fn warm_request(c: &mut Criterion) {
     });
 }
 
-/// Two requests that evict each other out of a capacity-1 cache: every
+/// Two requests that evict each other out of a zero-byte-budget cache
+/// (the newest entry is always admitted, everything else evicts): every
 /// verdict pays bundle parse + dataset regeneration on top of the
 /// inspection. Compare with `serve/warm_request` (halved — this bench
 /// does two round trips per iteration) to see what residency saves.
@@ -113,7 +114,7 @@ fn evicting_request_pair(c: &mut Criterion) {
     let config = ServeConfig {
         workers: 2,
         max_pending: 16,
-        cache_capacity: 1,
+        cache_bytes: 0,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding the bench daemon");
     let mut client = connect(&server);

@@ -14,7 +14,7 @@ use usb_defenses::Defense;
 use usb_nn::layer::Mode;
 use usb_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_ws, ConvSpec};
 use usb_tensor::ssim::{ssim, ssim_with_grad, ssim_with_grad_ws};
-use usb_tensor::{init, ops, par, Tensor, Workspace};
+use usb_tensor::{init, ops, par, Dtype, QTensor, Tensor, Workspace};
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
     c
@@ -43,6 +43,19 @@ fn bench_matmul(c: &mut Criterion) {
         let mut ws = Workspace::new();
         bench.iter(|| {
             let wt = ws.packed_transpose(&w, 64, 128);
+            ops::matmul_into(a.data(), wt, 64, 128, 64, &mut y);
+            black_box(y[0]);
+        })
+    });
+    // Same product with the weight stored as Q8 blocks: the panel is
+    // dequantized once on the first touch and served from the content-id
+    // cache afterwards, so the steady state should sit on top of the
+    // packed f32 case — the dequant cost is amortized to zero.
+    let q = QTensor::quantize(&w, Dtype::Q8);
+    c.bench_function("substrate/gemm_xwt_packed_q8_64x128x64", |bench| {
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let wt = ws.packed_dequant(&q, 64, 128);
             ops::matmul_into(a.data(), wt, 64, 128, 64, &mut y);
             black_box(y[0]);
         })
@@ -106,6 +119,21 @@ fn bench_infer_vs_forward(c: &mut Criterion) {
             let logits = victim.model.infer(&batch, &mut ws);
             let class = black_box(ops::argmax_rows(&logits));
             ws.recycle(logits); // keep the steady state allocation-free
+            class
+        })
+    });
+    // The quantized twin of the warm case: weights stored as Q8 blocks,
+    // dequantized into the panel cache on the first batch — compare with
+    // `infer_warm_ws_b16` to see the steady-state cost of low-precision
+    // storage (it should be within noise of the f32 route).
+    c.bench_function("substrate/infer_warm_q8_b16", |bench| {
+        let mut qmodel = fixture.victim.lock().unwrap().model.clone();
+        qmodel.quantize_weights(Dtype::Q8);
+        let mut ws = Workspace::new();
+        bench.iter(|| {
+            let logits = qmodel.infer(&batch, &mut ws);
+            let class = black_box(ops::argmax_rows(&logits));
+            ws.recycle(logits);
             class
         })
     });

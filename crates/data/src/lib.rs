@@ -262,6 +262,15 @@ impl Dataset {
     pub fn test_len(&self) -> usize {
         self.test_labels.len()
     }
+
+    /// Bytes of payload this dataset keeps resident: the image tensors
+    /// (which dominate) plus the label vectors. The prototype bump lists
+    /// are a few hundred bytes and ignored. This is the dataset component
+    /// of a serve-cache entry's footprint.
+    pub fn resident_bytes(&self) -> usize {
+        4 * (self.train_images.len() + self.test_images.len())
+            + 8 * (self.train_labels.len() + self.test_labels.len())
+    }
 }
 
 #[cfg(test)]

@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! usb-repro <experiment> [--models N] [--fast] [--out DIR]
-//! usb-repro save    [--out PATH] [--fast] [--seed N]
+//! usb-repro save    [--out PATH] [--fast] [--seed N] [--dtype f32|f16|q8]
 //! usb-repro inspect <PATH>       [--fast] [--seed N]
-//! usb-repro serve   [--addr A] [--workers N]
+//! usb-repro serve   [--addr A] [--workers N] [--cache-mb N]
 //! usb-repro submit  <PATH> [--addr A] [--fast] [--seed N] [--subset N] [--workers N]
 //! usb-repro submit  --shutdown [--addr A]
 //! usb-repro loadgen [PATH] [--clients N] [--requests N] [--fast] [--out PATH]
+//!                   [--dtype f32|f16|q8]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              fig1 fig2 fig3 fig4 fig5 fig6 headline transfer all
@@ -17,9 +18,12 @@
 //! `save` trains a BadNet victim (through the `target/fixtures/` cache, so
 //! repeated saves don't retrain) and writes a self-contained bundle —
 //! model, trigger, ground truth, dataset recipe — in the `PERSISTENCE.md`
-//! format. `inspect` loads any such bundle, regenerates clean data from
-//! the stored recipe, and runs the USB detector on the loaded model; the
-//! verdict is bit-identical to inspecting the in-memory victim.
+//! format; `--dtype f16|q8` stores the weight bank at reduced precision
+//! (see PERSISTENCE.md for the trade-offs). `inspect` loads any such
+//! bundle, auto-detecting its weight dtype, regenerates clean data from
+//! the stored recipe, and runs the USB detector on the loaded model; for
+//! f32 bundles the verdict is bit-identical to inspecting the in-memory
+//! victim.
 //!
 //! `serve` keeps that engine resident: a long-running daemon accepting
 //! bundles over TCP (the USBP protocol, see ARCHITECTURE.md), with fair
@@ -33,7 +37,9 @@ use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use usb_attacks::fixtures::{cached_victim, FixtureSpec};
-use usb_attacks::persist::{load_victim, save_victim, VictimBundle};
+use usb_attacks::persist::{
+    peek_weight_dtype, read_victim_bytes, save_victim, save_victim_dtype, VictimBundle,
+};
 use usb_attacks::{Attack, BadNet};
 use usb_core::{UsbConfig, UsbDetector};
 use usb_data::SyntheticSpec;
@@ -50,6 +56,7 @@ use usb_eval::timing::{
 use usb_eval::{format_table, write_csv};
 use usb_nn::models::{Architecture, ModelKind};
 use usb_nn::train::TrainConfig;
+use usb_tensor::Dtype;
 
 struct Options {
     experiment: String,
@@ -66,6 +73,8 @@ struct Options {
     clients: usize,
     requests: usize,
     shutdown: bool,
+    dtype: Dtype,
+    cache_mb: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -86,6 +95,8 @@ fn parse_args() -> Result<Options, String> {
         clients: 2,
         requests: 4,
         shutdown: false,
+        dtype: Dtype::F32,
+        cache_mb: 64,
     };
     match options.experiment.as_str() {
         "inspect" => {
@@ -149,6 +160,15 @@ fn parse_args() -> Result<Options, String> {
                 options.requests = v.parse().map_err(|_| format!("bad --requests value {v}"))?;
             }
             "--shutdown" => options.shutdown = true,
+            "--dtype" => {
+                let v = args.next().ok_or("--dtype needs a value (f32|f16|q8)")?;
+                options.dtype = Dtype::parse(&v)
+                    .ok_or_else(|| format!("bad --dtype value {v} (expected f32, f16, or q8)"))?;
+            }
+            "--cache-mb" => {
+                let v = args.next().ok_or("--cache-mb needs a value")?;
+                options.cache_mb = v.parse().map_err(|_| format!("bad --cache-mb value {v}"))?;
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -159,12 +179,13 @@ fn usage() -> String {
     "usage: usb-repro <table1..table8|fig1..fig6|headline|transfer|all> \
      [--models N] [--fast] [--out DIR]\n       \
      usb-repro timing [--json] [--compare BASELINE.json] [--models N] [--fast] [--out DIR]\n       \
-     usb-repro save [--out PATH] [--fast] [--seed N]\n       \
+     usb-repro save [--out PATH] [--fast] [--seed N] [--dtype f32|f16|q8]\n       \
      usb-repro inspect <PATH> [--fast] [--seed N]\n       \
-     usb-repro serve [--addr A] [--workers N]\n       \
+     usb-repro serve [--addr A] [--workers N] [--cache-mb N]\n       \
      usb-repro submit <PATH> [--addr A] [--fast] [--seed N] [--subset N] [--workers N]\n       \
      usb-repro submit --shutdown [--addr A]\n       \
-     usb-repro loadgen [PATH] [--clients N] [--requests N] [--fast] [--seed N] [--out PATH]"
+     usb-repro loadgen [PATH] [--clients N] [--requests N] [--fast] [--seed N] [--out PATH] \
+     [--dtype f32|f16|q8]"
         .to_owned()
 }
 
@@ -226,9 +247,18 @@ fn run_save(options: &Options) -> Result<(), String> {
         data_spec: fixture.data_spec,
         data_seed: fixture.data_seed,
     };
-    save_victim(&options.out, &mut bundle)
-        .map_err(|e| format!("saving {}: {e}", options.out.display()))?;
-    println!("wrote {}", options.out.display());
+    if options.dtype == Dtype::F32 {
+        save_victim(&options.out, &mut bundle)
+            .map_err(|e| format!("saving {}: {e}", options.out.display()))?;
+    } else {
+        save_victim_dtype(&options.out, &mut bundle, options.dtype)
+            .map_err(|e| format!("saving {}: {e}", options.out.display()))?;
+    }
+    println!(
+        "wrote {} ({} weights)",
+        options.out.display(),
+        options.dtype
+    );
     println!(
         "re-inspect any time with: usb-repro inspect {}{}",
         options.out.display(),
@@ -239,9 +269,16 @@ fn run_save(options: &Options) -> Result<(), String> {
 
 fn run_inspect(options: &Options) -> Result<(), String> {
     let path = options.path.as_ref().expect("inspect always sets a path");
-    let bundle = load_victim(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    // The bundle's weight dtype is auto-detected from its header — no
+    // flag needed; quantized bundles dequantize on the fly at inference.
+    let dtype =
+        peek_weight_dtype(&bytes).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    let bundle =
+        read_victim_bytes(&bytes).map_err(|e| format!("loading {}: {e}", path.display()))?;
     println!(
-        "loaded victim: {} / {:?} / {} classes, clean accuracy {:.2}, asr {:.2}",
+        "loaded victim: {} / {:?} / {} classes, {dtype} weights, \
+         clean accuracy {:.2}, asr {:.2}",
         bundle.data_spec.name,
         bundle.victim.model.arch().kind,
         bundle.victim.model.num_classes(),
@@ -281,7 +318,7 @@ fn run_inspect(options: &Options) -> Result<(), String> {
     };
     let truth = bundle.victim.targets();
     println!(
-        "verdict: {verdict} (flagged {:?}); ground truth targets: {truth:?}",
+        "verdict: {verdict} (flagged {:?}, {dtype} weights); ground truth targets: {truth:?}",
         outcome.flagged
     );
     let missed: Vec<usize> = truth
@@ -307,6 +344,7 @@ fn run_inspect(options: &Options) -> Result<(), String> {
 fn run_serve(options: &Options) -> Result<(), String> {
     let config = ServeConfig {
         workers: options.workers,
+        cache_bytes: options.cache_mb << 20,
         ..ServeConfig::default()
     };
     let server = Server::start(options.addr.as_str(), config)
@@ -346,6 +384,11 @@ fn run_submit(options: &Options) -> Result<(), String> {
         .as_ref()
         .ok_or("submit needs a bundle path (or --shutdown)")?;
     let bundle = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    // Sniffed client-side from the bundle header, purely informational:
+    // the daemon auto-detects the dtype when it parses the bundle.
+    let dtype = peek_weight_dtype(&bundle)
+        .map(|d| d.name())
+        .unwrap_or("unknown");
     let opts = SubmitOptions {
         tag: 1,
         seed: options.seed,
@@ -367,7 +410,8 @@ fn run_submit(options: &Options) -> Result<(), String> {
         "clean"
     };
     println!(
-        "verdict: {verdict_word} (flagged {:?}, median L1 {:.2}); ground truth targets: {:?}",
+        "verdict: {verdict_word} (flagged {:?}, median L1 {:.2}, {dtype} weights); \
+         ground truth targets: {:?}",
         verdict.flagged, verdict.median_l1, verdict.truth_targets
     );
     println!(
@@ -440,12 +484,20 @@ fn run_loadgen_cmd(options: &Options) -> Result<(), String> {
                 data_spec: zoo_spec,
                 data_seed: fixture.data_seed,
             };
+            // `--dtype` applies here, to the workload bundle the command
+            // trains itself — measuring the daemon per storage precision.
+            // A bundle given on the command line is submitted as-is.
             let path = out_dir
                 .clone()
                 .unwrap_or_else(figures::default_out_dir)
-                .join("loadgen_victim.usbv");
-            save_victim(&path, &mut bundle)
-                .map_err(|e| format!("saving {}: {e}", path.display()))?;
+                .join(format!("loadgen_victim_{}.usbv", options.dtype));
+            if options.dtype == Dtype::F32 {
+                save_victim(&path, &mut bundle)
+                    .map_err(|e| format!("saving {}: {e}", path.display()))?;
+            } else {
+                save_victim_dtype(&path, &mut bundle, options.dtype)
+                    .map_err(|e| format!("saving {}: {e}", path.display()))?;
+            }
             path
         }
     };

@@ -37,11 +37,16 @@
 //! fingerprint ([`usb_attacks::persist::bundle_fingerprint`]). A hit
 //! skips bundle parsing *and* dataset regeneration — the dominant
 //! non-inspection costs — and is what makes a warm daemon answer faster
-//! than a cold `usb-repro inspect` process. Capacity is
-//! [`ServeConfig::cache_capacity`]; insertion past capacity evicts the
-//! least-recently-used entry, so memory stays bounded no matter how many
-//! distinct bundles a tenant streams in (pinned by the counting-allocator
-//! soak test).
+//! than a cold `usb-repro inspect` process. The cache is **byte**-budgeted
+//! ([`ServeConfig::cache_bytes`], CLI `--cache-mb`): each entry is charged
+//! its actual resident footprint (model tensors + quantized payloads +
+//! regenerated dataset), and admitting a new entry evicts
+//! least-recently-used entries until the total fits. Quantized bundles
+//! therefore pack proportionally more residents into the same budget with
+//! no flag change. One entry is always admitted even if it alone exceeds
+//! the budget — a daemon that cannot hold its working model would answer
+//! nothing. Memory stays bounded no matter how many distinct bundles a
+//! tenant streams in (pinned by the counting-allocator soak test).
 
 use super::proto::{
     read_frame_or_eof, verdict_from_outcome, write_frame, Frame, ProgressEvent, SubmitRequest,
@@ -73,8 +78,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission cap: queued + running jobs allowed per connection.
     pub max_pending: usize,
-    /// Resident-model cache capacity (distinct bundles kept warm).
-    pub cache_capacity: usize,
+    /// Resident-model cache budget in bytes (model + dataset footprint of
+    /// every warm bundle). At least one entry is always kept.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,7 +88,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             max_pending: 16,
-            cache_capacity: 4,
+            cache_bytes: 64 << 20,
         }
     }
 }
@@ -244,27 +250,35 @@ struct Resident {
     key: u64,
     bundle: VictimBundle,
     data: Dataset,
+    /// This entry's charge against the byte budget, computed once at
+    /// admission (bundles are immutable while resident).
+    bytes: usize,
     last_used: u64,
 }
 
 struct ResidentCache {
-    capacity: usize,
+    budget_bytes: usize,
     entries: Vec<Resident>,
+    resident_bytes: usize,
     tick: u64,
 }
 
 impl ResidentCache {
-    fn new(capacity: usize) -> Self {
+    fn new(budget_bytes: usize) -> Self {
         ResidentCache {
-            capacity: capacity.max(1),
+            budget_bytes: budget_bytes.max(1),
             entries: Vec::new(),
+            resident_bytes: 0,
             tick: 0,
         }
     }
 
     /// Looks the bundle up by content fingerprint, parsing and
     /// regenerating on a miss. Returns the resident entry index and
-    /// whether it was a hit.
+    /// whether it was a hit. Admission evicts least-recently-used entries
+    /// until the new entry's footprint fits the byte budget; the new entry
+    /// itself is always admitted (a budget smaller than one model still
+    /// keeps that model, just nothing else).
     fn get(&mut self, bytes: &[u8]) -> Result<(usize, bool), IoError> {
         self.tick += 1;
         let key = bundle_fingerprint(bytes);
@@ -272,22 +286,26 @@ impl ResidentCache {
             self.entries[i].last_used = self.tick;
             return Ok((i, true));
         }
-        let bundle = read_victim_bytes(bytes)?;
+        let mut bundle = read_victim_bytes(bytes)?;
         let data = bundle.data_spec.generate(bundle.data_seed);
-        if self.entries.len() >= self.capacity {
+        let footprint = bundle.victim.model.resident_bytes() + data.resident_bytes();
+        while !self.entries.is_empty() && self.resident_bytes + footprint > self.budget_bytes {
             let lru = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("cache is non-empty at capacity");
+                .expect("cache is non-empty");
+            self.resident_bytes -= self.entries[lru].bytes;
             self.entries.swap_remove(lru);
         }
+        self.resident_bytes += footprint;
         self.entries.push(Resident {
             key,
             bundle,
             data,
+            bytes: footprint,
             last_used: self.tick,
         });
         Ok((self.entries.len() - 1, false))
@@ -592,7 +610,7 @@ fn handle_submit(conn: u64, req: SubmitRequest, writer: &SharedWriter, shared: &
 }
 
 fn scheduler_loop(shared: &Arc<Shared>) {
-    let mut cache = ResidentCache::new(shared.config.cache_capacity);
+    let mut cache = ResidentCache::new(shared.config.cache_bytes);
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());

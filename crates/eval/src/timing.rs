@@ -673,6 +673,54 @@ mod tests {
     }
 
     #[test]
+    fn compare_skips_entries_absent_from_the_baseline() {
+        let totals = |method: &str, total: f64, stages: &[(&str, f64)]| BenchTotals {
+            method: method.to_owned(),
+            total,
+            stages: stages.iter().map(|(s, t)| ((*s).to_owned(), *t)).collect(),
+        };
+        let base = vec![
+            totals("NC", 1.0, &[("uap", 1.0)]),
+            totals("USB", 1.0, &[("uap", 0.5), ("refine", 0.5)]),
+            // Retired since the baseline was committed: present there,
+            // absent from the current run.
+            totals("Retired", 40.0, &[("uap", 40.0)]),
+        ];
+        // The current run adds a method the baseline has never seen (with
+        // a huge total that would wreck the machine-speed estimate if it
+        // were counted) and drops the retired one. Both must be skipped —
+        // not treated as zero-second baselines — so the shared methods
+        // compare clean.
+        let current = vec![
+            totals("NC", 1.0, &[("uap", 1.0)]),
+            totals("USB", 1.0, &[("uap", 0.5), ("refine", 0.5)]),
+            totals("NewKid", 50.0, &[("uap", 50.0)]),
+        ];
+        assert!(
+            compare_bench_totals(&current, &base, 0.25).is_empty(),
+            "methods absent from one side must not gate or skew the scale"
+        );
+        // A real regression among the shared methods is still caught with
+        // the absentees in the mix.
+        let mut regressed = current.clone();
+        regressed[1] = totals("USB", 2.0, &[("uap", 0.5), ("refine", 1.5)]);
+        let lines = compare_bench_totals(&regressed, &base, 0.25);
+        assert!(
+            lines.iter().any(|l| l.starts_with("USB/refine:")),
+            "shared-method regression missed among absentees: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .all(|l| !l.starts_with("NewKid") && !l.starts_with("Retired")),
+            "absent methods leaked into the gate: {lines:?}"
+        );
+        // No overlap at all: nothing to gate, not a spurious failure.
+        let disjoint = vec![totals("NewKid", 50.0, &[("uap", 50.0)])];
+        assert!(compare_bench_totals(&disjoint, &base, 0.25).is_empty());
+    }
+
+    #[test]
     fn compare_flags_only_regressions_beyond_tolerance() {
         let base = report_totals(&sample_report());
         // Identical run: no regressions.

@@ -1,9 +1,9 @@
 //! Composite layers: sequential stacks, residual blocks, squeeze-excite.
 
-use crate::layer::{Layer, Mode, ParamSlot};
+use crate::layer::{Layer, Mode, ParamSlot, StateSlot};
 use crate::layers::{Linear, ReLU, Sigmoid};
 use rand::Rng;
-use usb_tensor::{pool, Tape, Tensor, Workspace};
+use usb_tensor::{pool, Dtype, Tape, Tensor, Workspace};
 
 /// An ordered stack of layers applied one after another.
 ///
@@ -146,6 +146,18 @@ impl Layer for Sequential {
     fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
         for layer in &mut self.layers {
             layer.visit_state(f);
+        }
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_state_q(f);
+        }
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        for layer in &mut self.layers {
+            layer.quantize_weights(dtype);
         }
     }
 }
@@ -308,6 +320,16 @@ impl Layer for Residual {
     fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
         self.main.visit_state(f);
         self.shortcut.visit_state(f);
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        self.main.visit_state_q(f);
+        self.shortcut.visit_state_q(f);
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        self.main.quantize_weights(dtype);
+        self.shortcut.quantize_weights(dtype);
     }
 }
 
@@ -590,6 +612,16 @@ impl Layer for SqueezeExcite {
     fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
         self.fc1.visit_state(f);
         self.fc2.visit_state(f);
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        self.fc1.visit_state_q(f);
+        self.fc2.visit_state_q(f);
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        self.fc1.quantize_weights(dtype);
+        self.fc2.quantize_weights(dtype);
     }
 }
 

@@ -3,7 +3,7 @@
 //! tape-backed gradient route ([`Layer::infer_recording`] /
 //! [`Layer::grad`]).
 
-use usb_tensor::{Tape, Tensor, Workspace};
+use usb_tensor::{Dtype, QTensor, Tape, Tensor, Workspace};
 
 /// Whether a forward pass runs in training mode (batch statistics, caches
 /// for backward) or evaluation mode (running statistics).
@@ -17,6 +17,33 @@ pub enum Mode {
     /// Inference: use running statistics; backward still works and
     /// differentiates the frozen affine transform.
     Eval,
+}
+
+/// A mutable view of one persistent-state tensor as visited by
+/// [`Layer::visit_state_q`], distinguishing the slots that support
+/// low-precision storage from those that are always dense.
+///
+/// Only the *quantizable weights* — the GEMM operands of [`crate::layers::Linear`]
+/// and [`crate::layers::Conv2d`] — are `Weight` slots; biases, batch-norm
+/// parameters and running statistics, and depthwise kernels (tiny
+/// `[C, 1, KH, KW]` tensors whose kernels read them scalar-wise) stay
+/// `Dense` and therefore always persist in exact f32.
+pub enum StateSlot<'a> {
+    /// A state tensor that is always stored dense (exact f32).
+    Dense(&'a mut Tensor),
+    /// A quantizable GEMM weight. When `quant` is `Some`, the layer is in
+    /// low-precision inference mode: `dense` and `grad` are empty (their
+    /// buffers freed) and the kernels read `quant` through the workspace
+    /// dequant-panel cache.
+    Weight {
+        /// The dense f32 value (empty while `quant` is populated).
+        dense: &'a mut Tensor,
+        /// The gradient accumulator (freed alongside `dense` on
+        /// quantization — quantized weights are inference-only).
+        grad: &'a mut Tensor,
+        /// The quantized payload, if the layer holds one.
+        quant: &'a mut Option<QTensor>,
+    },
 }
 
 /// A mutable view of one parameter tensor and its gradient accumulator.
@@ -199,6 +226,38 @@ pub trait Layer: Send + Sync {
     fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
         let kind = self.name();
         self.visit_params(&mut |slot| f(kind, slot.value));
+    }
+
+    /// Dtype-aware sibling of [`Layer::visit_state`]: visits the same
+    /// tensors, in the same order, with the same kind tags, but hands out
+    /// [`StateSlot`]s so callers can see (and install) quantized payloads
+    /// on the slots that support them.
+    ///
+    /// The default wraps [`Layer::visit_state`], tagging every slot
+    /// [`StateSlot::Dense`] — correct for every layer without a
+    /// quantizable GEMM weight. [`crate::layers::Linear`] and
+    /// [`crate::layers::Conv2d`] override it to expose their weight as a
+    /// [`StateSlot::Weight`]; composites recurse.
+    ///
+    /// Invariant (pinned by the serde tests): the `(kind, slot)` sequence
+    /// of `visit_state_q` is the `(kind, tensor)` sequence of
+    /// `visit_state` — element `i` of one describes element `i` of the
+    /// other. The persistence layer depends on this to map records onto
+    /// slots.
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        self.visit_state(&mut |kind, tensor| f(kind, StateSlot::Dense(tensor)));
+    }
+
+    /// Converts this layer's quantizable weights to `dtype` in place,
+    /// freeing their dense value and gradient buffers. After this the
+    /// layer is **inference-only**: `infer`/`infer_recording`/`grad` keep
+    /// working (dequantizing on the fly), while `forward`/`backward`
+    /// panic and optimizers see no weight slot.
+    ///
+    /// The default is a no-op (layers without quantizable weights);
+    /// [`Dtype::F32`] is always a no-op. Composites recurse.
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        let _ = dtype;
     }
 }
 

@@ -1,18 +1,23 @@
 //! Dense and depthwise convolution layers.
 
-use crate::layer::{Layer, Mode, Param, ParamSlot};
+use crate::layer::{Layer, Mode, Param, ParamSlot, StateSlot};
 use rand::Rng;
 use usb_tensor::conv::{
-    conv2d_backward_ws, conv2d_forward_ws, conv2d_input_backward_ws, depthwise_backward,
-    depthwise_forward_ws, depthwise_input_backward, depthwise_input_backward_ws, ConvSpec,
+    conv2d_backward_ws, conv2d_forward_ref_ws, conv2d_forward_ws, conv2d_input_backward_ref_ws,
+    conv2d_input_backward_ws, depthwise_backward, depthwise_forward_ws, depthwise_input_backward,
+    depthwise_input_backward_ws, ConvSpec,
 };
-use usb_tensor::{init, Tape, Tensor, Workspace};
+use usb_tensor::{init, Dtype, QTensor, Tape, Tensor, WeightRef, Workspace};
 
 /// A 2-D convolution `[N, IC, H, W] -> [N, OC, OH, OW]`.
 ///
-/// Weights are Kaiming-uniform initialised with fan-in `IC·KH·KW`.
+/// Weights are Kaiming-uniform initialised with fan-in `IC·KH·KW`. Like
+/// [`super::Linear`], the weight can be swapped for a quantized payload,
+/// after which the layer is inference-only and the kernels dequantize
+/// through the workspace panel cache.
 pub struct Conv2d {
-    weight: Param,
+    weight: Param, // [OC, IC, KH, KW]; empty while `qweight` is populated
+    qweight: Option<QTensor>,
     bias: Option<Param>,
     spec: ConvSpec,
     cached_input: Option<Tensor>,
@@ -28,6 +33,7 @@ impl Clone for Conv2d {
     fn clone(&self) -> Self {
         Conv2d {
             weight: self.weight.clone(),
+            qweight: self.qweight.clone(),
             bias: self.bias.clone(),
             spec: self.spec,
             cached_input: None,
@@ -61,6 +67,7 @@ impl Conv2d {
         let bias = bias.then(|| Param::new(Tensor::zeros(&[out_ch]), false));
         Conv2d {
             weight,
+            qweight: None,
             bias,
             spec: ConvSpec::new(stride, pad),
             cached_input: None,
@@ -73,14 +80,26 @@ impl Conv2d {
         self.spec
     }
 
-    /// Immutable access to the weight tensor (e.g. for inspection in tests).
+    /// Immutable access to the dense weight tensor (e.g. for inspection in
+    /// tests). Empty while the layer is quantized.
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
+    }
+
+    fn weight_ref(&self) -> WeightRef<'_> {
+        match &self.qweight {
+            Some(q) => WeightRef::Quant(q),
+            None => WeightRef::Dense(&self.weight.value),
+        }
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Conv2d: training pass on a quantized (inference-only) layer"
+        );
         self.cached_input = Some(x.clone());
         conv2d_forward_ws(
             x,
@@ -92,6 +111,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Conv2d: training pass on a quantized (inference-only) layer"
+        );
         let x = self
             .cached_input
             .as_ref()
@@ -106,6 +129,10 @@ impl Layer for Conv2d {
     }
 
     fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Conv2d: training pass on a quantized (inference-only) layer"
+        );
         // dL/dx depends only on the weight; skipping dL/dW also skips the
         // im2col of the cached input — the dominant transient of the full
         // backward pass.
@@ -123,9 +150,11 @@ impl Layer for Conv2d {
     }
 
     fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        conv2d_forward_ws(
+        // The dense arm of the ref kernel runs the exact code the dense
+        // kernel does; the quantized arm swaps only the panel source.
+        conv2d_forward_ref_ws(
             x,
-            &self.weight.value,
+            self.weight_ref(),
             self.bias.as_ref().map(|b| &b.value),
             self.spec,
             ws,
@@ -148,20 +177,61 @@ impl Layer for Conv2d {
             "Conv2d: grad_out batch dim mismatch"
         );
         let (h, w) = (frame.aux[2], frame.aux[3]);
-        let gi = conv2d_input_backward_ws(&self.weight.value, grad_out, h, w, self.spec, ws);
+        let gi = conv2d_input_backward_ref_ws(self.weight_ref(), grad_out, h, w, self.spec, ws);
         tape.recycle(frame);
         gi
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
-        f(self.weight.slot());
+        // A quantized weight is invisible to optimisers and weight decay.
+        if self.qweight.is_none() {
+            f(self.weight.slot());
+        }
         if let Some(b) = self.bias.as_mut() {
             f(b.slot());
         }
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        // Always expose the dense weight slot (empty when quantized) so the
+        // (kind, tensor) sequence stays aligned with `visit_state_q`.
+        f("conv2d", &mut self.weight.value);
+        if let Some(b) = self.bias.as_mut() {
+            f("conv2d", &mut b.value);
+        }
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        f(
+            "conv2d",
+            StateSlot::Weight {
+                dense: &mut self.weight.value,
+                grad: &mut self.weight.grad,
+                quant: &mut self.qweight,
+            },
+        );
+        if let Some(b) = self.bias.as_mut() {
+            f("conv2d", StateSlot::Dense(&mut b.value));
+        }
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        if dtype == Dtype::F32 || self.qweight.is_some() {
+            return;
+        }
+        self.qweight = Some(QTensor::quantize(&self.weight.value, dtype));
+        // Free both dense buffers: `Param::new` allocates a full-size grad.
+        self.weight.value = Tensor::zeros(&[0]);
+        self.weight.grad = Tensor::zeros(&[0]);
+    }
+
     fn param_count(&self) -> usize {
-        self.weight.value.len() + self.bias.as_ref().map_or(0, |b| b.value.len())
+        // Logical counts: a quantized weight still holds OC·IC·KH·KW params.
+        let w: usize = match &self.qweight {
+            Some(q) => q.len(),
+            None => self.weight.value.len(),
+        };
+        w + self.bias.as_ref().map_or(0, |b| b.value.len())
     }
 
     fn name(&self) -> &'static str {
@@ -357,6 +427,43 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut c = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
         let _ = c.backward(&Tensor::ones(&[1, 1, 2, 2]));
+    }
+
+    /// Small integers are exact in f16, so quantized inference and the
+    /// tape-gradient path must be bit-identical to the dense ones.
+    #[test]
+    fn quantized_conv_matches_dense_on_f16_exact_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        c.visit_params(&mut |slot| {
+            *slot.value = Tensor::from_fn(slot.value.shape(), |i| ((i % 11) as f32) - 5.0);
+        });
+        let x = Tensor::from_fn(&[2, 2, 6, 6], |i| ((i % 7) as f32) * 0.5 - 1.5);
+        let mut ws = Workspace::default();
+        let dense_y = c.infer(&x, &mut ws);
+
+        let mut q = c.clone();
+        q.quantize_weights(Dtype::F16);
+        assert_eq!(q.param_count(), c.param_count());
+        let qy = q.infer(&x, &mut ws);
+        assert_eq!(qy.data(), dense_y.data());
+
+        let mut tape = Tape::default();
+        let _ = c.infer_recording(&x, &mut tape, &mut ws);
+        let g = Tensor::from_fn(dense_y.shape(), |i| ((i % 5) as f32) - 2.0);
+        let dense_gi = c.grad(&g, &mut tape, &mut ws);
+        let _ = q.infer_recording(&x, &mut tape, &mut ws);
+        let qgi = q.grad(&g, &mut tape, &mut ws);
+        assert_eq!(qgi.data(), dense_gi.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized")]
+    fn quantized_conv_rejects_training_forward() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut c = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
+        c.quantize_weights(Dtype::Q8);
+        let _ = c.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Train);
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Fully-connected layer and flattening.
 
-use crate::layer::{Layer, Mode, Param, ParamSlot};
+use crate::layer::{Layer, Mode, Param, ParamSlot, StateSlot};
 use rand::Rng;
-use usb_tensor::{init, ops, Tape, Tensor, Workspace};
+use usb_tensor::{init, ops, Dtype, QTensor, Tape, Tensor, Workspace};
 
 /// A dense layer `y = x Wᵀ + b` mapping `[N, in] -> [N, out]`.
+///
+/// The weight can be swapped for a quantized payload
+/// ([`Layer::quantize_weights`] or a low-precision bundle load), after
+/// which the layer is inference-only: `infer`/`grad` dequantize through
+/// the workspace panel cache, while the training entry points panic.
 pub struct Linear {
-    weight: Param, // [out, in]
-    bias: Param,   // [out]
+    weight: Param, // [out, in]; empty while `qweight` is populated
+    qweight: Option<QTensor>,
+    bias: Param, // [out], always dense
     cached_input: Option<Tensor>,
 }
 
@@ -17,6 +23,7 @@ impl Clone for Linear {
     fn clone(&self) -> Self {
         Linear {
             weight: self.weight.clone(),
+            qweight: self.qweight.clone(),
             bias: self.bias.clone(),
             cached_input: None,
         }
@@ -39,24 +46,42 @@ impl Linear {
                 init::kaiming_uniform(&[out_features, in_features], in_features, rng),
                 true,
             ),
+            qweight: None,
             bias: Param::new(Tensor::zeros(&[out_features]), false),
             cached_input: None,
         }
     }
 
+    fn weight_shape(&self) -> &[usize] {
+        match &self.qweight {
+            Some(q) => q.shape(),
+            None => self.weight.value.shape(),
+        }
+    }
+
     /// Output dimensionality.
     pub fn out_features(&self) -> usize {
-        self.weight.value.shape()[0]
+        self.weight_shape()[0]
     }
 
     /// Input dimensionality.
     pub fn in_features(&self) -> usize {
-        self.weight.value.shape()[1]
+        self.weight_shape()[1]
+    }
+
+    /// The quantized weight payload, if the layer is in low-precision
+    /// inference mode.
+    pub fn qweight(&self) -> Option<&QTensor> {
+        self.qweight.as_ref()
     }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Linear: training pass on a quantized (inference-only) layer"
+        );
         assert_eq!(x.ndim(), 2, "Linear: input must be [N, in]");
         assert_eq!(
             x.shape()[1],
@@ -80,6 +105,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Linear: training pass on a quantized (inference-only) layer"
+        );
         let x = self
             .cached_input
             .as_ref()
@@ -97,6 +126,10 @@ impl Layer for Linear {
     }
 
     fn input_backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Linear: training pass on a quantized (inference-only) layer"
+        );
         // dL/dx = g W — the dL/dW and dL/db terms of `backward` are
         // skipped, not needed for input-space optimisation.
         let x = self
@@ -120,14 +153,19 @@ impl Layer for Linear {
             self.in_features(),
             x.shape()[1]
         );
-        let (n, out) = (x.shape()[0], self.out_features());
+        let (n, out, inf) = (x.shape()[0], self.out_features(), self.in_features());
         let mut y = ws.take_dirty(n * out);
         // x @ Wᵀ with W packed k-major once per weight version and reused
         // across calls. Each output element is the same ascending-`k` dot
         // product `Σ x[i,k]·W[j,k]` that `forward`'s transb kernel computes,
-        // so results stay bit-identical.
-        let wt = ws.packed_transpose(&self.weight.value, out, self.in_features());
-        ops::matmul_into(x.data(), wt, n, self.in_features(), out, &mut y);
+        // so results stay bit-identical. A quantized weight dequantizes into
+        // the same panel cache once per content-id — steady-state calls hit
+        // an identical unit-stride f32 panel.
+        let wt = match &self.qweight {
+            None => ws.packed_transpose(&self.weight.value, out, inf),
+            Some(q) => ws.packed_dequant(q, out, inf),
+        };
+        ops::matmul_into(x.data(), wt, n, inf, out, &mut y);
         let bd = self.bias.value.data();
         for i in 0..n {
             for (v, &b) in y[i * out..(i + 1) * out].iter_mut().zip(bd) {
@@ -154,27 +192,61 @@ impl Layer for Linear {
         let (n, out, inf) = (grad_out.shape()[0], self.out_features(), self.in_features());
         assert_eq!(grad_out.shape()[1], out, "Linear: grad_out width mismatch");
         // dL/dx = g W — the same GEMM kernel `input_backward`'s
-        // `ops::matmul` wraps, so bit-identical.
+        // `ops::matmul` wraps, so bit-identical. The quantized path reads W
+        // from a natural-order dequant panel instead; `gi` is checked out
+        // first so no workspace buffer is taken while the panel is borrowed.
         let mut gi = ws.take_dirty(n * inf);
-        ops::matmul_into(
-            grad_out.data(),
-            self.weight.value.data(),
-            n,
-            out,
-            inf,
-            &mut gi,
-        );
+        let wd: &[f32] = match &self.qweight {
+            None => self.weight.value.data(),
+            Some(q) => ws.dequant_panel(q),
+        };
+        ops::matmul_into(grad_out.data(), wd, n, out, inf, &mut gi);
         tape.recycle(frame);
         Tensor::from_vec(gi, &[n, inf])
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamSlot<'_>)) {
-        f(self.weight.slot());
+        // A quantized weight is invisible to optimisers and weight decay —
+        // its dense storage is empty and must not be updated or counted.
+        if self.qweight.is_none() {
+            f(self.weight.slot());
+        }
         f(self.bias.slot());
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
+        // Always expose the dense weight slot (empty when quantized) so the
+        // (kind, tensor) sequence stays aligned with `visit_state_q`.
+        f("linear", &mut self.weight.value);
+        f("linear", &mut self.bias.value);
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        f(
+            "linear",
+            StateSlot::Weight {
+                dense: &mut self.weight.value,
+                grad: &mut self.weight.grad,
+                quant: &mut self.qweight,
+            },
+        );
+        f("linear", StateSlot::Dense(&mut self.bias.value));
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        if dtype == Dtype::F32 || self.qweight.is_some() {
+            return;
+        }
+        self.qweight = Some(QTensor::quantize(&self.weight.value, dtype));
+        // Free both dense buffers: `Param::new` allocates a full-size grad.
+        self.weight.value = Tensor::zeros(&[0]);
+        self.weight.grad = Tensor::zeros(&[0]);
+    }
+
     fn param_count(&self) -> usize {
-        self.weight.value.len() + self.bias.value.len()
+        // Logical counts: a quantized weight still holds out·in parameters.
+        let w: usize = self.weight_shape().iter().product();
+        w + self.bias.value.len()
     }
 
     fn name(&self) -> &'static str {
@@ -323,5 +395,64 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut l = Linear::new(3, 2, &mut rng);
         let _ = l.forward(&Tensor::zeros(&[1, 4]), Mode::Eval);
+    }
+
+    /// Small integers are exact in f16, so the quantized inference and
+    /// tape-gradient paths must be bit-identical to the dense ones.
+    #[test]
+    fn quantized_linear_matches_dense_on_f16_exact_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(4, 3, &mut rng);
+        l.visit_params(&mut |slot| {
+            let ints = Tensor::from_fn(slot.value.shape(), |i| (i as f32) - 5.0);
+            *slot.value = ints;
+        });
+        let x = Tensor::from_fn(&[2, 4], |i| (i as f32) * 0.25 - 1.0);
+        let mut ws = Workspace::default();
+        let dense_y = l.infer(&x, &mut ws);
+
+        let mut q = l.clone();
+        q.quantize_weights(Dtype::F16);
+        assert_eq!(q.out_features(), 3);
+        assert_eq!(q.in_features(), 4);
+        assert_eq!(q.param_count(), l.param_count());
+        let qy = q.infer(&x, &mut ws);
+        assert_eq!(qy.data(), dense_y.data());
+
+        let mut tape = Tape::default();
+        let _ = l.infer_recording(&x, &mut tape, &mut ws);
+        let g = Tensor::from_fn(&[2, 3], |i| 1.0 + i as f32);
+        let dense_gi = l.grad(&g, &mut tape, &mut ws);
+        let _ = q.infer_recording(&x, &mut tape, &mut ws);
+        let qgi = q.grad(&g, &mut tape, &mut ws);
+        assert_eq!(qgi.data(), dense_gi.data());
+    }
+
+    #[test]
+    fn quantized_linear_hides_weight_from_optimizers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.quantize_weights(Dtype::Q8);
+        let mut slots = 0usize;
+        l.visit_params(&mut |slot| {
+            assert_eq!(slot.value.shape(), [2usize], "only the bias is left");
+            slots += 1;
+        });
+        assert_eq!(slots, 1);
+        // The state walk still exposes an aligned weight slot.
+        let mut kinds = Vec::new();
+        l.visit_state_q(&mut |kind, slot| {
+            kinds.push((kind, matches!(slot, StateSlot::Weight { .. })));
+        });
+        assert_eq!(kinds, [("linear", true), ("linear", false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized")]
+    fn quantized_linear_rejects_training_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.quantize_weights(Dtype::F16);
+        let _ = l.forward(&Tensor::zeros(&[1, 3]), Mode::Train);
     }
 }

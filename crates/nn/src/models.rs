@@ -12,14 +12,14 @@
 //! DESIGN.md for the substitution argument).
 
 use crate::compose::{Residual, Sequential, SqueezeExcite};
-use crate::layer::{Layer, Mode, ParamSlot};
+use crate::layer::{Layer, Mode, ParamSlot, StateSlot};
 use crate::layers::{
     AvgPool2d, BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d,
     ReLU, SiLU,
 };
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use usb_tensor::{ops, Tape, Tensor, Workspace};
+use usb_tensor::{ops, Dtype, Tape, Tensor, Workspace};
 
 /// Which of the paper's architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -395,6 +395,57 @@ impl Network {
         ws.recycle(g);
         (logits, gi)
     }
+
+    /// Converts every GEMM weight (Linear / Conv2d) to the given storage
+    /// dtype, freeing the dense copies. `Dtype::F32` is a no-op. The network
+    /// becomes inference-only: training entry points panic afterwards.
+    pub fn quantize_weights(&mut self, dtype: Dtype) {
+        Layer::quantize_weights(&mut self.features, dtype);
+        Layer::quantize_weights(&mut self.classifier, dtype);
+    }
+
+    /// The storage dtype of the GEMM weights: `Some(F16)`/`Some(Q8)` when
+    /// every quantizable weight carries that payload, `Some(F32)` for a
+    /// dense network, `None` for a mixed state (which only a bug or a
+    /// hand-edited bundle can produce).
+    pub fn weight_dtype(&mut self) -> Option<Dtype> {
+        let mut dtype: Option<Dtype> = Some(Dtype::F32);
+        let mut first = true;
+        self.visit_state_q(&mut |_, slot| {
+            if let StateSlot::Weight { quant, .. } = slot {
+                let d = quant.as_ref().map_or(Dtype::F32, |q| q.dtype());
+                if first {
+                    dtype = Some(d);
+                    first = false;
+                } else if dtype != Some(d) {
+                    dtype = None;
+                }
+            }
+        });
+        dtype
+    }
+
+    /// Bytes of tensor payload this network keeps resident: dense state
+    /// plus quantized payloads plus the gradient buffers optimisers see.
+    /// This is the model component of a serve-cache entry's footprint.
+    pub fn resident_bytes(&mut self) -> usize {
+        // Values (incl. batch-norm running stats) via the state walk; the
+        // Weight arm adds the quantized payload. Gradient buffers via
+        // visit_params — which skips quantized weights, whose grads are
+        // empty anyway — so nothing is counted twice.
+        let mut bytes = 0usize;
+        self.visit_state_q(&mut |_, slot| match slot {
+            StateSlot::Dense(t) => bytes += 4 * t.len(),
+            StateSlot::Weight { dense, quant, .. } => {
+                bytes += 4 * dense.len();
+                if let Some(q) = quant {
+                    bytes += q.byte_len();
+                }
+            }
+        });
+        self.visit_params(&mut |slot| bytes += 4 * slot.grad.len());
+        bytes
+    }
 }
 
 impl Layer for Network {
@@ -434,6 +485,15 @@ impl Layer for Network {
     fn visit_state(&mut self, f: &mut dyn FnMut(&'static str, &mut Tensor)) {
         self.features.visit_state(f);
         self.classifier.visit_state(f);
+    }
+
+    fn visit_state_q(&mut self, f: &mut dyn FnMut(&'static str, StateSlot<'_>)) {
+        self.features.visit_state_q(f);
+        self.classifier.visit_state_q(f);
+    }
+
+    fn quantize_weights(&mut self, dtype: Dtype) {
+        Network::quantize_weights(self, dtype);
     }
 }
 
@@ -721,6 +781,32 @@ mod tests {
         let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 3).with_width(4);
         let mut net = arch.build(&mut rng);
         let _ = net.forward(&Tensor::zeros(&[1, 3, 12, 12]), Mode::Eval);
+    }
+
+    #[test]
+    fn quantized_network_reports_dtype_and_shrinks() {
+        let arch = Architecture::new(ModelKind::BasicCnn, (1, 12, 12), 3).with_width(4);
+        let mut net = arch.build(&mut StdRng::seed_from_u64(5));
+        assert_eq!(net.weight_dtype(), Some(Dtype::F32));
+        let params = net.param_count();
+        let dense_bytes = net.resident_bytes();
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| (i as f32 * 0.03).sin());
+        let mut ws = Workspace::new();
+        let dense_logits = net.infer(&x, &mut ws);
+
+        net.quantize_weights(Dtype::Q8);
+        assert_eq!(net.weight_dtype(), Some(Dtype::Q8));
+        assert_eq!(net.param_count(), params, "logical count must not change");
+        let q_bytes = net.resident_bytes();
+        assert!(
+            q_bytes * 2 < dense_bytes,
+            "Q8 resident bytes {q_bytes} should be well under half of {dense_bytes}"
+        );
+        let q_logits = net.infer(&x, &mut ws);
+        assert!(q_logits.all_finite());
+        for (a, b) in q_logits.data().iter().zip(dense_logits.data()) {
+            assert!((a - b).abs() < 0.25, "Q8 logit drifted too far: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -14,28 +14,37 @@
 //! visitation order, verifying kind and shape as it goes.
 //!
 //! Because the payload is the bit-exact `f32` image of every parameter and
-//! buffer, a loaded network's forward passes — and therefore any defense
-//! verdict computed on it — are **bit-identical** to the original's
-//! (`tests/persistence_roundtrip.rs` enforces this). Optimizer state and
-//! forward caches are transient and not persisted.
+//! buffer, a loaded f32 network's forward passes — and therefore any
+//! defense verdict computed on it — are **bit-identical** to the
+//! original's (`tests/persistence_roundtrip.rs` enforces this). Optimizer
+//! state and forward caches are transient and not persisted.
 //!
-//! # Network blob layout (format version 1, little-endian)
+//! Version 2 adds low-precision weight storage: a `u8` weight dtype in the
+//! header (a cheap sniff — the per-record dtype tags are authoritative and
+//! must agree with it), and GEMM weights may be stored as `f16` or `Q8`
+//! records ([`usb_tensor::QTensor`]). Loading such a blob reconstructs a
+//! *quantized* network: the payload is installed verbatim on the weight
+//! slots and dequantized on the fly at inference; training entry points
+//! panic. Non-GEMM state (biases, batch-norm) always stays f32.
+//!
+//! # Network blob layout (format version 2, little-endian)
 //!
 //! ```text
 //! 4   magic b"USBN"
-//! 2   u16 format version (currently 1)
+//! 2   u16 format version (currently 2)
 //! 1   u8 model kind (0 BasicCnn, 1 ResNet18, 2 Vgg16, 3 EfficientNetB0)
 //! 4   u32 input channels     ┐
 //! 4   u32 input height       │ the Architecture the topology is
 //! 4   u32 input width        │ rebuilt from
 //! 4   u32 num_classes        │
 //! 4   u32 width multiplier   ┘
+//! 1   u8 weight dtype (0 f32, 1 f16, 2 q8)
 //! 4   u32 state-tensor count
 //!     per state tensor: kind string (u16 len + UTF-8) + tensor record
 //!     (see usb_tensor::io for the tensor record bytes)
 //! ```
 
-use crate::layer::Layer;
+use crate::layer::{Layer, StateSlot};
 use crate::models::{Architecture, ModelKind, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,15 +52,16 @@ use std::fs;
 use std::io::{Read, Write};
 use std::path::Path;
 use usb_tensor::io::{
-    expect_magic, expect_version, read_str, read_tensor, read_u32, write_str, write_tensor,
-    write_u16, write_u32, IoError,
+    expect_magic, expect_version, read_str, read_tensor_record, read_u32, write_qtensor, write_str,
+    write_tensor, write_u16, write_u32, IoError, TensorRecord,
 };
+use usb_tensor::{Dtype, QTensor, Tensor};
 
 /// Magic bytes opening a serialized network.
 pub const NETWORK_MAGIC: [u8; 4] = *b"USBN";
 
 /// Current network-blob format version.
-pub const NETWORK_VERSION: u16 = 1;
+pub const NETWORK_VERSION: u16 = 2;
 
 fn model_kind_tag(kind: ModelKind) -> u8 {
     match kind {
@@ -104,24 +114,58 @@ fn read_architecture(r: &mut impl Read) -> Result<Architecture, IoError> {
     Ok(Architecture::new(kind, (c, h, w), classes).with_width(width))
 }
 
-/// Serializes `net` as a self-delimiting network blob.
+/// Serializes `net` as a self-delimiting network blob, preserving its
+/// current weight storage (dense networks write f32 records, quantized
+/// networks write their quantized payloads verbatim).
 ///
 /// Takes `&mut` because state visitation shares the mutable
 /// [`Layer::visit_params`] plumbing; the network is not modified.
 pub fn write_network(w: &mut impl Write, net: &mut Network) -> Result<(), IoError> {
+    let dtype = net.weight_dtype().ok_or_else(|| {
+        IoError::format("network has mixed weight dtypes and cannot be serialized")
+    })?;
+    write_network_dtype(w, net, dtype)
+}
+
+/// Serializes `net` with its GEMM weights stored as `dtype`, quantizing
+/// dense weights on the fly (the in-memory network is not modified). A
+/// network that is *already* quantized can only be written at its own
+/// dtype — cross-dtype re-quantization would silently compound rounding
+/// error, so it is an error instead.
+pub fn write_network_dtype(
+    w: &mut impl Write,
+    net: &mut Network,
+    dtype: Dtype,
+) -> Result<(), IoError> {
+    let current = net.weight_dtype().ok_or_else(|| {
+        IoError::format("network has mixed weight dtypes and cannot be serialized")
+    })?;
+    if current != Dtype::F32 && current != dtype {
+        return Err(IoError::format(format!(
+            "network weights are already {current} and cannot be re-quantized to {dtype}"
+        )));
+    }
     w.write_all(&NETWORK_MAGIC)?;
     write_u16(w, NETWORK_VERSION)?;
     write_architecture(w, net.arch())?;
+    w.write_all(&[dtype.tag()])?;
     // First pass: count entries (the traversal is cheap — no copies).
     let mut count: u32 = 0;
-    net.visit_state(&mut |_, _| count += 1);
+    net.visit_state_q(&mut |_, _| count += 1);
     write_u32(w, count)?;
     let mut result = Ok(());
-    net.visit_state(&mut |kind, tensor| {
+    net.visit_state_q(&mut |kind, slot| {
         if result.is_err() {
             return;
         }
-        result = write_str(w, kind).and_then(|()| write_tensor(w, tensor));
+        result = write_str(w, kind).and_then(|()| match slot {
+            StateSlot::Dense(tensor) => write_tensor(w, tensor),
+            StateSlot::Weight { dense, quant, .. } => match quant {
+                Some(q) => write_qtensor(w, q),
+                None if dtype == Dtype::F32 => write_tensor(w, dense),
+                None => write_qtensor(w, &QTensor::quantize(dense, dtype)),
+            },
+        });
     });
     result
 }
@@ -139,12 +183,20 @@ pub fn read_network(r: &mut impl Read) -> Result<Network, IoError> {
     expect_magic(r, &NETWORK_MAGIC, "network blob")?;
     expect_version(r, NETWORK_VERSION, "network blob")?;
     let arch = read_architecture(r)?;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let header_dtype = Dtype::from_tag(tag[0]).ok_or_else(|| {
+        IoError::format(format!(
+            "unknown weight dtype tag {} (this build knows f32/f16/q8)",
+            tag[0]
+        ))
+    })?;
     let count = read_u32(r)? as usize;
     // The build rng only sets initial weights, which are overwritten below;
     // any seed yields the same topology.
     let mut net = arch.build(&mut StdRng::seed_from_u64(0));
     let mut expected: u32 = 0;
-    net.visit_state(&mut |_, _| expected += 1);
+    net.visit_state_q(&mut |_, _| expected += 1);
     if count != expected as usize {
         return Err(IoError::format(format!(
             "network blob has {count} state tensors but the {:?} topology has {expected}",
@@ -152,32 +204,81 @@ pub fn read_network(r: &mut impl Read) -> Result<Network, IoError> {
         )));
     }
     // Decode all records first (reader calls can fail; the visitor cannot).
-    let mut records = Vec::with_capacity(count);
+    let mut records: Vec<(String, Option<TensorRecord>)> = Vec::with_capacity(count);
     for i in 0..count {
         let kind = read_str(r)?;
-        let tensor = read_tensor(r)
+        let record = read_tensor_record(r)
             .map_err(|e| IoError::format(format!("state tensor {i} ({kind}): {e}")))?;
-        records.push((kind, tensor));
+        records.push((kind, Some(record)));
     }
     let mut idx = 0usize;
     let mut mismatch: Option<String> = None;
-    net.visit_state(&mut |kind, tensor| {
+    net.visit_state_q(&mut |kind, slot| {
         if mismatch.is_some() {
             return;
         }
-        let (stored_kind, stored) = &records[idx];
+        let (stored_kind, record) = &mut records[idx];
         if stored_kind != kind {
             mismatch = Some(format!(
                 "state tensor {idx}: stored layer kind {stored_kind:?} but topology expects {kind:?}"
             ));
-        } else if stored.shape() != tensor.shape() {
-            mismatch = Some(format!(
-                "state tensor {idx} ({kind}): stored shape {:?} but topology expects {:?}",
-                stored.shape(),
-                tensor.shape()
-            ));
-        } else {
-            tensor.data_mut().copy_from_slice(stored.data());
+            return;
+        }
+        // The header dtype is a sniffable summary; every record must agree
+        // with it so a corrupt or hand-edited blob fails loudly.
+        match (record.take().expect("record visited twice"), slot) {
+            (TensorRecord::Dense(stored), StateSlot::Dense(tensor)) => {
+                if stored.shape() != tensor.shape() {
+                    mismatch = Some(format!(
+                        "state tensor {idx} ({kind}): stored shape {:?} but topology expects {:?}",
+                        stored.shape(),
+                        tensor.shape()
+                    ));
+                } else {
+                    tensor.data_mut().copy_from_slice(stored.data());
+                }
+            }
+            (TensorRecord::Dense(stored), StateSlot::Weight { dense, .. }) => {
+                if header_dtype != Dtype::F32 {
+                    mismatch = Some(format!(
+                        "state tensor {idx} ({kind}): f32 weight record in a {header_dtype} blob"
+                    ));
+                } else if stored.shape() != dense.shape() {
+                    mismatch = Some(format!(
+                        "state tensor {idx} ({kind}): stored shape {:?} but topology expects {:?}",
+                        stored.shape(),
+                        dense.shape()
+                    ));
+                } else {
+                    dense.data_mut().copy_from_slice(stored.data());
+                }
+            }
+            (TensorRecord::Quant(q), StateSlot::Weight { dense, grad, quant }) => {
+                if q.dtype() != header_dtype {
+                    mismatch = Some(format!(
+                        "state tensor {idx} ({kind}): {} weight record in a {header_dtype} blob",
+                        q.dtype()
+                    ));
+                } else if q.shape() != dense.shape() {
+                    mismatch = Some(format!(
+                        "state tensor {idx} ({kind}): stored shape {:?} but topology expects {:?}",
+                        q.shape(),
+                        dense.shape()
+                    ));
+                } else {
+                    // Install the payload and free the dense buffers the
+                    // topology build allocated — the whole point of a
+                    // low-precision bundle is the resident saving.
+                    *dense = Tensor::zeros(&[0]);
+                    *grad = Tensor::zeros(&[0]);
+                    *quant = Some(q);
+                }
+            }
+            (TensorRecord::Quant(_), StateSlot::Dense(_)) => {
+                mismatch = Some(format!(
+                    "state tensor {idx} ({kind}): quantized record on a non-weight slot"
+                ));
+            }
         }
         idx += 1;
     });
@@ -185,6 +286,23 @@ pub fn read_network(r: &mut impl Read) -> Result<Network, IoError> {
         Some(msg) => Err(IoError::format(msg)),
         None => Ok(net),
     }
+}
+
+/// Reads just the weight-dtype byte from a network blob header (magic,
+/// version, architecture, dtype) without decoding any tensor records — the
+/// cheap sniff `usb_repro inspect`/`serve` use to report bundle precision.
+pub fn peek_weight_dtype(r: &mut impl Read) -> Result<Dtype, IoError> {
+    expect_magic(r, &NETWORK_MAGIC, "network blob")?;
+    expect_version(r, NETWORK_VERSION, "network blob")?;
+    let _ = read_architecture(r)?;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Dtype::from_tag(tag[0]).ok_or_else(|| {
+        IoError::format(format!(
+            "unknown weight dtype tag {} (this build knows f32/f16/q8)",
+            tag[0]
+        ))
+    })
 }
 
 /// Saves a network to `path` (creating parent directories).
@@ -252,6 +370,78 @@ mod tests {
     #[test]
     fn efficientnet_roundtrips() {
         roundtrip(ModelKind::EfficientNetB0, (3, 8, 8));
+    }
+
+    #[test]
+    fn quantized_blob_roundtrips_bit_exactly_and_is_smaller() {
+        let mut net = trained_ish(ModelKind::BasicCnn, (1, 12, 12));
+        let mut f32_buf = Vec::new();
+        write_network(&mut f32_buf, &mut net).unwrap();
+
+        let mut q8_buf = Vec::new();
+        write_network_dtype(&mut q8_buf, &mut net, Dtype::Q8).unwrap();
+        assert!(
+            q8_buf.len() * 2 < f32_buf.len(),
+            "q8 blob {} should be well under half of f32 {}",
+            q8_buf.len(),
+            f32_buf.len()
+        );
+        assert_eq!(
+            peek_weight_dtype(&mut q8_buf.as_slice()).unwrap(),
+            Dtype::Q8
+        );
+        assert_eq!(
+            peek_weight_dtype(&mut f32_buf.as_slice()).unwrap(),
+            Dtype::F32
+        );
+
+        // A load of the quantized blob must agree bit-exactly with the
+        // in-memory quantization of the same network: both run the same
+        // dequantized payload through the same kernels.
+        let mut back = read_network(&mut q8_buf.as_slice()).unwrap();
+        assert_eq!(back.weight_dtype(), Some(Dtype::Q8));
+        net.quantize_weights(Dtype::Q8);
+        let x = Tensor::from_fn(&[2, 1, 12, 12], |i| ((i as f32) * 0.2).cos());
+        let mut ws = usb_tensor::Workspace::new();
+        let ya = net.infer(&x, &mut ws);
+        let yb = back.infer(&x, &mut ws);
+        assert_eq!(ya.data(), yb.data());
+
+        // An already-quantized network re-serializes its payload verbatim.
+        let mut again = Vec::new();
+        write_network(&mut again, &mut back).unwrap();
+        assert_eq!(again, q8_buf);
+    }
+
+    #[test]
+    fn requantizing_across_dtypes_is_an_error() {
+        let mut net = trained_ish(ModelKind::BasicCnn, (1, 12, 12));
+        net.quantize_weights(Dtype::F16);
+        let mut buf = Vec::new();
+        let err = write_network_dtype(&mut buf, &mut net, Dtype::Q8).unwrap_err();
+        assert!(err.to_string().contains("re-quantized"), "{err}");
+    }
+
+    #[test]
+    fn header_and_record_dtype_must_agree() {
+        let mut net = trained_ish(ModelKind::BasicCnn, (1, 12, 12));
+        let mut buf = Vec::new();
+        write_network_dtype(&mut buf, &mut net, Dtype::F16).unwrap();
+        // Header dtype byte sits right after magic+version+architecture.
+        let dtype_at = 4 + 2 + 21;
+        assert_eq!(buf[dtype_at], Dtype::F16.tag());
+        buf[dtype_at] = Dtype::Q8.tag();
+        let err = match read_network(&mut buf.as_slice()) {
+            Err(err) => err,
+            Ok(_) => panic!("mismatched header dtype decoded successfully"),
+        };
+        assert!(err.to_string().contains("blob"), "{err}");
+        buf[dtype_at] = 9;
+        let err = match read_network(&mut buf.as_slice()) {
+            Err(err) => err,
+            Ok(_) => panic!("unknown dtype tag decoded successfully"),
+        };
+        assert!(err.to_string().contains("dtype tag"), "{err}");
     }
 
     #[test]

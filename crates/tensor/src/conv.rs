@@ -11,6 +11,7 @@
 //! because the defenses in this workspace optimise over the *input space*
 //! (triggers, masks, universal perturbations).
 
+use crate::quant::WeightRef;
 use crate::{ops, Tensor, Workspace};
 
 /// Geometry of a convolution: strides and symmetric zero padding.
@@ -359,7 +360,29 @@ pub fn conv2d_input_backward_ws(
     spec: ConvSpec,
     ws: &mut Workspace,
 ) -> Tensor {
-    let (oc, ic, kh, kw) = dims4(weight);
+    conv2d_input_backward_ref_ws(WeightRef::Dense(weight), grad_out, h, w, spec, ws)
+}
+
+/// [`conv2d_input_backward_ws`] generalized over the weight precision.
+///
+/// The dense arm is the exact pre-quantization code path (bit-identical
+/// results); a quantized weight goes through [`Workspace::dequant_panel`]
+/// — its `[OC, IC·KH·KW]` row-major layout is already the k-major panel
+/// `Wᵀ@g` consumes, so the panel is a straight dequantization, cached per
+/// content id with zero steady-state cost.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_input_backward_ref_ws(
+    weight: WeightRef<'_>,
+    grad_out: &Tensor,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> Tensor {
+    let (oc, ic, kh, kw) = dims4_ref(&weight);
     let (n, goc, oh, ow) = dims4(grad_out);
     assert_eq!(goc, oc, "conv2d_input_backward: channel mismatch");
     assert_eq!(
@@ -370,7 +393,6 @@ pub fn conv2d_input_backward_ws(
     let rows = ic * kh * kw;
     let cols = oh * ow;
     let wide = n * cols;
-    let wd = weight.data(); // [OC, IC·KH·KW] row-major: already k-major for Wᵀ@g
     let god = grad_out.data();
     // Interleave [N, OC, cols] → [OC, N·cols] so one wide GEMM covers the
     // whole batch (the per-image `cols` is tiny on deep layers, far below
@@ -383,6 +405,13 @@ pub fn conv2d_input_backward_ws(
         }
     }
     let mut grad_cols = ws.take_dirty(rows * wide);
+    // All scratch checkouts happen above: the panel borrow below must be
+    // the workspace's last, ending at the GEMM call.
+    let wd: &[f32] = match weight {
+        // [OC, IC·KH·KW] row-major: already k-major for Wᵀ@g.
+        WeightRef::Dense(t) => t.data(),
+        WeightRef::Quant(q) => ws.dequant_panel(q),
+    };
     ops::matmul_transa_into(wd, &go_wide, rows, oc, wide, &mut grad_cols);
     let mut grad_input = ws.take_dirty(n * ic * h * w);
     for i in 0..n {
@@ -523,10 +552,31 @@ pub fn conv2d_forward_ws(
     spec: ConvSpec,
     ws: &mut Workspace,
 ) -> Tensor {
+    conv2d_forward_ref_ws(input, WeightRef::Dense(weight), bias, spec, ws)
+}
+
+/// [`conv2d_forward_ws`] generalized over the weight precision.
+///
+/// The dense arm is the exact pre-quantization code path (bit-identical
+/// results, pinned by `tests/kernel_reference.rs`); a quantized weight
+/// goes through [`Workspace::packed_dequant`], which unpacks + transposes
+/// the panel once per content id — the GEMM tiles themselves see the same
+/// unit-stride f32 panels either way, so the steady-state dequantization
+/// cost is zero.
+///
+/// # Panics
+///
+/// Panics on any rank or channel-count mismatch.
+pub fn conv2d_forward_ref_ws(
+    input: &Tensor,
+    weight: WeightRef<'_>,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(input.ndim(), 4, "conv2d: input must be [N,IC,H,W]");
-    assert_eq!(weight.ndim(), 4, "conv2d: weight must be [OC,IC,KH,KW]");
     let (n, ic, h, w) = dims4(input);
-    let (oc, wic, kh, kw) = dims4(weight);
+    let (oc, wic, kh, kw) = dims4_ref(&weight);
     assert_eq!(
         ic, wic,
         "conv2d: input channels {ic} != weight channels {wic}"
@@ -552,7 +602,11 @@ pub fn conv2d_forward_ws(
     let mut out = ws.take_dirty(n * oc * cols);
     // weight is [OC, IC, KH, KW] row-major == the [OC, IC·KH·KW] GEMM
     // matrix; packed k-major once per weight version, then one wide GEMM.
-    let wt = ws.packed_transpose(weight, oc, rows);
+    // (The panel fetch is the workspace's last borrow before the GEMM.)
+    let wt: &[f32] = match weight {
+        WeightRef::Dense(t) => ws.packed_transpose(t, oc, rows),
+        WeightRef::Quant(q) => ws.packed_dequant(q, oc, rows),
+    };
     ops::matmul_transa_into(wt, &cols_all, oc, rows, wide, &mut out_wide);
     // Un-interleave [OC, N·cols] → [N, OC, cols], fusing the bias add.
     for i in 0..n {
@@ -914,6 +968,12 @@ pub fn conv2d_valid_single_adjoint(grad: &Tensor, ker: &Tensor, h: usize, w: usi
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(t.ndim(), 4, "expected rank-4 tensor, got {:?}", t.shape());
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+fn dims4_ref(w: &WeightRef<'_>) -> (usize, usize, usize, usize) {
+    let s = w.shape();
+    assert_eq!(s.len(), 4, "expected rank-4 weight, got {s:?}");
+    (s[0], s[1], s[2], s[3])
 }
 
 #[cfg(test)]

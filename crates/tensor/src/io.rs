@@ -2,25 +2,33 @@
 //! endian read/write primitives the higher persistence layers
 //! (`usb_nn::serde`, `usb_attacks::persist`) are built from.
 //!
-//! # On-disk tensor record (format version 1)
+//! # On-disk tensor record (format version 2)
 //!
-//! All multi-byte values are **little-endian**; the payload is the tensor's
-//! row-major `f32` buffer, bit-exact (no quantisation, no compression):
+//! All multi-byte values are **little-endian**; the payload encoding is
+//! selected by the dtype tag — `f32` payloads are the tensor's row-major
+//! buffer, bit-exact (no quantisation, no compression); `f16`/`q8`
+//! payloads are the [`crate::quant`] codecs' byte streams:
 //!
 //! ```text
 //! offset  size        field
 //! 0       4           magic b"USBT"
-//! 4       2           u16 format version (currently 1)
-//! 6       2           u16 flags (reserved, must be 0)
+//! 4       2           u16 format version (currently 2)
+//! 6       2           u16 dtype tag: 0 f32, 1 f16, 2 q8
 //! 8       4           u32 ndim
 //! 12      8 * ndim    u64 dims, outermost first
-//! ...     4 * numel   f32 payload, row-major
+//! ...     varies      payload (f32: 4·numel bytes row-major;
+//!                              f16: 2·numel; q8: 36·⌈numel/32⌉)
 //! end     4           u32 CRC-32 (IEEE) over bytes [8, end-4)
 //! ```
 //!
+//! Version 1 had a reserved always-zero `u16 flags` field where the dtype
+//! tag now lives; an f32 v2 record is therefore byte-identical to its v1
+//! twin except for the version field itself. Readers are exact (v1 is
+//! rejected), per the PERSISTENCE.md policy.
+//!
 //! The checksum covers the shape and payload but not the preamble, so a
 //! version bump never changes how the checksum is computed. Readers must
-//! reject unknown magic, unknown versions, non-zero flags, truncated
+//! reject unknown magic, unknown versions, unknown dtype tags, truncated
 //! records, and checksum mismatches with a clean [`IoError`] — never a
 //! panic. See the repository's `PERSISTENCE.md` for the full format and
 //! compatibility policy.
@@ -38,6 +46,7 @@
 //! assert_eq!(back.data(), t.data());
 //! ```
 
+use crate::quant::{Dtype, QTensor};
 use crate::Tensor;
 use std::fmt;
 use std::fs;
@@ -48,7 +57,10 @@ use std::path::Path;
 pub const TENSOR_MAGIC: [u8; 4] = *b"USBT";
 
 /// Current tensor-record format version.
-pub const TENSOR_VERSION: u16 = 1;
+///
+/// Version 2 repurposed the reserved v1 flags field as the dtype tag
+/// (f32 / f16 / q8); see the module docs for the layout.
+pub const TENSOR_VERSION: u16 = 2;
 
 /// Error produced by the persistence layer: either an underlying I/O
 /// failure or a malformed/incompatible byte stream.
@@ -295,12 +307,21 @@ pub fn expect_version(r: &mut impl Read, supported: u16, what: &str) -> Result<(
 // Tensor records
 // ---------------------------------------------------------------------
 
-/// Writes `t` as one self-delimiting tensor record (see module docs for
-/// the byte layout).
+/// One decoded tensor record: dense f32 or quantized, by the dtype tag.
+#[derive(Debug, Clone)]
+pub enum TensorRecord {
+    /// A bit-exact f32 record (dtype tag 0).
+    Dense(Tensor),
+    /// A quantized record (dtype tag 1 or 2), payload kept encoded.
+    Quant(QTensor),
+}
+
+/// Writes `t` as one self-delimiting dense (f32) tensor record (see
+/// module docs for the byte layout).
 pub fn write_tensor(w: &mut impl Write, t: &Tensor) -> Result<(), IoError> {
     w.write_all(&TENSOR_MAGIC)?;
     write_u16(w, TENSOR_VERSION)?;
-    write_u16(w, 0)?; // flags
+    write_u16(w, Dtype::F32.tag() as u16)?;
     let mut crc = Crc32::new();
     let mut emit = |w: &mut dyn Write, bytes: &[u8]| -> Result<(), IoError> {
         crc.update(bytes);
@@ -324,22 +345,40 @@ pub fn write_tensor(w: &mut impl Write, t: &Tensor) -> Result<(), IoError> {
     write_u32(w, crc.finish())
 }
 
-/// Reads one tensor record written by [`write_tensor`].
+/// Writes a quantized tensor as one self-delimiting record (dtype tag
+/// f16 or q8; the payload is the codec's byte stream, verbatim).
+pub fn write_qtensor(w: &mut impl Write, q: &QTensor) -> Result<(), IoError> {
+    w.write_all(&TENSOR_MAGIC)?;
+    write_u16(w, TENSOR_VERSION)?;
+    write_u16(w, q.dtype().tag() as u16)?;
+    let mut crc = Crc32::new();
+    let mut emit = |w: &mut dyn Write, bytes: &[u8]| -> Result<(), IoError> {
+        crc.update(bytes);
+        w.write_all(bytes).map_err(IoError::from)
+    };
+    emit(w, &(q.shape().len() as u32).to_le_bytes())?;
+    for &d in q.shape() {
+        emit(w, &(d as u64).to_le_bytes())?;
+    }
+    emit(w, q.bytes())?;
+    write_u32(w, crc.finish())
+}
+
+/// Reads one tensor record of any dtype (dense or quantized).
 ///
 /// # Errors
 ///
-/// Returns [`IoError::Format`] on bad magic, unknown version, non-zero
-/// flags, truncation, an implausible shape, or checksum mismatch; the
+/// Returns [`IoError::Format`] on bad magic, unknown version, unknown
+/// dtype tag, truncation, an implausible shape, or checksum mismatch; the
 /// reader never panics on malformed input.
-pub fn read_tensor(r: &mut impl Read) -> Result<Tensor, IoError> {
+pub fn read_tensor_record(r: &mut impl Read) -> Result<TensorRecord, IoError> {
     expect_magic(r, &TENSOR_MAGIC, "tensor record")?;
     expect_version(r, TENSOR_VERSION, "tensor record")?;
-    let flags = read_u16(r)?;
-    if flags != 0 {
-        return Err(IoError::format(format!(
-            "tensor record has unknown flags {flags:#06x}"
-        )));
-    }
+    let tag = read_u16(r)?;
+    let dtype = u8::try_from(tag)
+        .ok()
+        .and_then(Dtype::from_tag)
+        .ok_or_else(|| IoError::format(format!("tensor record has unknown dtype tag {tag}")))?;
     let mut crc = Crc32::new();
     let ndim_bytes = {
         let mut b = [0u8; 4];
@@ -370,7 +409,7 @@ pub fn read_tensor(r: &mut impl Read) -> Result<Tensor, IoError> {
             "tensor claims {numel} elements — rejecting as corrupt"
         )));
     }
-    let mut payload = vec![0u8; numel as usize * 4];
+    let mut payload = vec![0u8; dtype.encoded_len(numel as usize)];
     r.read_exact(&mut payload)?;
     crc.update(&payload);
     let stored = read_u32(r)?;
@@ -380,12 +419,41 @@ pub fn read_tensor(r: &mut impl Read) -> Result<Tensor, IoError> {
             "tensor checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
         )));
     }
-    let data: Vec<f32> = payload
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    Tensor::try_from_vec(data, &shape)
-        .map_err(|e| IoError::format(format!("tensor record inconsistent: {e}")))
+    match dtype {
+        Dtype::F32 => {
+            let data: Vec<f32> = payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Tensor::try_from_vec(data, &shape)
+                .map(TensorRecord::Dense)
+                .map_err(|e| IoError::format(format!("tensor record inconsistent: {e}")))
+        }
+        _ => QTensor::from_bytes(dtype, &shape, payload)
+            .map(TensorRecord::Quant)
+            .map_err(|e| IoError::format(format!("tensor record inconsistent: {e}"))),
+    }
+}
+
+/// Reads one **dense f32** tensor record written by [`write_tensor`].
+///
+/// Records whose payload the caller expects to be exact — triggers, IAD
+/// generator state, batch-norm buffers — go through this; a quantized
+/// record where an f32 one is required is a format error, not a silent
+/// dequantization.
+///
+/// # Errors
+///
+/// Same contract as [`read_tensor_record`], plus [`IoError::Format`] when
+/// the record is quantized.
+pub fn read_tensor(r: &mut impl Read) -> Result<Tensor, IoError> {
+    match read_tensor_record(r)? {
+        TensorRecord::Dense(t) => Ok(t),
+        TensorRecord::Quant(q) => Err(IoError::format(format!(
+            "expected an f32 tensor record, found {}",
+            q.dtype()
+        ))),
+    }
 }
 
 /// Saves one tensor to `path` (creating parent directories).
@@ -495,6 +563,77 @@ mod tests {
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         let err = read_tensor(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("rejecting"), "{err}");
+    }
+
+    #[test]
+    fn quantized_records_roundtrip_their_encoded_bytes() {
+        use crate::quant::Dtype;
+        let t = sample();
+        for dtype in [Dtype::F16, Dtype::Q8] {
+            let q = QTensor::quantize(&t, dtype);
+            let mut buf = Vec::new();
+            write_qtensor(&mut buf, &q).unwrap();
+            let TensorRecord::Quant(back) = read_tensor_record(&mut buf.as_slice()).unwrap() else {
+                panic!("{dtype} record decoded as dense");
+            };
+            assert_eq!(back.dtype(), dtype);
+            assert_eq!(back.shape(), q.shape());
+            assert_eq!(back.bytes(), q.bytes(), "payload must survive verbatim");
+        }
+    }
+
+    #[test]
+    fn dense_records_decode_through_the_record_reader_too() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let TensorRecord::Dense(back) = read_tensor_record(&mut buf.as_slice()).unwrap() else {
+            panic!("f32 record decoded as quantized");
+        };
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn unknown_dtype_tag_is_a_clean_error() {
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &sample()).unwrap();
+        buf[6] = 9; // dtype tag bytes live where the v1 flags did
+        let err = read_tensor_record(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("dtype"), "{err}");
+    }
+
+    #[test]
+    fn f32_strict_reader_rejects_quantized_records() {
+        use crate::quant::Dtype;
+        let q = QTensor::quantize(&sample(), Dtype::F16);
+        let mut buf = Vec::new();
+        write_qtensor(&mut buf, &q).unwrap();
+        let err = read_tensor(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("expected an f32"), "{err}");
+    }
+
+    #[test]
+    fn quantized_payload_corruption_fails_the_checksum() {
+        use crate::quant::Dtype;
+        let q = QTensor::quantize(&sample(), Dtype::Q8);
+        let mut buf = Vec::new();
+        write_qtensor(&mut buf, &q).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = read_tensor_record(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn quantized_truncation_is_a_clean_error_at_every_length() {
+        use crate::quant::Dtype;
+        let q = QTensor::quantize(&sample(), Dtype::Q8);
+        let mut buf = Vec::new();
+        write_qtensor(&mut buf, &q).unwrap();
+        for len in 0..buf.len() {
+            let err = read_tensor_record(&mut &buf[..len]).unwrap_err();
+            assert!(matches!(err, IoError::Format(_)), "len {len}: {err}");
+        }
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   behind the allocation-free inference path: the `_ws` kernel variants
 //!   here and `Layer::infer` in `usb-nn` draw their im2col / matmul / pool
 //!   buffers from it instead of the allocator.
+//! * [`quant`] — low-precision weight storage: an f16 codec, a Q8 block
+//!   format, and the [`QTensor`] container the kernels dequantize on the
+//!   fly through the [`Workspace`] panel cache (inspection is read-only,
+//!   so frozen victims can live at 2–4× less memory).
 //! * [`tape`] — the [`Tape`] of per-layer activation frames behind the
 //!   read-only gradient path: `Layer::infer_recording` in `usb-nn` records
 //!   backward state into a caller-owned tape instead of the layers, so one
@@ -56,12 +60,14 @@ pub mod io;
 pub mod ops;
 pub mod par;
 pub mod pool;
+pub mod quant;
 pub mod scratch;
 pub mod ssim;
 pub mod stats;
 pub mod tape;
 mod tensor;
 
+pub use quant::{Dtype, QTensor, WeightRef};
 pub use scratch::Workspace;
 pub use tape::Tape;
 pub use tensor::{ShapeError, Tensor};

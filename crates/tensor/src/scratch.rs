@@ -44,6 +44,7 @@
 //! assert_eq!(b.data(), &[0.0; 6]);
 //! ```
 
+use crate::quant::QTensor;
 use crate::{ops, Tensor};
 
 /// Upper bound on cached packed panels per workspace; the oldest entry is
@@ -51,11 +52,25 @@ use crate::{ops, Tensor};
 /// deepest model in the zoo (ResNet-18 has ~20 packable weight matrices).
 const MAX_PACKS: usize = 32;
 
-/// One cached packed panel: the transpose of a weight matrix identified by
-/// its [`Tensor::content_id`] at pack time.
+/// Orientation of a cached panel relative to the source tensor's
+/// row-major layout. A quantized weight can be cached in *both*
+/// orientations at once (infer wants the transpose, the input-gradient
+/// GEMMs want natural order), so the orientation is part of the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PackKind {
+    /// The `[cols, rows]` transpose of the source (GEMM B-panel layout).
+    Transposed,
+    /// The source's own row-major order, merely dequantized.
+    Natural,
+}
+
+/// One cached packed panel, identified by the source tensor's content id
+/// (dense [`Tensor::content_id`] or [`QTensor::content_id`] — the two
+/// draw from one id space) plus view shape and orientation at pack time.
 #[derive(Debug)]
 struct PackEntry {
     key: u64,
+    kind: PackKind,
     rows: usize,
     cols: usize,
     data: Vec<f32>,
@@ -109,29 +124,106 @@ impl Workspace {
             t.len()
         );
         let key = t.content_id();
-        let pos = self
-            .packs
-            .iter()
-            .position(|p| p.key == key && p.rows == rows && p.cols == cols);
-        let pos = match pos {
+        let pos = match self.find_pack(key, PackKind::Transposed, rows, cols) {
             Some(p) => p,
             None => {
-                if self.packs.len() >= MAX_PACKS {
-                    let old = self.packs.remove(0);
-                    self.put(old.data);
-                }
-                let mut data = self.take_dirty(rows * cols);
+                let mut data = self.pack_slot(rows * cols);
                 ops::transpose_into(t.data(), rows, cols, &mut data);
-                self.packs.push(PackEntry {
-                    key,
-                    rows,
-                    cols,
-                    data,
-                });
-                self.packs.len() - 1
+                self.push_pack(key, PackKind::Transposed, rows, cols, data)
             }
         };
         &self.packs[pos].data
+    }
+
+    /// The transpose of a quantized weight (viewed as `[rows, cols]`),
+    /// dequantized and packed once per [`QTensor::content_id`].
+    ///
+    /// This is [`Workspace::packed_transpose`] for the low-precision
+    /// route: the first call per content id pays one dequantization and
+    /// one transpose; every later call is a cache lookup, so the refine
+    /// loop's steady state has **zero** dequantization cost. `QTensor`s
+    /// are immutable, so — unlike the dense panels — a cached quant panel
+    /// can never go stale; it only ages out of the bounded cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != rows * cols`.
+    pub fn packed_dequant(&mut self, q: &QTensor, rows: usize, cols: usize) -> &[f32] {
+        assert_eq!(
+            q.len(),
+            rows * cols,
+            "packed_dequant: {rows}x{cols} view of a {}-element tensor",
+            q.len()
+        );
+        let key = q.content_id();
+        let pos = match self.find_pack(key, PackKind::Transposed, rows, cols) {
+            Some(p) => p,
+            None => {
+                let mut tmp = self.take_dirty(rows * cols);
+                q.dequantize_into(&mut tmp);
+                let mut data = self.pack_slot(rows * cols);
+                ops::transpose_into(&tmp, rows, cols, &mut data);
+                self.put(tmp);
+                self.push_pack(key, PackKind::Transposed, rows, cols, data)
+            }
+        };
+        &self.packs[pos].data
+    }
+
+    /// A quantized weight dequantized into its natural row-major order,
+    /// cached once per [`QTensor::content_id`].
+    ///
+    /// The sibling of [`Workspace::packed_dequant`] for kernels that
+    /// consume the weight untransposed (the `g·W` input-gradient GEMMs and
+    /// the convolution input-backward, whose `[OC, IC·KH·KW]` layout is
+    /// already the k-major panel they need).
+    pub fn dequant_panel(&mut self, q: &QTensor) -> &[f32] {
+        let len = q.len();
+        let key = q.content_id();
+        let pos = match self.find_pack(key, PackKind::Natural, len, 1) {
+            Some(p) => p,
+            None => {
+                let mut data = self.pack_slot(len);
+                q.dequantize_into(&mut data);
+                self.push_pack(key, PackKind::Natural, len, 1, data)
+            }
+        };
+        &self.packs[pos].data
+    }
+
+    fn find_pack(&self, key: u64, kind: PackKind, rows: usize, cols: usize) -> Option<usize> {
+        self.packs
+            .iter()
+            .position(|p| p.key == key && p.kind == kind && p.rows == rows && p.cols == cols)
+    }
+
+    /// Checks out a dirty buffer for a new panel, evicting the oldest
+    /// cached panel first when the cache is full (FIFO; the evicted
+    /// buffer returns to the pool and is usually the one handed back).
+    fn pack_slot(&mut self, len: usize) -> Vec<f32> {
+        if self.packs.len() >= MAX_PACKS {
+            let old = self.packs.remove(0);
+            self.put(old.data);
+        }
+        self.take_dirty(len)
+    }
+
+    fn push_pack(
+        &mut self,
+        key: u64,
+        kind: PackKind,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> usize {
+        self.packs.push(PackEntry {
+            key,
+            kind,
+            rows,
+            cols,
+            data,
+        });
+        self.packs.len() - 1
     }
 
     /// Checks out a zero-filled buffer of exactly `len` elements.
@@ -317,6 +409,67 @@ mod tests {
         // pack immediately reuses it, so the steady state is one buffer per
         // cache slot and an empty pool — eviction recycles, never leaks.
         assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn packed_dequant_caches_per_content_id() {
+        use crate::quant::{Dtype, QTensor};
+        let mut ws = Workspace::new();
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let q = QTensor::quantize(&w, Dtype::F16);
+        // All six values are small integers: f16 encodes them exactly, so
+        // the dequant panel equals the dense transpose bit-for-bit.
+        let expect = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        assert_eq!(ws.packed_dequant(&q, 2, 3), &expect);
+        let pooled = ws.pooled();
+        assert_eq!(ws.packed_dequant(&q, 2, 3), &expect, "hit, not repack");
+        assert_eq!(ws.pooled(), pooled);
+        // Natural orientation coexists with the transpose in the cache.
+        assert_eq!(ws.dequant_panel(&q), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(ws.packed_dequant(&q, 2, 3), &expect, "still cached");
+    }
+
+    #[test]
+    fn dequant_panels_never_leak_stale_data_across_evictions() {
+        use crate::quant::{Dtype, QTensor};
+        // Fuzz the FIFO cache: interleave many distinct quantized tensors
+        // (forcing evictions into recycled dirty buffers) with dense packs
+        // and re-reads, checking every returned panel against a fresh
+        // dequantization. This is the no-stale-data property for panels.
+        let mut ws = Workspace::new();
+        let qs: Vec<QTensor> = (0..3 * MAX_PACKS)
+            .map(|i| {
+                let t = Tensor::from_fn(&[4, 8], |j| ((i * 37 + j) as f32 * 0.11).sin());
+                QTensor::quantize(&t, if i % 2 == 0 { Dtype::Q8 } else { Dtype::F16 })
+            })
+            .collect();
+        let mut step = 0usize;
+        for round in 0..4 {
+            for (i, q) in qs.iter().enumerate() {
+                step = step
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(round + i);
+                let mut want = vec![0.0f32; 32];
+                match step % 3 {
+                    0 => {
+                        let mut nat = vec![0.0f32; 32];
+                        q.dequantize_into(&mut nat);
+                        crate::ops::transpose_into(&nat, 4, 8, &mut want);
+                        assert_eq!(ws.packed_dequant(q, 4, 8), &want[..], "t-panel {i}");
+                    }
+                    1 => {
+                        q.dequantize_into(&mut want);
+                        assert_eq!(ws.dequant_panel(q), &want[..], "n-panel {i}");
+                    }
+                    _ => {
+                        let d = Tensor::from_fn(&[4, 8], |j| (i + j) as f32);
+                        crate::ops::transpose_into(d.data(), 4, 8, &mut want);
+                        assert_eq!(ws.packed_transpose(&d, 4, 8), &want[..], "dense {i}");
+                    }
+                }
+                assert!(ws.packs.len() <= MAX_PACKS);
+            }
+        }
     }
 
     #[test]

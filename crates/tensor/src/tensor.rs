@@ -69,7 +69,7 @@ impl Dims {
 static NEXT_TENSOR_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 #[inline]
-fn new_tensor_id() -> u64 {
+pub(crate) fn new_tensor_id() -> u64 {
     NEXT_TENSOR_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 

@@ -14,7 +14,8 @@ use proptest::prelude::*;
 use usb_tensor::conv::{
     col2im_into, conv2d_forward_ws, conv2d_input_backward_ws, im2col_into, ConvSpec,
 };
-use usb_tensor::{ops, Tensor, Workspace};
+use usb_tensor::quant::{f16_decode, Q8_BLOCK};
+use usb_tensor::{ops, Dtype, QTensor, Tensor, Workspace};
 
 // ---------------------------------------------------------------------------
 // Naive references: the ascending-k accumulation the kernels must reproduce.
@@ -131,6 +132,35 @@ fn naive_col2im(
         }
     }
     out
+}
+
+/// From-scratch byte-level decode of a quantized payload, independent of
+/// `QTensor::dequantize_into`: f16 words through the scalar decoder, Q8
+/// blocks as `scale * i8` in block order.
+fn naive_decode(q: &QTensor) -> Vec<f32> {
+    let bytes = q.bytes();
+    let len = q.len();
+    match q.dtype() {
+        Dtype::F32 => unreachable!("dense tensors never enter the quantized codec"),
+        Dtype::F16 => bytes
+            .chunks_exact(2)
+            .take(len)
+            .map(|c| f16_decode(u16::from_le_bytes([c[0], c[1]])))
+            .collect(),
+        Dtype::Q8 => {
+            let mut out = Vec::with_capacity(len);
+            for block in bytes.chunks_exact(4 + Q8_BLOCK) {
+                let scale = f32::from_le_bytes(block[..4].try_into().expect("scale word"));
+                for &b in &block[4..] {
+                    if out.len() == len {
+                        break;
+                    }
+                    out.push(scale * (b as i8) as f32);
+                }
+            }
+            out
+        }
+    }
 }
 
 /// A workspace whose pool is pre-seeded with NaN-filled buffers, so any
@@ -348,6 +378,43 @@ proptest! {
             prop_assert_eq!(got.shape(), &[n, ic, h, w]);
             assert_bits_eq(got.data(), &want, &format!("conv input backward (round {round})"));
             ws.recycle(got);
+        }
+    }
+
+    /// Dequantized panels against the from-scratch byte-level decode: the
+    /// panel cache must serve exactly the codec's floats — natural order
+    /// for `dequant_panel`, `[k, n]` transposed order for `packed_dequant`
+    /// — on the cold pack and on warm cache hits alike, and the GEMM fed
+    /// from the panel must match the GEMM fed the naive decode bitwise.
+    #[test]
+    fn dequant_panels_match_naive_decode_bitwise(
+        n in 1usize..13,
+        k in 1usize..40,
+        m in 1usize..6,
+        dtype_bit in 0usize..2,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let dtype = if dtype_bit == 0 { Dtype::F16 } else { Dtype::Q8 };
+        let w = Tensor::from_vec(tensor_from(&vals, n * k, 0.015), &[n, k]);
+        let q = QTensor::quantize(&w, dtype);
+        let want = naive_decode(&q);
+        let mut want_t = vec![0.0f32; n * k];
+        ops::transpose_into(&want, n, k, &mut want_t);
+        let x = tensor_from(&vals, m * k, 0.01);
+        let mut want_y = vec![0.0f32; m * n];
+        ops::matmul_into(&x, &want_t, m, k, n, &mut want_y);
+
+        let mut ws = dirty_workspace();
+        for round in 0..2 {
+            // Round 0 dequantizes into the panel cache, round 1 hits it.
+            let flat = ws.dequant_panel(&q).to_vec();
+            assert_bits_eq(&flat, &want, &format!("dequant_panel {dtype} (round {round})"));
+            let mut got_y = ws.take_dirty(m * n);
+            let packed = ws.packed_dequant(&q, n, k);
+            assert_bits_eq(packed, &want_t, &format!("packed_dequant {dtype} (round {round})"));
+            ops::matmul_into(&x, packed, m, k, n, &mut got_y);
+            assert_bits_eq(&got_y, &want_y, &format!("gemm via packed_dequant {dtype} (round {round})"));
+            ws.put(got_y);
         }
     }
 

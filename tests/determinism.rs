@@ -226,7 +226,7 @@ fn daemon_verdicts_are_bit_identical_to_offline_inspection() {
     let config = ServeConfig {
         workers: 1,
         max_pending: 8,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
     let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");

@@ -1,0 +1,288 @@
+//! Verdict equivalence across storage precisions: every fixture recipe,
+//! serialized at f16 and Q8, must flag **exactly the same class set** as
+//! its f32 twin, with per-class reversed-trigger L1 norms within the
+//! documented log-space tolerance (`LOG_NORM_TOL`, see ARCHITECTURE.md's
+//! precision → verdict-tolerance contract) — both offline and through
+//! the inspection daemon.
+//!
+//! The f32 route is pinned bit-identical elsewhere (tests/determinism.rs);
+//! quantized routes are *tolerance*-based: quantization perturbs every
+//! logit, so the reversed triggers drift, but the MAD outlier statistic
+//! is scale-robust and the flagged set must not move.
+//!
+//! Inspection seeds are part of each recipe's contract. They are chosen
+//! where the f32 detector verdict is decisive (the implanted set exactly,
+//! or nothing on clean/undersized fixtures) — on a *marginal* seed, where
+//! a class sits within quantization noise of the MAD threshold, no
+//! storage precision can promise a stable set, which is precisely why
+//! the tolerance contract is stated in norm space.
+
+mod serve_util;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use universal_soldier::attacks::persist::{read_victim_bytes, write_victim, write_victim_dtype};
+use universal_soldier::eval::serve::{Client, ServeConfig, Server, SubmitOptions};
+use universal_soldier::prelude::*;
+use universal_soldier::tensor::Dtype;
+
+/// Maximum |ln(L1_quantized) − ln(L1_f32)| per class. Empirically the
+/// fixture recipes drift under 0.25 in log space at both f16 and Q8;
+/// 0.5 (a 1.65× ratio) leaves slack for rng-level sensitivity while
+/// staying far under the flagged-vs-clean separation (≈ 0.9+ in log
+/// space on every decisively backdoored fixture).
+const LOG_NORM_TOL: f64 = 0.5;
+
+/// Inspects USBV bytes offline exactly like `usb-repro inspect`:
+/// regenerate clean data from the stored recipe, seed the rng, run the
+/// fast detector. Returns the flagged set and the per-class L1 norms.
+fn inspect_bytes(bytes: &[u8], seed: u64, subset: usize) -> (Vec<usize>, Vec<f64>) {
+    let bundle = read_victim_bytes(bytes).expect("parsing a fixture bundle");
+    let data = bundle.data_spec.generate(bundle.data_seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (clean_x, _) = data.clean_subset(subset, &mut rng);
+    let outcome = UsbDetector::fast().inspect(&bundle.victim.model, &clean_x, &mut rng);
+    let norms = outcome.per_class.iter().map(|c| c.l1_norm).collect();
+    (outcome.flagged, norms)
+}
+
+/// Serializes `bundle` at f32, f16, and Q8, inspects each offline, and
+/// asserts the equivalence contract. Returns the f32 flagged set so the
+/// caller can check it against ground truth.
+fn assert_precision_equivalence(
+    name: &str,
+    bundle: &mut VictimBundle,
+    seed: u64,
+    subset: usize,
+) -> Vec<usize> {
+    let mut f32_bytes = Vec::new();
+    write_victim(&mut f32_bytes, bundle).expect("serialising the f32 twin");
+    let (f32_flagged, f32_norms) = inspect_bytes(&f32_bytes, seed, subset);
+    for dtype in [Dtype::F16, Dtype::Q8] {
+        let mut bytes = Vec::new();
+        write_victim_dtype(&mut bytes, bundle, dtype).expect("serialising the quantized twin");
+        assert!(
+            bytes.len() < f32_bytes.len(),
+            "{name}: the {dtype} twin is not smaller than f32"
+        );
+        let (flagged, norms) = inspect_bytes(&bytes, seed, subset);
+        assert_eq!(
+            flagged, f32_flagged,
+            "{name}: the {dtype} twin flagged a different class set than f32"
+        );
+        assert_eq!(norms.len(), f32_norms.len());
+        for (class, (&nq, &nf)) in norms.iter().zip(&f32_norms).enumerate() {
+            let drift = (nq.ln() - nf.ln()).abs();
+            assert!(
+                drift <= LOG_NORM_TOL,
+                "{name} {dtype} class {class}: log-norm drift {drift:.3} \
+                 past the contract ({nq:.2} vs f32 {nf:.2})"
+            );
+        }
+    }
+    f32_flagged
+}
+
+/// The 2-target MultiBadNet recipe shared with tests/multi_backdoor.rs
+/// (6-class ResNet-18, implants at classes 1 and 4), through the
+/// `target/fixtures/` disk cache.
+fn multi_target_bundle() -> VictimBundle {
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(240)
+        .with_test_size(60)
+        .with_classes(6);
+    let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
+    let attack = MultiBadNet::new(2, vec![1, 4], 0.15);
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new("multi-badnet-2target", spec, 71, 7).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    let config_hash = fixture.config_hash;
+    let (_, victim) = cached_victim(&fixture, |data| attack.execute(data, arch, tc, 7));
+    VictimBundle {
+        victim,
+        train_seed: 7,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed: fixture.data_seed,
+    }
+}
+
+/// The inspection seed at which the multi fixture's f32 verdict is
+/// decisive (both implants, nothing else) under the fast detector.
+const MULTI_SEED: u64 = 43;
+
+#[test]
+fn single_target_fixture_flags_the_same_set_at_every_precision() {
+    // The `usb-repro save --fast` recipe: 10-class mnist ResNet-18 with a
+    // BadNet implant at class 4, inspected at the seed the save/inspect
+    // round-trip contract uses (`usb-repro inspect` defaults to seed 3).
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(400)
+        .with_test_size(80);
+    let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 10).with_width(4);
+    let attack = BadNet::new(2, 4, 0.15);
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new("repro-save-fast", spec, 111, 7).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    let config_hash = fixture.config_hash;
+    let (_, victim) = cached_victim(&fixture, |data| attack.execute(data, arch, tc, 7));
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: 7,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed: fixture.data_seed,
+    };
+    let flagged = assert_precision_equivalence("repro-save-fast", &mut bundle, 3, 48);
+    assert_eq!(flagged, vec![4], "the f32 baseline must flag the implant");
+}
+
+#[test]
+fn small_cnn_fixture_drifts_within_tolerance_at_every_precision() {
+    // The determinism-badnet recipe (4-class BasicCnn): too few classes
+    // for the MAD statistic to flag anything under the fast detector, at
+    // any precision — which is itself the equivalence contract here
+    // (quantization must not conjure a flag), and the conv-path norm
+    // drift stays within tolerance.
+    let fixture_bytes = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    let mut bundle = read_victim_bytes(&fixture_bytes).expect("parsing the fixture bundle");
+    let flagged = assert_precision_equivalence("determinism-badnet", &mut bundle, 17, 32);
+    assert!(
+        flagged.is_empty(),
+        "4-class MAD should stay quiet, got {flagged:?}"
+    );
+}
+
+#[test]
+fn multi_target_fixture_flags_the_same_set_at_every_precision() {
+    // Both implants must survive quantization, and no clean class may
+    // join them.
+    let mut bundle = multi_target_bundle();
+    let flagged = assert_precision_equivalence("multi-badnet-2target", &mut bundle, MULTI_SEED, 48);
+    assert_eq!(flagged, vec![1, 4]);
+}
+
+#[test]
+fn clean_fixture_flags_nothing_at_every_precision() {
+    // Quantization noise must not conjure a backdoor out of a clean
+    // model: the clean twin of the multi fixture stays unflagged at f16
+    // and Q8 too.
+    let spec = SyntheticSpec::mnist()
+        .with_size(12)
+        .with_train_size(240)
+        .with_test_size(60)
+        .with_classes(6);
+    let arch = Architecture::new(ModelKind::ResNet18, (1, 12, 12), 6).with_width(4);
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new("multi-badnet-clean", spec, 71, 13).with_config(&[
+        &format!("{arch:?}"),
+        "clean",
+        &format!("{tc:?}"),
+    ]);
+    let config_hash = fixture.config_hash;
+    let (_, victim) = cached_victim(&fixture, |data| train_clean_victim(data, arch, tc, 13));
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: 13,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed: fixture.data_seed,
+    };
+    let flagged = assert_precision_equivalence("multi-badnet-clean", &mut bundle, 23, 48);
+    assert!(
+        flagged.is_empty(),
+        "f32 baseline flagged {flagged:?} on a clean model"
+    );
+}
+
+#[test]
+fn e2e_badnet_fixture_flags_the_same_set_at_every_precision() {
+    // The 10-class CIFAR-shaped ResNet-18 recipe of the end-to-end suite.
+    let spec = SyntheticSpec::cifar10()
+        .with_size(12)
+        .with_train_size(400)
+        .with_test_size(80);
+    let arch = Architecture::new(ModelKind::ResNet18, (3, 12, 12), 10).with_width(4);
+    let attack = BadNet::new(2, 3, 0.15);
+    let tc = TrainConfig::new(20);
+    let fixture = FixtureSpec::new("e2e-badnet", spec, 201, 13).with_config(&[
+        &format!("{arch:?}"),
+        &format!("{attack:?}"),
+        &format!("{tc:?}"),
+    ]);
+    let config_hash = fixture.config_hash;
+    let (_, victim) = cached_victim(&fixture, |data| attack.execute(data, arch, tc, 13));
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: 13,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed: fixture.data_seed,
+    };
+    let flagged = assert_precision_equivalence("e2e-badnet", &mut bundle, 0, 48);
+    assert!(
+        flagged.contains(&3),
+        "f32 baseline missed target 3 (flagged {flagged:?})"
+    );
+}
+
+#[test]
+fn daemon_flags_the_same_set_for_quantized_bundles() {
+    // The same contract through the wire: the daemon auto-detects each
+    // twin's dtype, keeps all three resident side by side, and returns
+    // the same (correct) flagged set for every precision.
+    let mut bundle = multi_target_bundle();
+    let mut twins = Vec::new();
+    let mut f32_bytes = Vec::new();
+    write_victim(&mut f32_bytes, &mut bundle).expect("serialising the f32 twin");
+    twins.push((1u64, f32_bytes));
+    for (tag, dtype) in [(2u64, Dtype::F16), (3, Dtype::Q8)] {
+        let mut bytes = Vec::new();
+        write_victim_dtype(&mut bytes, &mut bundle, dtype).expect("serialising a quantized twin");
+        twins.push((tag, bytes));
+    }
+
+    let server =
+        Server::start(("127.0.0.1", 0), ServeConfig::default()).expect("binding a loopback daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("setting a read timeout");
+
+    for (tag, bytes) in &twins {
+        let opts = SubmitOptions {
+            tag: *tag,
+            seed: MULTI_SEED,
+            subset: 48,
+            workers: 2,
+            fast: true,
+        };
+        let verdict = client
+            .inspect(bytes, &opts, |_| {})
+            .expect("daemon inspection");
+        assert_eq!(
+            verdict.flagged,
+            vec![1, 4],
+            "tag {tag}: flagged set diverged from the f32 twin over the wire"
+        );
+        assert!(
+            verdict.agrees,
+            "tag {tag}: daemon verdict disagrees with ground truth \
+             (flagged {:?}, truth {:?})",
+            verdict.flagged, verdict.truth_targets
+        );
+    }
+    let stats = server.stop();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.cache_misses, 3, "three twins, three distinct parses");
+    assert_eq!(stats.failed, 0);
+}

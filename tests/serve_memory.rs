@@ -8,8 +8,12 @@
 //!   model — live bytes stop growing once the cache is warm, and the
 //!   hit/miss ledger shows one parse total;
 //! * a stream of **distinct** bundles cannot grow the cache past its
-//!   configured capacity — the LRU evicts, `resident_models` stays at the
-//!   cap, and live bytes stay bounded.
+//!   configured **byte budget** — the LRU evicts by actual resident
+//!   footprint (model + regenerated dataset), `resident_models` stays at
+//!   what the budget affords, and live bytes stay bounded;
+//! * a quantized (Q8) twin of the fixture bundle is accepted by the
+//!   daemon, and is ≥ 1.8× smaller than its f32 twin both on disk and in
+//!   resident memory (measured with the counting allocator).
 //!
 //! Everything runs in ONE `#[test]` so no concurrent test traffic
 //! pollutes the live-byte readings; this file is its own test binary for
@@ -18,7 +22,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Duration;
+use universal_soldier::attacks::persist::read_victim_bytes;
 use universal_soldier::eval::serve::{Client, ServeConfig, Server, SubmitOptions};
+use universal_soldier::tensor::Dtype;
 
 mod serve_util;
 
@@ -65,13 +71,33 @@ fn live_bytes() -> i64 {
     LIVE_BYTES.load(Ordering::Relaxed)
 }
 
+/// Live-heap delta held by one parsed-and-resident `VictimBundle` —
+/// allocate it, read the counter, drop it. Transient parse buffers are
+/// freed before `read_victim_bytes` returns, so the delta is the bundle's
+/// actual resident footprint.
+fn resident_footprint(bytes: &[u8]) -> i64 {
+    let before = live_bytes();
+    let parsed = read_victim_bytes(bytes).expect("parsing a fixture bundle");
+    let delta = live_bytes() - before;
+    drop(parsed);
+    delta
+}
+
 #[test]
 fn resident_cache_keeps_daemon_memory_bounded() {
-    const CAPACITY: usize = 2;
+    // Size the byte budget from the fixture's true footprint (model +
+    // regenerated dataset): room for two resident entries, not three.
+    const ENTRIES: usize = 2;
+    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
+    let entry_footprint = {
+        let mut parsed = read_victim_bytes(&bundle).expect("parsing the fixture bundle");
+        let data = parsed.data_spec.generate(parsed.data_seed);
+        parsed.victim.model.resident_bytes() + data.resident_bytes()
+    };
     let config = ServeConfig {
         workers: 2,
         max_pending: 8,
-        cache_capacity: CAPACITY,
+        cache_bytes: ENTRIES * entry_footprint + entry_footprint / 2,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
     let mut client = Client::connect(server.local_addr()).expect("connecting to the daemon");
@@ -92,7 +118,6 @@ fn resident_cache_keeps_daemon_memory_bounded() {
     };
 
     // --- Phase 1: the same bundle over and over -------------------------
-    let bundle = serve_util::bundle_bytes(serve_util::FIXTURE_DATA_SEED);
     // Two warm-up requests: the first parses the bundle and regenerates
     // the dataset into the resident cache, the second covers lazy one-time
     // setup on the warm path (workspace pools, formatting machinery).
@@ -122,9 +147,11 @@ fn resident_cache_keeps_daemon_memory_bounded() {
     assert_eq!(stats.cache_misses, 1, "one parse for the repeated bundle");
     assert_eq!(stats.cache_hits, 1 + REPEATS);
 
-    // --- Phase 2: distinct bundles past the cache capacity --------------
+    // --- Phase 2: distinct bundles past the byte budget -----------------
     // Each variant carries a different data-regeneration seed, so each has
     // distinct bytes (a distinct fingerprint) and forces a cache miss.
+    // Every variant has the same footprint as the original (same spec,
+    // same sizes), so the budget affords exactly `ENTRIES` of them.
     const DISTINCT: u64 = 4;
     let bounded_baseline = live_bytes();
     for k in 0..DISTINCT {
@@ -135,19 +162,20 @@ fn resident_cache_keeps_daemon_memory_bounded() {
     let stats = server.stats();
     assert_eq!(stats.cache_misses, 1 + DISTINCT);
     assert!(
-        stats.resident_models <= CAPACITY as u64,
-        "{} models resident with capacity {CAPACITY}: the LRU failed to evict",
+        stats.resident_models <= ENTRIES as u64,
+        "{} models resident with a budget sized for {ENTRIES}: the LRU \
+         failed to evict by footprint",
         stats.resident_models
     );
-    // Streaming more distinct bundles than the cache holds must not grow
-    // memory linearly with the stream: everything past the cap is evicted.
-    // Allow capacity entries' worth of slack (generously sized) on top of
-    // the warm baseline.
+    // Streaming more distinct bundles than the budget holds must not grow
+    // memory linearly with the stream: everything past the budget is
+    // evicted. Allow the budget's worth of slack (generously sized) on
+    // top of the warm baseline.
     let growth = live_bytes() - bounded_baseline;
     assert!(
-        growth < (CAPACITY as i64) * (4 << 20),
-        "{DISTINCT} distinct bundles grew live heap by {growth} bytes with a \
-         {CAPACITY}-entry cache — eviction is not releasing memory"
+        growth < (ENTRIES as i64) * (4 << 20),
+        "{DISTINCT} distinct bundles grew live heap by {growth} bytes with \
+         a {ENTRIES}-entry byte budget — eviction is not releasing memory"
     );
 
     // The evicted-and-resubmitted original bundle misses again (it was
@@ -155,8 +183,40 @@ fn resident_cache_keeps_daemon_memory_bounded() {
     // trade: re-parse cost, not unbounded growth.
     let v = submit(&mut client, 200, &bundle);
     assert!(!v.cache_hit, "the original bundle should have been evicted");
+
+    // --- Phase 3: the quantized twin ------------------------------------
+    // A Q8 bundle of the same victim is accepted by the daemon like any
+    // other bundle: one miss to parse, then resident.
+    let q8 = serve_util::bundle_bytes_dtype(serve_util::FIXTURE_DATA_SEED, Dtype::Q8);
+    let v = submit(&mut client, 300, &q8);
+    assert!(!v.cache_hit, "the Q8 twin has fresh bytes: must miss");
+    let v = submit(&mut client, 301, &q8);
+    assert!(v.cache_hit, "the Q8 twin must stay resident once parsed");
+
     let stats = server.stop();
-    assert!(stats.resident_models <= CAPACITY as u64);
+    assert!(stats.resident_models <= ENTRIES as u64);
     assert_eq!(stats.failed, 0);
     assert_eq!(stats.protocol_errors, 0);
+
+    // With the daemon gone (no concurrent allocation traffic), measure
+    // the low-precision storage win: the Q8 twin must be ≥ 1.8× smaller
+    // than its f32 twin on disk AND in resident memory. (In memory the
+    // win is larger than on disk: a dense f32 weight keeps a same-sized
+    // gradient buffer resident, a quantized weight keeps none.)
+    assert!(
+        bundle.len() as f64 >= 1.8 * q8.len() as f64,
+        "Q8 bundle is only {:.2}x smaller on disk ({} vs {} bytes)",
+        bundle.len() as f64 / q8.len() as f64,
+        bundle.len(),
+        q8.len()
+    );
+    let f32_resident = resident_footprint(&bundle);
+    let q8_resident = resident_footprint(&q8);
+    assert!(
+        f32_resident as f64 >= 1.8 * q8_resident as f64,
+        "Q8 bundle is only {:.2}x smaller resident ({} vs {} live bytes)",
+        f32_resident as f64 / q8_resident as f64,
+        f32_resident,
+        q8_resident
+    );
 }

@@ -30,7 +30,7 @@ fn start_server() -> Server {
     let config = ServeConfig {
         workers: 2,
         max_pending: 8,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon")
 }

@@ -34,7 +34,7 @@ fn flooding_client_cannot_starve_single_request_tenants() {
     let config = ServeConfig {
         workers: 2,
         max_pending: 8,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
     let addr = server.local_addr();
@@ -139,7 +139,7 @@ fn admission_control_rejects_past_the_pending_cap_and_recovers() {
     let config = ServeConfig {
         workers: 2,
         max_pending: 1,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
     let addr = server.local_addr();
@@ -194,7 +194,7 @@ fn daemon_scheduler_spawns_zero_network_clones() {
     let config = ServeConfig {
         workers: 2,
         max_pending: 8,
-        cache_capacity: 2,
+        cache_bytes: 64 << 20,
     };
     let server = Server::start(("127.0.0.1", 0), config).expect("binding a loopback daemon");
     let addr = server.local_addr();

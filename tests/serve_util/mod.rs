@@ -9,8 +9,9 @@
 
 #![allow(dead_code)] // each test binary uses a different subset of this
 
-use universal_soldier::attacks::persist::write_victim;
+use universal_soldier::attacks::persist::{write_victim, write_victim_dtype};
 use universal_soldier::prelude::*;
+use universal_soldier::tensor::Dtype;
 
 /// The training data seed baked into the fixture (and therefore the
 /// data-regeneration seed a faithful bundle should carry).
@@ -69,5 +70,24 @@ pub fn bundle_bytes(data_seed: u64) -> Vec<u8> {
     };
     let mut out = Vec::new();
     write_victim(&mut out, &mut bundle).expect("serialising the fixture bundle cannot fail");
+    out
+}
+
+/// Like [`bundle_bytes`], but stores the weight bank at `dtype` — the
+/// low-precision twin of the f32 fixture bundle.
+pub fn bundle_bytes_dtype(data_seed: u64, dtype: Dtype) -> Vec<u8> {
+    let fixture = fixture_spec();
+    let config_hash = fixture.config_hash;
+    let (_, victim) = small_victim();
+    let mut bundle = VictimBundle {
+        victim,
+        train_seed: FIXTURE_TRAIN_SEED,
+        config_hash,
+        data_spec: fixture.data_spec,
+        data_seed,
+    };
+    let mut out = Vec::new();
+    write_victim_dtype(&mut out, &mut bundle, dtype)
+        .expect("serialising the quantized fixture bundle cannot fail");
     out
 }
