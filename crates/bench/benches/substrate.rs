@@ -12,6 +12,7 @@ use std::time::Duration;
 use usb_core::{deepfool, DeepfoolConfig, UsbDetector};
 use usb_defenses::Defense;
 use usb_nn::layer::Mode;
+use usb_nn::optim::TensorAdam;
 use usb_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_ws, ConvSpec};
 use usb_tensor::ssim::{ssim, ssim_with_grad, ssim_with_grad_ws};
 use usb_tensor::{init, ops, par, Dtype, QTensor, Tensor, Workspace};
@@ -58,6 +59,40 @@ fn bench_matmul(c: &mut Criterion) {
             let wt = ws.packed_dequant(&q, 64, 128);
             ops::matmul_into(a.data(), wt, 64, 128, 64, &mut y);
             black_box(y[0]);
+        })
+    });
+}
+
+/// The refine-loop elementwise ops the SIMD tier covers beyond the GEMMs:
+/// the UAP-update axpy, one Adam step, and the Q8 block decoder feeding
+/// the dequant panel cache — measured so the non-GEMM wins are numbers,
+/// not assertions.
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = 16 * 1024;
+    let x = init::uniform(&[n], -1.0, 1.0, &mut rng);
+    let mut y = init::uniform(&[n], -1.0, 1.0, &mut rng);
+    c.bench_function("substrate/axpy_16k", |bench| {
+        bench.iter(|| {
+            y.axpy(black_box(0.25), &x);
+            black_box(y.data()[0]);
+        })
+    });
+    let grad = init::uniform(&[n], -0.5, 0.5, &mut rng);
+    let mut param = init::uniform(&[n], -1.0, 1.0, &mut rng);
+    let mut adam = TensorAdam::new(0.05).with_betas(0.5, 0.9);
+    c.bench_function("substrate/adam_step_16k", |bench| {
+        bench.iter(|| {
+            adam.step(&mut [&mut param], &[&grad]);
+            black_box(param.data()[0]);
+        })
+    });
+    let q = QTensor::quantize(&x, Dtype::Q8);
+    let mut out = vec![0.0f32; n];
+    c.bench_function("substrate/q8_decode_16k", |bench| {
+        bench.iter(|| {
+            q.dequantize_into(&mut out);
+            black_box(out[0]);
         })
     });
 }
@@ -220,6 +255,7 @@ fn bench_detector_scaling(c: &mut Criterion) {
 fn benches(c: &mut Criterion) {
     let c = configure(c);
     bench_matmul(c);
+    bench_elementwise(c);
     bench_conv(c);
     bench_ssim(c);
     bench_par_map(c);

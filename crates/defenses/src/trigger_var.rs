@@ -7,7 +7,7 @@
 //! `value = (tanh(θ) + 1) / 2`, which keeps every gradient step feasible.
 
 use rand::Rng;
-use usb_tensor::{init, Tensor, Workspace};
+use usb_tensor::{init, kernels, Tensor, Workspace};
 
 /// Clamp used when inverting the tanh parameterisation.
 const ATANH_CLAMP: f32 = 0.999_99;
@@ -143,9 +143,15 @@ impl TriggerVar {
         for i in 0..n {
             for ch in 0..c {
                 let base = (i * c + ch) * plane;
+                let ob = &mut out[base..base + plane];
+                let bb = &batch.data()[base..base + plane];
+                let pb = &p[ch * plane..(ch + 1) * plane];
+                if kernels::try_trigger_blend(ob, bb, &m, pb) {
+                    continue;
+                }
                 for j in 0..plane {
                     let mv = m[j];
-                    out[base + j] = batch.data()[base + j] * (1.0 - mv) + p[ch * plane + j] * mv;
+                    ob[j] = bb[j] * (1.0 - mv) + pb[j] * mv;
                 }
             }
         }
@@ -188,14 +194,20 @@ impl TriggerVar {
         for i in 0..n {
             for ch in 0..c {
                 let base = (i * c + ch) * plane;
+                let gb = &grad_out.data()[base..base + plane];
+                let xb = &batch.data()[base..base + plane];
+                let pb = &p[ch * plane..(ch + 1) * plane];
+                let dpb = &mut d_pattern[ch * plane..(ch + 1) * plane];
+                if kernels::try_trigger_backward(gb, xb, &m, pb, dpb, &mut d_mask) {
+                    continue;
+                }
                 for j in 0..plane {
-                    let g = grad_out.data()[base + j];
+                    let g = gb[j];
                     if g == 0.0 {
                         continue;
                     }
-                    let x = batch.data()[base + j];
-                    d_pattern[ch * plane + j] += g * m[j];
-                    d_mask[j] += g * (p[ch * plane + j] - x);
+                    dpb[j] += g * m[j];
+                    d_mask[j] += g * (pb[j] - xb[j]);
                 }
             }
         }

@@ -193,11 +193,12 @@ pub fn timing_json(report: &TimingReport, config: &str, models: usize) -> String
     }
     format!(
         "{{\"schema\":\"usb-bench/1\",\"experiment\":\"timing\",\"label\":\"{}\",\
-         \"config\":\"{}\",\"models\":{},\"workers\":{},\"rows\":[{}]}}\n",
+         \"config\":\"{}\",\"models\":{},\"workers\":{},\"kernel\":\"{}\",\"rows\":[{}]}}\n",
         esc(&report.label),
         esc(config),
         models,
         usb_tensor::par::worker_threads(),
+        usb_tensor::kernels::tier_name(),
         rows.join(",")
     )
 }
@@ -578,6 +579,12 @@ mod tests {
         assert!(json.contains(r#""stage":"uap""#));
         assert!(json.contains(r#""config":"fast""#));
         assert!(json.contains(r#""workers":"#));
+        // The kernel tier is recorded so cross-machine comparisons are
+        // interpretable; the value is whatever this process resolved to.
+        assert!(json.contains(&format!(
+            r#""kernel":"{}""#,
+            usb_tensor::kernels::tier_name()
+        )));
         // Balanced braces/brackets (a cheap well-formedness proxy without a
         // JSON parser in the workspace).
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -642,6 +649,27 @@ mod tests {
     fn parse_rejects_foreign_documents() {
         assert!(parse_bench_totals("{}").is_err());
         assert!(parse_bench_totals(r#"{"schema":"usb-bench/1"}"#).is_err());
+    }
+
+    /// The `kernel` field is schema-additive: documents predating it (the
+    /// committed PR ≤ 9 baselines) and documents carrying it must parse to
+    /// the same totals, so `--compare` works across the boundary.
+    #[test]
+    fn compare_is_indifferent_to_the_kernel_field() {
+        let report = sample_report();
+        let with_kernel = timing_json(&report, "fast", 1);
+        assert!(with_kernel.contains(r#""kernel":""#));
+        let without_kernel = {
+            let pos = with_kernel.find(r#""kernel":""#).unwrap();
+            let end = pos + with_kernel[pos + 10..].find('"').unwrap() + 11;
+            format!("{}{}", &with_kernel[..pos], &with_kernel[end + 1..])
+        };
+        assert!(!without_kernel.contains(r#""kernel""#));
+        let new = parse_bench_totals(&with_kernel).expect("new-format document");
+        let old = parse_bench_totals(&without_kernel).expect("old-format document");
+        assert_eq!(new, old, "totals must not depend on the kernel field");
+        assert!(compare_bench_totals(&new, &old, 0.25).is_empty());
+        assert!(compare_bench_totals(&old, &new, 0.25).is_empty());
     }
 
     #[test]

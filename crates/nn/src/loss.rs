@@ -1,7 +1,7 @@
 //! Loss functions returning both the scalar loss and the gradient with
 //! respect to the logits (ready to feed into `Layer::backward`).
 
-use usb_tensor::{ops, Tensor, Workspace};
+use usb_tensor::{kernels, ops, Tensor, Workspace};
 
 /// Mean softmax cross-entropy over a batch.
 ///
@@ -92,16 +92,21 @@ pub fn softmax_cross_entropy_uniform_target_ws(
             *o = e;
             z += e;
         }
-        for o in &mut grad[i * k..(i + 1) * k] {
-            *o /= z;
+        let row_grad = &mut grad[i * k..(i + 1) * k];
+        if !kernels::try_div(row_grad, z) {
+            for o in row_grad {
+                *o /= z;
+            }
         }
         let p = grad[i * k + target].max(1e-12);
         loss -= (p as f64).ln();
         grad[i * k + target] -= 1.0;
     }
     let inv_n = 1.0 / n as f32;
-    for v in &mut grad {
-        *v *= inv_n;
+    if !kernels::try_scale(&mut grad, inv_n) {
+        for v in &mut grad {
+            *v *= inv_n;
+        }
     }
     ((loss / n as f64) as f32, Tensor::from_vec(grad, &[n, k]))
 }

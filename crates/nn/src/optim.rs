@@ -9,6 +9,7 @@
 //!   layer parameters.
 
 use crate::layer::Layer;
+use usb_tensor::kernels;
 use usb_tensor::Tensor;
 
 /// Stochastic gradient descent with classical momentum and decoupled weight
@@ -212,6 +213,18 @@ impl TensorAdam {
         let vd = st.v.data_mut();
         let pd = value.data_mut();
         let gd = grad.data();
+        let params = kernels::AdamParams {
+            b1,
+            b2,
+            bc1,
+            bc2,
+            lr,
+            eps,
+            decay,
+        };
+        if kernels::try_adam_step(pd, gd, md, vd, &params) {
+            return;
+        }
         for i in 0..pd.len() {
             let g = gd[i] + decay * pd[i];
             md[i] = b1 * md[i] + (1.0 - b1) * g;

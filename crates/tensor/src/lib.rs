@@ -10,6 +10,10 @@
 //! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array with
 //!   elementwise arithmetic, reductions, and shape algebra.
 //! * [`ops`] — matrix multiplication, transposition, softmax, argmax.
+//! * [`kernels`] — the runtime-dispatched SIMD tier: probes the CPU once
+//!   (`USB_KERNEL=scalar|avx2|auto` overridable) and routes the hot GEMM /
+//!   dequant / elementwise loops through AVX2 twins that are bit-identical
+//!   to the scalar reference loops.
 //! * [`conv`] — im2col/col2im based 2-D convolution kernels (dense and
 //!   depthwise) with full forward and backward (input, weight, and bias
 //!   gradients).
@@ -51,12 +55,16 @@
 //! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied, not forbidden: the one exception is the [`kernels`]
+// module, which opts back in locally for the AVX2 intrinsics behind the
+// runtime-dispatched SIMD tier. Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod conv;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod ops;
 pub mod par;
 pub mod pool;

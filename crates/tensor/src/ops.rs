@@ -51,9 +51,11 @@ fn gemm_tile_full(
 
 /// Partial tile (`rows ≤ MR`, `jw ≤ NR`) for the ragged right/bottom edges.
 /// Same accumulation order as [`gemm_tile_full`], just with runtime bounds.
+/// Crate-visible: the AVX2 driver in [`crate::kernels`] reuses it for its
+/// own edges — per output element the chain is identical either way.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn gemm_tile_edge(
+pub(crate) fn gemm_tile_edge(
     a: &[f32],
     abase: usize,
     ars: usize,
@@ -99,6 +101,9 @@ fn gemm_strided_a(
     n: usize,
     out: &mut [f32],
 ) {
+    if crate::kernels::try_gemm_strided_a(a, ars, aks, b, m, k, n, out) {
+        return;
+    }
     let mut i = 0;
     while i < m {
         let rows = (m - i).min(MR);
@@ -215,6 +220,9 @@ pub fn matmul_transb_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ou
     assert_eq!(a.len(), m * k, "matmul_transb_into: lhs length mismatch");
     assert_eq!(b.len(), n * k, "matmul_transb_into: rhs length mismatch");
     assert_eq!(out.len(), m * n, "matmul_transb_into: out length mismatch");
+    if crate::kernels::try_gemm_transb(a, b, m, k, n, out) {
+        return;
+    }
     // Both operands are k-contiguous, so each output element is one dot
     // product; a 4×2 tile runs eight independent accumulator chains to hide
     // FP-add latency (the old single-chain loop serialised on it). Each
@@ -353,8 +361,11 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
             *o = e;
             z += e;
         }
-        for o in &mut out[i * k..(i + 1) * k] {
-            *o /= z;
+        let row_out = &mut out[i * k..(i + 1) * k];
+        if !crate::kernels::try_div(row_out, z) {
+            for o in row_out {
+                *o /= z;
+            }
         }
     }
     Tensor::from_vec(out, &[n, k])

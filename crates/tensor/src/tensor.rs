@@ -518,6 +518,9 @@ impl Tensor {
     pub fn add_assign(&mut self, other: &Tensor) {
         self.assert_same_shape(other, "add_assign");
         self.touch();
+        if crate::kernels::try_add_assign(&mut self.data, &other.data) {
+            return;
+        }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -527,6 +530,9 @@ impl Tensor {
     pub fn sub_assign(&mut self, other: &Tensor) {
         self.assert_same_shape(other, "sub_assign");
         self.touch();
+        if crate::kernels::try_sub_assign(&mut self.data, &other.data) {
+            return;
+        }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -536,6 +542,9 @@ impl Tensor {
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         self.assert_same_shape(other, "axpy");
         self.touch();
+        if crate::kernels::try_axpy(&mut self.data, s, &other.data) {
+            return;
+        }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += s * b;
         }
@@ -544,6 +553,9 @@ impl Tensor {
     /// `self *= s` in place.
     pub fn scale_assign(&mut self, s: f32) {
         self.touch();
+        if crate::kernels::try_scale(&mut self.data, s) {
+            return;
+        }
         for a in &mut self.data {
             *a *= s;
         }
